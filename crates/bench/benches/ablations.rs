@@ -1,0 +1,135 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * the Appendix A global-loss-counter optimization (on/off);
+//! * oracle memoization (on/off) — the other Appendix A optimization;
+//! * the three Phase-2 options (2-MaxFind vs randomized vs all-play-all);
+//! * the two-phase algorithm vs the multi-class cascade extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_bench::bench_oracle;
+use crowd_core::algorithms::{
+    expert_max_find, filter_candidates, ExpertMaxConfig, FilterConfig, Phase2, RandomizedConfig,
+};
+use crowd_core::model::TiePolicy;
+use crowd_core::multiclass::{cascade_max_find, ClassSpec, ExpertiseLadder, LadderOracle};
+use crowd_core::oracle::MemoOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const N: usize = 1500;
+const UN: usize = 15;
+const UE: usize = 5;
+
+fn bench_global_losses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_global_losses");
+    for (label, on) in [("off", false), ("on", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &on, |b, &on| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(N, UN, UE, 21);
+                let mut cfg = FilterConfig::new(UN);
+                cfg.track_global_losses = on;
+                black_box(filter_candidates(&mut oracle, &inst.ids(), &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_memoization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_memoization");
+    g.bench_function("off", |b| {
+        b.iter(|| {
+            let (inst, mut oracle) = bench_oracle(N, UN, UE, 22);
+            let mut rng = StdRng::seed_from_u64(23);
+            black_box(expert_max_find(
+                &mut oracle,
+                &inst.ids(),
+                &ExpertMaxConfig::new(UN),
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("on", |b| {
+        b.iter(|| {
+            let (inst, oracle) = bench_oracle(N, UN, UE, 22);
+            let mut oracle = MemoOracle::new(oracle);
+            let mut rng = StdRng::seed_from_u64(23);
+            black_box(expert_max_find(
+                &mut oracle,
+                &inst.ids(),
+                &ExpertMaxConfig::new(UN),
+                &mut rng,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_phase2_options(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_phase2");
+    let options: [(&str, Phase2); 3] = [
+        ("two_maxfind", Phase2::TwoMaxFind),
+        (
+            "randomized",
+            Phase2::Randomized(RandomizedConfig::default().with_group_size(8)),
+        ),
+        ("all_play_all", Phase2::AllPlayAll),
+    ];
+    for (label, phase2) in options {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(N, UN, UE, 24);
+                let mut rng = StdRng::seed_from_u64(25);
+                let cfg = ExpertMaxConfig::new(UN).with_phase2(phase2);
+                black_box(expert_max_find(&mut oracle, &inst.ids(), &cfg, &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cascade_vs_two_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cascade");
+    g.bench_function("two_phase", |b| {
+        b.iter(|| {
+            let (inst, mut oracle) = bench_oracle(N, UN, UE, 26);
+            let mut rng = StdRng::seed_from_u64(27);
+            black_box(expert_max_find(
+                &mut oracle,
+                &inst.ids(),
+                &ExpertMaxConfig::new(UN),
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("three_stage_cascade", |b| {
+        b.iter(|| {
+            let (inst, _) = bench_oracle(N, UN, UE, 26);
+            let ladder = ExpertiseLadder::new(vec![
+                ClassSpec::new(10_000.0, 0.0, 1.0),
+                ClassSpec::new(1_000.0, 0.0, 10.0),
+                ClassSpec::new(100.0, 0.0, 100.0),
+            ]);
+            let us: Vec<usize> = ladder.classes()[..2]
+                .iter()
+                .map(|cl| inst.indistinguishable_from_max(cl.delta).max(1))
+                .collect();
+            let mut oracle = LadderOracle::new(
+                inst.clone(),
+                &ladder,
+                TiePolicy::UniformRandom,
+                StdRng::seed_from_u64(28),
+            );
+            black_box(cascade_max_find(&mut oracle, &ladder, &inst.ids(), &us))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_global_losses, bench_memoization, bench_phase2_options, bench_cascade_vs_two_phase
+}
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Microbenchmarks of the core algorithms across input sizes.
+//!
+//! These quantify the asymptotic story of Section 4: the Phase-1 filter is
+//! `O(n·un)`, 2-MaxFind is `O(n^{3/2})`, the randomized algorithm is
+//! `Θ(n)` (with large constants), and the full two-phase algorithm is
+//! dominated by its naïve phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_bench::bench_oracle;
+use crowd_core::algorithms::{
+    expert_max_find, filter_candidates, near_sort, randomized_max_find, top_k_find, two_max_find,
+    ExpertMaxConfig, FilterConfig, RandomizedConfig, TopKConfig,
+};
+use crowd_core::model::WorkerClass;
+use crowd_core::tournament::Tournament;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [500, 1000, 2000];
+const UN: usize = 10;
+const UE: usize = 5;
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter_phase1");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(n, UN, UE, 7);
+                black_box(filter_candidates(
+                    &mut oracle,
+                    &inst.ids(),
+                    &FilterConfig::new(UN),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_two_maxfind(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_maxfind");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(n, UN, UE, 8);
+                black_box(two_max_find(&mut oracle, WorkerClass::Expert, &inst.ids()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_randomized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("randomized_maxfind");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(n, UN, UE, 9);
+                let mut rng = StdRng::seed_from_u64(10);
+                black_box(randomized_max_find(
+                    &mut oracle,
+                    WorkerClass::Expert,
+                    &inst.ids(),
+                    &RandomizedConfig::default().with_group_size(16),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_expert_max(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expert_max_full");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(n, UN, UE, 11);
+                let mut rng = StdRng::seed_from_u64(12);
+                black_box(expert_max_find(
+                    &mut oracle,
+                    &inst.ids(),
+                    &ExpertMaxConfig::new(UN),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_all_play_all(c: &mut Criterion) {
+    let mut g = c.benchmark_group("all_play_all");
+    for n in [50usize, 100, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(n, 5, 2, 13);
+                black_box(Tournament::all_play_all(
+                    &mut oracle,
+                    WorkerClass::Naive,
+                    &inst.ids(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_top_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("top_k");
+    for k in [1usize, 5, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(1000, UN, UE, 14);
+                black_box(top_k_find(
+                    &mut oracle,
+                    &inst.ids(),
+                    &TopKConfig::new(k, UN),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_near_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("near_sort");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let (inst, mut oracle) = bench_oracle(n, UN, UE, 15);
+                black_box(near_sort(&mut oracle, WorkerClass::Naive, &inst.ids()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_filter, bench_two_maxfind, bench_randomized, bench_expert_max, bench_all_play_all, bench_top_k, bench_near_sort
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! One benchmark per simulation figure of the paper (Figures 2-7, 9, 10):
+//! each bench executes the exact experiment harness that regenerates the
+//! figure, at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_experiments::Scale;
+use std::hint::black_box;
+
+fn scale() -> Scale {
+    Scale::quick()
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_dots", |b| {
+        b.iter(|| black_box(crowd_experiments::fig2::run_dots(&scale())))
+    });
+    c.bench_function("fig2_cars", |b| {
+        b.iter(|| black_box(crowd_experiments::fig2::run_cars(&scale())))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3", |b| {
+        b.iter(|| black_box(crowd_experiments::fig3::run(&scale())))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4", |b| {
+        b.iter(|| black_box(crowd_experiments::fig4::run(&scale())))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5", |b| {
+        b.iter(|| black_box(crowd_experiments::fig5::run(&scale())))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6", |b| {
+        b.iter(|| black_box(crowd_experiments::fig6::run(&scale())))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7", |b| {
+        b.iter(|| black_box(crowd_experiments::fig7::run(&scale())))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9", |b| {
+        b.iter(|| black_box(crowd_experiments::fig9::run(&scale())))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10", |b| {
+        b.iter(|| black_box(crowd_experiments::fig10::run(&scale())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig9, bench_fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! One benchmark per CrowdFlower-style experiment: Table 1 (DOTS),
+//! Table 2 (CARS), the Section 5.3 search evaluation (full platform
+//! stack), and the Section 5.2 phase-1 survival sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_experiments::Scale;
+use std::hint::black_box;
+
+fn scale() -> Scale {
+    Scale::quick()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_dots", |b| {
+        b.iter(|| black_box(crowd_experiments::table1::run(&scale())))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_cars", |b| {
+        b.iter(|| black_box(crowd_experiments::table2::run(&scale())))
+    });
+}
+
+fn bench_search_eval(c: &mut Criterion) {
+    c.bench_function("search_eval", |b| {
+        b.iter(|| black_box(crowd_experiments::search_eval::run(&scale())))
+    });
+}
+
+fn bench_phase1_survival(c: &mut Criterion) {
+    c.bench_function("phase1_survival", |b| {
+        b.iter(|| black_box(crowd_experiments::phase1_survival::run(&scale())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_search_eval, bench_phase1_survival
+}
+criterion_main!(benches);

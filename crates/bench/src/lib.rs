@@ -1,0 +1,38 @@
+//! # crowd-bench
+//!
+//! Criterion benchmarks for the reproduction: one benchmark group per
+//! table/figure of the paper (`benches/figures.rs`, `benches/tables.rs`)
+//! plus microbenchmarks of the core algorithms (`benches/algorithms.rs`).
+//!
+//! Run with `cargo bench -p crowd-bench`. The figure/table benches execute
+//! the same code paths as the `repro` binary at a reduced scale, so their
+//! wall-clock numbers double as a regression guard on the experiment
+//! harness itself.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use crowd_core::element::Instance;
+use crowd_core::model::{ExpertModel, TiePolicy};
+use crowd_core::oracle::SimulatedOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A planted benchmark instance with its oracle, at the paper's default
+/// worker parameters.
+pub fn bench_oracle(
+    n: usize,
+    un: usize,
+    ue: usize,
+    seed: u64,
+) -> (Instance, SimulatedOracle<StdRng>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let planted = crowd_datasets::synthetic::planted_instance(n, un, ue, &mut rng);
+    let model = ExpertModel::exact(planted.delta_n, planted.delta_e, TiePolicy::UniformRandom);
+    let oracle = SimulatedOracle::new(
+        planted.instance.clone(),
+        model,
+        StdRng::seed_from_u64(seed ^ 1),
+    );
+    (planted.instance, oracle)
+}

@@ -1,0 +1,160 @@
+//! Baseline max-finding strategies the paper compares against
+//! (Section 5.1) plus classical single-class references.
+//!
+//! * [`two_max_find_naive`] / [`two_max_find_expert`] — 2-MaxFind run on
+//!   the *whole* input with a single worker class: the paper's
+//!   "2-MaxFind-naïve" and "2-MaxFind-expert" comparison points.
+//! * [`all_play_all_max`] — the `Θ(n²)` tournament champion.
+//! * [`linear_scan_max`] — the textbook `n − 1`-comparison champion scan,
+//!   which under the threshold model can drift arbitrarily far below the
+//!   maximum (each hard comparison can lose another `δ`), a useful
+//!   illustration of why tournaments are needed at all.
+
+use super::two_maxfind::{two_max_find, TwoMaxFindOutcome};
+use crate::element::ElementId;
+use crate::model::WorkerClass;
+use crate::oracle::ComparisonOracle;
+use crate::tournament::Tournament;
+
+/// 2-MaxFind over all of `elements` using only naïve workers
+/// ("2-MaxFind-naïve"). Cheap but inaccurate when `un(n)` is large: the
+/// returned element is only guaranteed within `2δn` of the maximum.
+pub fn two_max_find_naive<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+) -> TwoMaxFindOutcome {
+    two_max_find(oracle, WorkerClass::Naive, elements)
+}
+
+/// 2-MaxFind over all of `elements` using only experts
+/// ("2-MaxFind-expert"). Most accurate (within `2δe`), but every one of its
+/// `O(n^{3/2})` comparisons is billed at the expert rate.
+pub fn two_max_find_expert<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+) -> TwoMaxFindOutcome {
+    two_max_find(oracle, WorkerClass::Expert, elements)
+}
+
+/// All-play-all champion with a single class: `n(n-1)/2` comparisons,
+/// winner within `2δ` of the maximum.
+pub fn all_play_all_max<O: ComparisonOracle>(
+    oracle: &mut O,
+    class: WorkerClass,
+    elements: &[ElementId],
+) -> ElementId {
+    Tournament::all_play_all(oracle, class, elements)
+        .champion()
+        .expect("all_play_all_max needs at least one element")
+}
+
+/// Linear champion scan: keep a running champion and compare it against
+/// each next element, `n − 1` comparisons total.
+///
+/// Correct with perfect comparators; under the threshold model the champion
+/// can lose `δ` per hard comparison, so the result can end up `Ω(n·δ)`
+/// below the maximum — no constant-factor guarantee exists.
+pub fn linear_scan_max<O: ComparisonOracle>(
+    oracle: &mut O,
+    class: WorkerClass,
+    elements: &[ElementId],
+) -> ElementId {
+    let mut iter = elements.iter().copied();
+    let mut champion = iter
+        .next()
+        .expect("linear_scan_max needs at least one element");
+    for e in iter {
+        champion = oracle.compare(class, champion, e);
+    }
+    champion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Instance;
+    use crate::model::{ExpertModel, TiePolicy};
+    use crate::oracle::{PerfectOracle, SimulatedOracle};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::new((0..n).map(|_| rng.gen_range(0.0..1000.0)).collect())
+    }
+
+    #[test]
+    fn all_baselines_agree_with_perfect_workers() {
+        let inst = uniform_instance(150, 1);
+        let m = inst.max_element();
+        let mut o = PerfectOracle::new(inst.clone());
+        assert_eq!(two_max_find_naive(&mut o, &inst.ids()).winner, m);
+        assert_eq!(two_max_find_expert(&mut o, &inst.ids()).winner, m);
+        assert_eq!(all_play_all_max(&mut o, WorkerClass::Naive, &inst.ids()), m);
+        assert_eq!(linear_scan_max(&mut o, WorkerClass::Naive, &inst.ids()), m);
+    }
+
+    #[test]
+    fn naive_baseline_uses_naive_workers_only() {
+        let inst = uniform_instance(60, 2);
+        let model = ExpertModel::exact(10.0, 1.0, TiePolicy::UniformRandom);
+        let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(3));
+        let out = two_max_find_naive(&mut o, &inst.ids());
+        assert_eq!(out.comparisons.expert, 0);
+        assert!(out.comparisons.naive > 0);
+    }
+
+    #[test]
+    fn expert_baseline_uses_experts_only() {
+        let inst = uniform_instance(60, 4);
+        let model = ExpertModel::exact(10.0, 1.0, TiePolicy::UniformRandom);
+        let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(5));
+        let out = two_max_find_expert(&mut o, &inst.ids());
+        assert_eq!(out.comparisons.naive, 0);
+        assert!(out.comparisons.expert > 0);
+    }
+
+    #[test]
+    fn expert_baseline_beats_naive_on_hard_instances() {
+        // Large δn, tiny δe: the naïve baseline's winner is typically far
+        // from the max; the expert one is within 2δe. Averaged over seeds.
+        let mut naive_gap = 0.0;
+        let mut expert_gap = 0.0;
+        for seed in 0..10 {
+            let inst = uniform_instance(200, seed + 10);
+            let model = ExpertModel::exact(100.0, 1.0, TiePolicy::UniformRandom);
+            let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+            naive_gap +=
+                inst.max_value() - inst.value(two_max_find_naive(&mut o, &inst.ids()).winner);
+            expert_gap +=
+                inst.max_value() - inst.value(two_max_find_expert(&mut o, &inst.ids()).winner);
+        }
+        assert!(
+            expert_gap < naive_gap,
+            "expert total gap {expert_gap} >= naive total gap {naive_gap}"
+        );
+        assert!(expert_gap <= 10.0 * 2.0, "expert gap exceeds 2δe per run");
+    }
+
+    #[test]
+    fn linear_scan_uses_n_minus_one_comparisons() {
+        let inst = uniform_instance(100, 6);
+        let mut o = PerfectOracle::new(inst.clone());
+        linear_scan_max(&mut o, WorkerClass::Naive, &inst.ids());
+        assert_eq!(o.counts().naive, 99);
+    }
+
+    #[test]
+    fn linear_scan_drifts_under_adversarial_threshold() {
+        // Descending chain spaced just under δ: the scan's champion loses
+        // every hard comparison and ends at the bottom.
+        let n = 50;
+        let values: Vec<f64> = (0..n).map(|i| 1000.0 - i as f64 * 0.9).collect();
+        let inst = Instance::new(values);
+        let model = ExpertModel::exact(1.0, 0.0, TiePolicy::FavorLower);
+        let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(7));
+        let winner = linear_scan_max(&mut o, WorkerClass::Naive, &inst.ids());
+        let gap = inst.max_value() - inst.value(winner);
+        assert!(gap > 10.0, "expected unbounded drift, got gap {gap}");
+    }
+}

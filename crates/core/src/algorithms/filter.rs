@@ -1,0 +1,356 @@
+//! Algorithm 2 — Phase 1: filter a candidate set with naïve workers.
+//!
+//! Given `L` of size `n` and the parameter `un(n) = o(n)`, the filter
+//! repeatedly partitions the surviving elements into groups of
+//! `g = 4·un(n)`, plays an all-play-all tournament inside each group, and
+//! keeps only elements winning at least `g − un(n)` games (a smaller last
+//! group is kept whole when `|G_ℓ| <= un(n)`, else filtered with threshold
+//! `|G_ℓ| − un(n)`). It stops when fewer than `2·un(n)` elements survive.
+//!
+//! **Lemma 3**: the output `S` satisfies `M ∈ S` and `|S| <= 2·un(n) − 1`,
+//! using at most `4·n·un(n)` naïve comparisons. The bound `M ∈ S` holds
+//! because, by Lemma 1, `M` never loses more than `un(n) − 1` comparisons to
+//! distinct opponents; termination and `|S| <= 2·un(n) − 1` follow from
+//! Lemma 2, a counting argument independent of worker behaviour — the filter
+//! terminates even against a fully adversarial oracle.
+//!
+//! The Appendix A optimization is available via
+//! [`FilterConfig::track_global_losses`]: an element may lose at most
+//! `un(n)` comparisons in a single group, but across rounds its distinct
+//! losses can exceed `un(n)`, proving (Lemma 1) it cannot be the maximum;
+//! tracking a global per-element loss counter lets the filter discard such
+//! elements early and terminate sooner.
+
+use crate::element::ElementId;
+use crate::model::WorkerClass;
+use crate::oracle::{ComparisonCounts, ComparisonOracle};
+use crate::tournament::Tournament;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Configuration for the Phase-1 filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// The parameter `un(n)`: (an upper bound on) the number of elements
+    /// naïve-indistinguishable from the maximum, including the maximum
+    /// itself. Overestimating costs money but never correctness;
+    /// underestimating can evict the maximum (Section 5.2).
+    pub un: usize,
+    /// Enables the Appendix A global-loss-counter optimization.
+    pub track_global_losses: bool,
+}
+
+impl FilterConfig {
+    /// Plain Algorithm 2 with the given `un(n)` and no optimizations.
+    pub fn new(un: usize) -> Self {
+        FilterConfig {
+            un,
+            track_global_losses: false,
+        }
+    }
+
+    /// Enables the global-loss-counter optimization.
+    pub fn with_global_losses(mut self) -> Self {
+        self.track_global_losses = true;
+        self
+    }
+}
+
+/// The result of running the Phase-1 filter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterOutcome {
+    /// The candidate set `S` (contains `M` whenever workers follow the
+    /// threshold model and `un` was not underestimated).
+    pub survivors: Vec<ElementId>,
+    /// Number of filtering rounds (iterations of the outer loop).
+    pub rounds: usize,
+    /// Survivor-set size after each round, starting from `n`.
+    pub sizes: Vec<usize>,
+    /// Naïve comparisons performed by the filter (from oracle snapshots).
+    pub comparisons: ComparisonCounts,
+}
+
+/// Runs Algorithm 2 over `elements` using naïve workers from `oracle`.
+///
+/// Returns the candidate set and statistics. If `|elements| < 2·un` the
+/// while-loop never runs and all elements survive (the set is already small
+/// enough for the expert phase).
+///
+/// ```
+/// use crowd_core::prelude::*;
+///
+/// let instance = Instance::new((0..200).map(|i| i as f64).collect());
+/// let mut oracle = PerfectOracle::new(instance.clone());
+/// let out = filter_candidates(&mut oracle, &instance.ids(), &FilterConfig::new(4));
+/// assert!(out.survivors.contains(&instance.max_element()));
+/// assert!(out.survivors.len() <= 2 * 4 - 1);              // Lemma 3 size bound
+/// assert!(out.comparisons.naive <= 4 * 200 * 4);          // Lemma 3 cost bound
+/// ```
+///
+/// # Panics
+///
+/// Panics if `config.un == 0` (the maximum is always indistinguishable from
+/// itself, so `un(n) >= 1`) or if `elements` contains duplicates.
+pub fn filter_candidates<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    config: &FilterConfig,
+) -> FilterOutcome {
+    assert!(
+        config.un >= 1,
+        "un(n) >= 1: the maximum is indistinguishable from itself"
+    );
+    debug_assert!(
+        elements.iter().collect::<HashSet<_>>().len() == elements.len(),
+        "input elements must be distinct"
+    );
+
+    let start = oracle.counts();
+    let un = config.un;
+    let g = 4 * un;
+    let mut survivors: Vec<ElementId> = elements.to_vec();
+    let mut sizes = vec![survivors.len()];
+    let mut rounds = 0usize;
+
+    // Appendix A: cumulative distinct losses per element across rounds.
+    // Keyed by element; the set holds distinct opponents lost to.
+    let mut losses: HashMap<ElementId, HashSet<ElementId>> = HashMap::new();
+
+    while survivors.len() >= 2 * un {
+        let mut next: Vec<ElementId> = Vec::with_capacity(survivors.len() / 2 + un);
+        let mut champions: Vec<ElementId> = Vec::new();
+        let chunks: Vec<&[ElementId]> = survivors.chunks(g).collect();
+        let last = chunks.len() - 1;
+
+        for (ci, chunk) in chunks.iter().enumerate() {
+            let is_last = ci == last;
+            if is_last && chunk.len() <= un {
+                // Too small a group to certify losses; keep it whole.
+                next.extend_from_slice(chunk);
+                champions.extend_from_slice(chunk);
+                continue;
+            }
+            let t = Tournament::all_play_all(oracle, WorkerClass::Naive, chunk);
+            let threshold = (chunk.len() - un) as u32;
+            let winners = t.winners_with_at_least(threshold);
+            if config.track_global_losses {
+                record_losses(&t, &mut losses);
+            }
+            champions.extend(t.champion());
+            next.extend(winners);
+        }
+
+        if config.track_global_losses {
+            // Lemma 1: an element with more than `un` distinct losses cannot
+            // be the maximum in a global all-play-all tournament.
+            next.retain(|e| losses.get(e).map_or(0, HashSet::len) <= un);
+        }
+
+        if next.is_empty() {
+            // Only possible when un(n) was underestimated: no element of any
+            // group reached `g - un` wins (or global-loss pruning removed
+            // them all). The M ∈ S guarantee is already forfeit in this
+            // regime, so degrade gracefully — keep each group's champion
+            // instead of returning an empty candidate set. Section 5.2
+            // studies exactly this regime.
+            next = champions;
+        }
+
+        assert!(
+            next.len() < survivors.len(),
+            "filter round failed to shrink the survivor set (Lemma 2 violated)"
+        );
+        survivors = next;
+        sizes.push(survivors.len());
+        rounds += 1;
+    }
+
+    FilterOutcome {
+        survivors,
+        rounds,
+        sizes,
+        comparisons: oracle.counts() - start,
+    }
+}
+
+/// Records, for every tournament game, the winner into the loser's
+/// distinct-opponent loss set.
+fn record_losses(t: &Tournament, losses: &mut HashMap<ElementId, HashSet<ElementId>>) {
+    for &(winner, loser) in t.results() {
+        losses.entry(loser).or_default().insert(winner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Instance;
+    use crate::model::{ExpertModel, TiePolicy};
+    use crate::oracle::{PerfectOracle, SimulatedOracle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_instance(n: usize, seed: u64) -> Instance {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::new((0..n).map(|_| rng.gen_range(0.0..1000.0)).collect())
+    }
+
+    #[test]
+    fn perfect_workers_small_un() {
+        let inst = uniform_instance(200, 1);
+        let mut o = PerfectOracle::new(inst.clone());
+        let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(3));
+        assert!(out.survivors.len() < 2 * 3);
+        assert!(out.survivors.contains(&inst.max_element()));
+        assert!(out.comparisons.naive <= 4 * 200 * 3);
+        assert_eq!(out.comparisons.expert, 0);
+    }
+
+    #[test]
+    fn contains_max_under_threshold_model() {
+        for seed in 0..10 {
+            let inst = uniform_instance(300, seed);
+            let delta_n = 20.0;
+            let un = inst.indistinguishable_from_max(delta_n);
+            let model = ExpertModel::exact(delta_n, 1.0, TiePolicy::UniformRandom);
+            let mut o =
+                SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed + 100));
+            let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(un));
+            assert!(
+                out.survivors.contains(&inst.max_element()),
+                "seed {seed}: M evicted with true un = {un}"
+            );
+            assert!(out.survivors.len() <= 2 * un.max(1), "|S| too large");
+        }
+    }
+
+    #[test]
+    fn contains_max_under_adversarial_ties() {
+        // FavorLower is the worst case: indistinguishable elements always
+        // beat M. M still survives because it loses at most un - 1 games
+        // per round.
+        let inst = uniform_instance(400, 7);
+        let delta_n = 30.0;
+        let un = inst.indistinguishable_from_max(delta_n);
+        let model = ExpertModel::exact(delta_n, 1.0, TiePolicy::FavorLower);
+        let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(8));
+        let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(un));
+        assert!(out.survivors.contains(&inst.max_element()));
+    }
+
+    #[test]
+    fn small_input_passes_through() {
+        let inst = uniform_instance(5, 2);
+        let mut o = PerfectOracle::new(inst.clone());
+        let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(10));
+        assert_eq!(out.survivors, inst.ids());
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.comparisons.total(), 0);
+    }
+
+    #[test]
+    fn comparison_bound_lemma_3() {
+        for (n, un) in [(100, 2), (500, 5), (1000, 10), (2000, 25)] {
+            let inst = uniform_instance(n, n as u64);
+            let mut o = PerfectOracle::new(inst.clone());
+            let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(un));
+            assert!(
+                out.comparisons.naive <= (4 * n * un) as u64,
+                "n={n}, un={un}: {} comparisons",
+                out.comparisons.naive
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_are_recorded_and_decreasing() {
+        let inst = uniform_instance(1000, 3);
+        let mut o = PerfectOracle::new(inst.clone());
+        let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(5));
+        assert_eq!(out.sizes[0], 1000);
+        assert_eq!(*out.sizes.last().unwrap(), out.survivors.len());
+        for w in out.sizes.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        assert_eq!(out.rounds, out.sizes.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "un(n) >= 1")]
+    fn zero_un_panics() {
+        let inst = uniform_instance(10, 4);
+        let mut o = PerfectOracle::new(inst.clone());
+        filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(0));
+    }
+
+    #[test]
+    fn global_losses_never_evict_max_and_never_cost_more() {
+        for seed in 0..8 {
+            let inst = uniform_instance(600, seed + 50);
+            let delta_n = 15.0;
+            let un = inst.indistinguishable_from_max(delta_n);
+            let mk_oracle = |s| {
+                let model = ExpertModel::exact(delta_n, 1.0, TiePolicy::Persistent);
+                SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(s))
+            };
+
+            let mut plain_o = mk_oracle(seed);
+            let plain = filter_candidates(&mut plain_o, &inst.ids(), &FilterConfig::new(un));
+
+            let mut opt_o = mk_oracle(seed);
+            let opt = filter_candidates(
+                &mut opt_o,
+                &inst.ids(),
+                &FilterConfig::new(un).with_global_losses(),
+            );
+
+            assert!(opt.survivors.contains(&inst.max_element()), "seed {seed}");
+            assert!(plain.survivors.contains(&inst.max_element()), "seed {seed}");
+            // Lemma 3's size bound holds with or without the optimization.
+            assert!(opt.survivors.len() <= 2 * un.max(1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cyclic_outcomes_under_underestimation_fall_back_to_champions() {
+        // With un = 1 (severe underestimation) a cyclic group can leave no
+        // element with g - un = 3 wins; the filter must not return an empty
+        // set — it keeps the group champion instead.
+        use crate::oracle::FnOracle;
+        let beats = |a: u32, b: u32| -> bool {
+            // Cycle 0>1>2>3>0 plus diagonals 0>2 and 3>1: max wins = 2 < 3.
+            matches!((a, b), (0, 1) | (1, 2) | (2, 3) | (3, 0) | (0, 2) | (3, 1))
+        };
+        let mut o = FnOracle::new(
+            move |_, k: ElementId, j: ElementId| {
+                if beats(k.0, j.0) {
+                    k
+                } else {
+                    j
+                }
+            },
+        );
+        let ids: Vec<ElementId> = (0..4).map(ElementId).collect();
+        let out = filter_candidates(&mut o, &ids, &FilterConfig::new(1));
+        assert_eq!(
+            out.survivors,
+            vec![ElementId(0)],
+            "champion fallback expected"
+        );
+    }
+
+    #[test]
+    fn underestimated_un_may_evict_max_but_still_terminates() {
+        // With un = 1 and many indistinguishable elements, M can be evicted
+        // — the Section 5.2 phenomenon. The run must still terminate with a
+        // small survivor set.
+        let values: Vec<f64> = (0..100).map(|i| 1000.0 - (i as f64) * 0.01).collect();
+        let inst = Instance::new(values);
+        let model = ExpertModel::exact(50.0, 0.0, TiePolicy::FavorLower);
+        let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(5));
+        let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(1));
+        assert!(out.survivors.len() <= 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Near-sorting with imprecise comparisons.
+//!
+//! The paper's related work is rooted in sorting with faulty comparators
+//! (Ajtai et al.'s title is "Sorting and selection with imprecise
+//! comparisons"; see also refs \[1, 12, 13, 28, 36\]). Under the threshold
+//! model no algorithm can produce the exact order — indistinguishable
+//! neighbours can always be swapped — so the right target is a *near*
+//! sort whose displacement is bounded by the local density of
+//! indistinguishable elements.
+//!
+//! Two building blocks:
+//!
+//! * [`near_sort`] — merge sort driven by oracle comparisons. With a
+//!   consistent comparator it performs `O(n log n)` comparisons and
+//!   misplaces each element only relative to elements within `δ` of it.
+//! * [`expert_rank`] — the two-phase idea applied to ranking: naïve
+//!   workers produce a coarse near-sort of everything, experts re-sort
+//!   only the top segment (where order actually matters for selection
+//!   tasks), giving an exact-up-to-`δe` prefix at naïve prices for the
+//!   bulk.
+//!
+//! Quality metrics (`max_displacement`, [`footrule`]) quantify how far an
+//! output order is from the ground truth.
+
+use crate::element::{ElementId, Instance};
+use crate::model::WorkerClass;
+use crate::oracle::{ComparisonCounts, ComparisonOracle};
+use serde::{Deserialize, Serialize};
+
+/// Result of a near-sort.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortOutcome {
+    /// The produced order, best (believed largest) first.
+    pub order: Vec<ElementId>,
+    /// Comparisons performed.
+    pub comparisons: ComparisonCounts,
+}
+
+/// Merge sort over oracle comparisons, best first.
+///
+/// Performs at most `n·⌈log₂ n⌉` comparisons. With a perfect comparator
+/// the order is exact; under `T(δ, 0)` with consistent answers each
+/// element ends up correctly ordered relative to everything farther than
+/// `δ` from it... *per comparison actually made* — merge sort compares
+/// only `O(n log n)` of the `O(n²)` pairs, so transitivity errors can
+/// propagate; see [`max_displacement`] for the empirical measure.
+///
+/// # Panics
+///
+/// Panics if `elements` is empty.
+pub fn near_sort<O: ComparisonOracle>(
+    oracle: &mut O,
+    class: WorkerClass,
+    elements: &[ElementId],
+) -> SortOutcome {
+    assert!(!elements.is_empty(), "sorting needs at least one element");
+    let start = oracle.counts();
+    let order = merge_sort(oracle, class, elements.to_vec());
+    SortOutcome {
+        order,
+        comparisons: oracle.counts() - start,
+    }
+}
+
+fn merge_sort<O: ComparisonOracle>(
+    oracle: &mut O,
+    class: WorkerClass,
+    items: Vec<ElementId>,
+) -> Vec<ElementId> {
+    if items.len() <= 1 {
+        return items;
+    }
+    let mid = items.len() / 2;
+    let right = items[mid..].to_vec();
+    let left = items[..mid].to_vec();
+    let left = merge_sort(oracle, class, left);
+    let right = merge_sort(oracle, class, right);
+
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        // Best first: the comparison winner goes out first.
+        if oracle.compare(class, left[i], right[j]) == left[i] {
+            out.push(left[i]);
+            i += 1;
+        } else {
+            out.push(right[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
+}
+
+/// Configuration for [`expert_rank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpertRankConfig {
+    /// Size of the prefix the experts re-sort (e.g. the `2·un` of the
+    /// max-finding candidate set, or "the first page of results").
+    pub expert_prefix: usize,
+}
+
+/// Two-phase ranking: a naïve near-sort of everything, then an expert
+/// re-sort of the top `expert_prefix` elements.
+///
+/// Costs `O(n log n)` naïve plus `O(p log p)` expert comparisons for a
+/// prefix of size `p` — the ranking analogue of Algorithm 1's division of
+/// labour.
+///
+/// # Panics
+///
+/// Panics if `elements` is empty or `expert_prefix == 0`.
+pub fn expert_rank<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    config: &ExpertRankConfig,
+) -> SortOutcome {
+    assert!(
+        config.expert_prefix >= 1,
+        "the expert prefix must be non-empty"
+    );
+    let start = oracle.counts();
+    let coarse = merge_sort(oracle, WorkerClass::Naive, elements.to_vec());
+    let p = config.expert_prefix.min(coarse.len());
+    let refined = merge_sort(oracle, WorkerClass::Expert, coarse[..p].to_vec());
+    let mut order = refined;
+    order.extend_from_slice(&coarse[p..]);
+    SortOutcome {
+        order,
+        comparisons: oracle.counts() - start,
+    }
+}
+
+/// Maximum displacement of an order: the largest |position − true rank|
+/// over all elements (0 for a perfect sort). Value ties count positions
+/// interchangeably (an order is perfect if each element's position could
+/// be its rank under *some* tie-breaking).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the instance's elements.
+pub fn max_displacement(instance: &Instance, order: &[ElementId]) -> usize {
+    displacements(instance, order)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Spearman's footrule: the sum of displacements (0 for a perfect sort).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the instance's elements.
+pub fn footrule(instance: &Instance, order: &[ElementId]) -> usize {
+    displacements(instance, order).into_iter().sum()
+}
+
+fn displacements(instance: &Instance, order: &[ElementId]) -> Vec<usize> {
+    assert_eq!(order.len(), instance.n(), "order must cover the instance");
+    // For ties: an element of rank r shared by t elements legally occupies
+    // positions r-1 .. r-1+t-1; displacement is the distance to that band.
+    let mut seen = vec![false; instance.n()];
+    let mut out = Vec::with_capacity(order.len());
+    for (pos, &e) in order.iter().enumerate() {
+        assert!(!seen[e.index()], "order repeats {e}");
+        seen[e.index()] = true;
+        let rank = instance.rank(e); // 1-based, count of strictly-greater + 1
+        let ties = instance
+            .values()
+            .iter()
+            .filter(|&&v| v == instance.value(e))
+            .count();
+        let lo = rank - 1;
+        let hi = rank - 1 + ties - 1;
+        let d = lo.saturating_sub(pos).max(pos.saturating_sub(hi));
+        out.push(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ExpertModel, TiePolicy};
+    use crate::oracle::{MemoOracle, PerfectOracle, SimulatedOracle};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::new((0..n).map(|_| rng.gen_range(0.0..10_000.0)).collect())
+    }
+
+    #[test]
+    fn perfect_workers_sort_exactly() {
+        for n in [1, 2, 7, 64, 200] {
+            let inst = uniform_instance(n, n as u64);
+            let mut o = PerfectOracle::new(inst.clone());
+            let out = near_sort(&mut o, WorkerClass::Naive, &inst.ids());
+            assert_eq!(max_displacement(&inst, &out.order), 0, "n = {n}");
+            assert_eq!(footrule(&inst, &out.order), 0);
+        }
+    }
+
+    #[test]
+    fn comparison_budget_is_n_log_n() {
+        let n = 512;
+        let inst = uniform_instance(n, 3);
+        let mut o = PerfectOracle::new(inst.clone());
+        let out = near_sort(&mut o, WorkerClass::Naive, &inst.ids());
+        assert!(
+            out.comparisons.total() <= (n as u64) * 10, // n · log2(512) = n · 9
+            "{} comparisons",
+            out.comparisons.total()
+        );
+    }
+
+    #[test]
+    fn threshold_displacement_is_local() {
+        // With a small δ and a consistent comparator, elements stay close
+        // to their true positions (within the size of their δ-neighbourhood
+        // plus merge-path noise).
+        for seed in 0..5 {
+            let inst = uniform_instance(300, seed + 10);
+            let delta = 50.0; // neighbourhoods of a handful of elements
+            let model = ExpertModel::exact(delta, 1.0, TiePolicy::Persistent);
+            let inner = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+            let mut o = MemoOracle::new(inner);
+            let out = near_sort(&mut o, WorkerClass::Naive, &inst.ids());
+            let d = max_displacement(&inst, &out.order);
+            assert!(
+                d <= 25,
+                "seed {seed}: displacement {d} too large for local errors"
+            );
+        }
+    }
+
+    #[test]
+    fn expert_rank_fixes_the_prefix() {
+        for seed in 0..5 {
+            let inst = uniform_instance(300, seed + 40);
+            let (dn, de) = (500.0, 1.0);
+            let model = ExpertModel::exact(dn, de, TiePolicy::Persistent);
+            let inner = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+            let mut o = MemoOracle::new(inner);
+            let prefix = 20;
+            let out = expert_rank(
+                &mut o,
+                &inst.ids(),
+                &ExpertRankConfig {
+                    expert_prefix: prefix,
+                },
+            );
+
+            // Within the expert prefix, the order must be exactly by value
+            // (δe = 1 is below the minimum gap of the prefix whp).
+            for w in out.order[..prefix].windows(2) {
+                assert!(
+                    inst.value(w[0]) >= inst.value(w[1]) - 2.0 * de,
+                    "seed {seed}: expert prefix out of order"
+                );
+            }
+            // And experts only paid for the prefix.
+            assert!(out.comparisons.expert <= (prefix as u64) * 6);
+            assert!(out.comparisons.naive > out.comparisons.expert);
+        }
+    }
+
+    #[test]
+    fn displacement_metrics_detect_a_swap() {
+        let inst = Instance::new(vec![4.0, 3.0, 2.0, 1.0]);
+        let perfect: Vec<ElementId> = inst.ids();
+        assert_eq!(max_displacement(&inst, &perfect), 0);
+        let swapped = vec![ElementId(1), ElementId(0), ElementId(2), ElementId(3)];
+        assert_eq!(max_displacement(&inst, &swapped), 1);
+        assert_eq!(footrule(&inst, &swapped), 2);
+        let reversed: Vec<ElementId> = inst.ids().into_iter().rev().collect();
+        assert_eq!(max_displacement(&inst, &reversed), 3);
+    }
+
+    #[test]
+    fn displacement_respects_value_ties() {
+        let inst = Instance::new(vec![5.0, 5.0, 1.0]);
+        // Either order of the tied pair is a perfect sort.
+        assert_eq!(
+            max_displacement(&inst, &[ElementId(0), ElementId(1), ElementId(2)]),
+            0
+        );
+        assert_eq!(
+            max_displacement(&inst, &[ElementId(1), ElementId(0), ElementId(2)]),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "order repeats")]
+    fn duplicate_order_panics() {
+        let inst = Instance::new(vec![1.0, 2.0]);
+        max_displacement(&inst, &[ElementId(0), ElementId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_sort_panics() {
+        let mut o = PerfectOracle::new(Instance::new(vec![1.0]));
+        near_sort(&mut o, WorkerClass::Naive, &[]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Top-k selection with experts — an extension of the paper's two-phase
+//! scheme to the top-k problem it cites as adjacent work (Davidson et al.
+//! \[8\] study top-k under a distance-based error model, without experts).
+//!
+//! The same division of labour applies: naïve workers can cheaply rule out
+//! everything that is clearly not in the top k, and experts resolve the
+//! near-ties among the survivors.
+//!
+//! * **Phase 1** generalizes Algorithm 2: by the argument of Lemma 1, the
+//!   element of true rank `i <= k` wins at least `n − u_n(n) − k + 1`
+//!   games in an all-play-all tournament (it can lose only to its
+//!   naïve-indistinguishable neighbours and to the at most `k − 1`
+//!   elements above it). Filtering groups of `g = 4·(un + k − 1)` with
+//!   win threshold `g − (un + k − 1)` therefore keeps the whole top-k;
+//!   by Lemma 2 the survivor set shrinks to at most `2·(un + k − 1) − 1`.
+//!   In other words, the two-phase machinery runs unchanged with an
+//!   *inflated* parameter `un' = un + k − 1`.
+//! * **Phase 2** ranks the survivors with experts (all-play-all, the
+//!   appropriate choice at `|S| = O(un + k)`) and returns the k elements
+//!   with the most wins. Each returned element is within `2δe` of the
+//!   true element of its rank.
+
+use super::filter::{filter_candidates, FilterConfig};
+use crate::element::ElementId;
+use crate::model::WorkerClass;
+use crate::oracle::{ComparisonCounts, ComparisonOracle};
+use crate::tournament::Tournament;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`top_k_find`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopKConfig {
+    /// How many top elements to return.
+    pub k: usize,
+    /// The `un(n)` parameter (as for Algorithm 1).
+    pub un: usize,
+}
+
+impl TopKConfig {
+    /// Builds a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `un == 0`.
+    pub fn new(k: usize, un: usize) -> Self {
+        assert!(k >= 1, "k >= 1");
+        assert!(un >= 1, "un(n) >= 1");
+        TopKConfig { k, un }
+    }
+
+    /// The inflated phase-1 parameter `un + k − 1`.
+    pub fn inflated_un(&self) -> usize {
+        self.un + self.k - 1
+    }
+}
+
+/// Result of a top-k run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopKOutcome {
+    /// The k selected elements, best first (by expert-tournament wins).
+    pub top: Vec<ElementId>,
+    /// The full candidate set the experts ranked.
+    pub candidates: Vec<ElementId>,
+    /// Total comparisons.
+    pub comparisons: ComparisonCounts,
+}
+
+/// Two-phase top-k selection: naïve filter with the inflated parameter,
+/// then an expert all-play-all ranking of the survivors.
+///
+/// Returns `min(k, n)` elements. The inflated parameter guarantees the
+/// whole top-k survives Phase 1 when every top-k element's
+/// δn-neighbourhood is no larger than the maximum's; when that is violated
+/// (an inner rank sits in a denser cluster — effectively an
+/// underestimated `un`), Phase 1 can keep fewer than `k` elements, and the
+/// missing slots are backfilled from the filtered-out elements (which
+/// Phase 1 judged worse) in input order, without an expert guarantee.
+///
+/// # Panics
+///
+/// Panics if `elements` is empty.
+pub fn top_k_find<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    config: &TopKConfig,
+) -> TopKOutcome {
+    assert!(!elements.is_empty(), "top-k needs at least one element");
+    let start = oracle.counts();
+
+    let phase1 = filter_candidates(oracle, elements, &FilterConfig::new(config.inflated_un()));
+    let candidates = phase1.survivors;
+
+    let tournament = Tournament::all_play_all(oracle, WorkerClass::Expert, &candidates);
+    let mut top: Vec<ElementId> = tournament
+        .ranking()
+        .into_iter()
+        .take(config.k)
+        .map(|(e, _)| e)
+        .collect();
+    if top.len() < config.k {
+        // Backfill from the filtered-out elements (see the doc comment).
+        let mut in_top: std::collections::HashSet<ElementId> = top.iter().copied().collect();
+        for &e in elements {
+            if top.len() >= config.k {
+                break;
+            }
+            if in_top.insert(e) {
+                top.push(e);
+            }
+        }
+    }
+
+    TopKOutcome {
+        top,
+        candidates,
+        comparisons: oracle.counts() - start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Instance;
+    use crate::model::{ExpertModel, TiePolicy};
+    use crate::oracle::{PerfectOracle, SimulatedOracle};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    fn uniform_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::new((0..n).map(|_| rng.gen_range(0.0..100_000.0)).collect())
+    }
+
+    #[test]
+    fn perfect_workers_return_the_exact_top_k() {
+        let inst = uniform_instance(500, 1);
+        let mut o = PerfectOracle::new(inst.clone());
+        let out = top_k_find(&mut o, &inst.ids(), &TopKConfig::new(5, 3));
+        let expected: Vec<ElementId> = inst.ids_by_rank().into_iter().take(5).collect();
+        assert_eq!(out.top, expected);
+    }
+
+    #[test]
+    fn top_k_is_within_two_delta_e_per_slot() {
+        for seed in 0..8 {
+            let inst = uniform_instance(600, seed + 10);
+            let (dn, de) = (2_000.0, 100.0);
+            let un = inst.indistinguishable_from_max(dn);
+            let model = ExpertModel::exact(dn, de, TiePolicy::UniformRandom);
+            let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+            let k = 4;
+            let out = top_k_find(&mut o, &inst.ids(), &TopKConfig::new(k, un));
+            assert_eq!(out.top.len(), k);
+            let true_order = inst.ids_by_rank();
+            for (slot, &e) in out.top.iter().enumerate() {
+                let ideal = inst.value(true_order[slot]);
+                let got = inst.value(e);
+                assert!(
+                    ideal - got <= 2.0 * de + 1e-9,
+                    "seed {seed} slot {slot}: {got} more than 2δe below {ideal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_true_top_k_survive_phase_1() {
+        for seed in 0..8 {
+            let inst = uniform_instance(800, seed + 30);
+            let dn = 3_000.0;
+            let un = inst.indistinguishable_from_max(dn);
+            let model = ExpertModel::exact(dn, 1.0, TiePolicy::UniformRandom);
+            let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+            let k = 3;
+            let out = top_k_find(&mut o, &inst.ids(), &TopKConfig::new(k, un));
+            let survivors: HashSet<ElementId> = out.candidates.iter().copied().collect();
+            // Inflating un by k−1 suffices only when the top-k's own
+            // indistinguishability neighbourhoods are no larger than the
+            // max's; with uniform data that overwhelmingly holds.
+            let true_top: Vec<ElementId> = inst.ids_by_rank().into_iter().take(k).collect();
+            let kept = true_top.iter().filter(|e| survivors.contains(e)).count();
+            assert!(
+                kept >= k - 1,
+                "seed {seed}: only {kept}/{k} of the top-k survived"
+            );
+        }
+    }
+
+    #[test]
+    fn k_equal_one_matches_max_finding_guarantee() {
+        let inst = uniform_instance(400, 77);
+        let dn = 2_000.0;
+        let un = inst.indistinguishable_from_max(dn);
+        let model = ExpertModel::exact(dn, 50.0, TiePolicy::UniformRandom);
+        let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(5));
+        let out = top_k_find(&mut o, &inst.ids(), &TopKConfig::new(1, un));
+        assert_eq!(out.top.len(), 1);
+        assert!(inst.max_value() - inst.value(out.top[0]) <= 2.0 * 50.0);
+    }
+
+    #[test]
+    fn small_inputs_return_everything_ranked() {
+        let inst = Instance::new(vec![2.0, 9.0, 5.0]);
+        let mut o = PerfectOracle::new(inst.clone());
+        let out = top_k_find(&mut o, &inst.ids(), &TopKConfig::new(5, 1));
+        assert_eq!(out.top, vec![ElementId(1), ElementId(2), ElementId(0)]);
+    }
+
+    #[test]
+    fn inflated_parameter_formula() {
+        assert_eq!(TopKConfig::new(1, 10).inflated_un(), 10);
+        assert_eq!(TopKConfig::new(5, 10).inflated_un(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        TopKConfig::new(0, 1);
+    }
+}

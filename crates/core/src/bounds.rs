@@ -1,0 +1,196 @@
+//! Closed-form theoretical bounds from the paper (Sections 3.2, 4.2, 4.3).
+//!
+//! These functions let experiments and tests compare measured comparison
+//! counts against the paper's guarantees:
+//!
+//! | Result | Function |
+//! |---|---|
+//! | Lemma 3 upper bound: `≤ 4·n·un` naïve comparisons | [`phase1_upper_bound`] |
+//! | Corollary 1 lower bound: `≥ n·un/4` naïve comparisons | [`phase1_lower_bound`] |
+//! | Theorem 1 upper bound: `≤ 2·s^{3/2}` expert comparisons | [`two_maxfind_upper_bound`] |
+//! | Lemma 6 lower bound: `Ω(un^{4/3})` expert comparisons | [`expert_lower_bound_deterministic`] |
+//! | Trivial expert lower bound `Ω(un)` | [`expert_lower_bound`] |
+//! | Majority-vote failure bound `exp(-(1-2p)²k / (8(1-p)))` | [`majority_error_bound`] |
+//! | Theorem 1 total cost | [`algorithm1_cost_upper_bound`] |
+
+use crate::cost::CostModel;
+
+/// Lemma 3: Algorithm 2 performs at most `4·n·un(n)` naïve comparisons.
+pub fn phase1_upper_bound(n: usize, un: usize) -> u64 {
+    4 * n as u64 * un as u64
+}
+
+/// Corollary 1: any naïve-only algorithm that returns a set guaranteed to
+/// contain the maximum with `|S| <= n/2` performs at least `n·un(n)/4`
+/// comparisons. Algorithm 2 is therefore optimal up to a factor 16.
+pub fn phase1_lower_bound(n: usize, un: usize) -> u64 {
+    (n as u64 * un as u64) / 4
+}
+
+/// Theorem 1: 2-MaxFind performs at most `2·s^{3/2}` comparisons on an
+/// input of size `s`.
+pub fn two_maxfind_upper_bound(s: usize) -> u64 {
+    (2.0 * (s as f64).powf(1.5)).ceil() as u64
+}
+
+/// Lemma 6: any deterministic algorithm returning an element within `2δe`
+/// of the maximum performs `Ω(un^{4/3})` expert comparisons. Returned here
+/// with constant 1 (the paper gives only the order).
+pub fn expert_lower_bound_deterministic(un: usize) -> u64 {
+    (un as f64).powf(4.0 / 3.0).round() as u64
+}
+
+/// The simple `Ω(un(n))` expert lower bound (Section 4.3): `un(n)` elements
+/// may be naïve-indistinguishable from the maximum, and each needs at least
+/// one expert look.
+pub fn expert_lower_bound(un: usize) -> u64 {
+    un as u64
+}
+
+/// Section 3.2: with per-comparison error `p < 1/2`, the probability that a
+/// `k`-worker majority vote picks the wrong element is at most
+/// `exp(-(1-2p)²·k / (8·(1-p)))`.
+///
+/// Returns 1.0 when `p >= 1/2` (the bound is vacuous there — no amount of
+/// voting helps, as in the paper's "n vs n+1 dots" example).
+///
+/// # Panics
+///
+/// Panics unless `0 <= p <= 1` and `k >= 1`.
+pub fn majority_error_bound(p: f64, k: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(k >= 1, "at least one voter");
+    if p >= 0.5 {
+        return 1.0;
+    }
+    let num = (1.0 - 2.0 * p).powi(2) * k as f64;
+    (-num / (8.0 * (1.0 - p))).exp()
+}
+
+/// Smallest odd number of voters whose [`majority_error_bound`] is at most
+/// `target`. Returns `None` if `p >= 1/2` (unreachable).
+pub fn voters_for_error(p: f64, target: f64) -> Option<u32> {
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    if p >= 0.5 {
+        return None;
+    }
+    // Solve exp(-(1-2p)² k / (8(1-p))) <= target for k, then round up to odd.
+    let k = (8.0 * (1.0 - p) * (1.0 / target).ln() / (1.0 - 2.0 * p).powi(2)).ceil() as u32;
+    let k = k.max(1);
+    Some(if k % 2 == 0 { k + 1 } else { k })
+}
+
+/// Lemma 5 / Theorem 1: an upper bound on the total monetary cost of
+/// Algorithm 1 with 2-MaxFind as Phase 2:
+/// `cn·4·n·un + ce·2·(2·un)^{3/2}` (Phase 2 runs on `|S| <= 2·un − 1`).
+pub fn algorithm1_cost_upper_bound(n: usize, un: usize, prices: &CostModel) -> f64 {
+    let naive = phase1_upper_bound(n, un) as f64;
+    let expert = two_maxfind_upper_bound(2 * un) as f64;
+    prices.naive * naive + prices.expert * expert
+}
+
+/// Cost of the 2-MaxFind-expert baseline in the worst case:
+/// `ce · 2·n^{3/2}`.
+pub fn two_maxfind_expert_cost_upper_bound(n: usize, prices: &CostModel) -> f64 {
+    prices.expert * two_maxfind_upper_bound(n) as f64
+}
+
+/// Cost of the 2-MaxFind-naïve baseline in the worst case:
+/// `cn · 2·n^{3/2}`.
+pub fn two_maxfind_naive_cost_upper_bound(n: usize, prices: &CostModel) -> f64 {
+    prices.naive * two_maxfind_upper_bound(n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase1_bounds_sandwich() {
+        for (n, un) in [(100, 5), (1000, 10), (5000, 50)] {
+            assert!(phase1_lower_bound(n, un) <= phase1_upper_bound(n, un));
+            assert_eq!(phase1_upper_bound(n, un), 4 * (n * un) as u64);
+            assert_eq!(phase1_lower_bound(n, un), (n * un) as u64 / 4);
+        }
+    }
+
+    #[test]
+    fn two_maxfind_bound_values() {
+        assert_eq!(two_maxfind_upper_bound(100), 2000);
+        assert_eq!(two_maxfind_upper_bound(0), 0);
+    }
+
+    #[test]
+    fn expert_lower_bounds_are_ordered() {
+        for un in [1usize, 10, 100, 1000] {
+            assert!(expert_lower_bound(un) <= expert_lower_bound_deterministic(un).max(un as u64));
+        }
+        assert_eq!(expert_lower_bound_deterministic(8), 16); // 8^(4/3) = 16
+    }
+
+    #[test]
+    fn majority_bound_decreases_in_k_and_increases_in_p() {
+        assert!(majority_error_bound(0.3, 21) < majority_error_bound(0.3, 5));
+        assert!(majority_error_bound(0.4, 11) > majority_error_bound(0.2, 11));
+        assert_eq!(majority_error_bound(0.5, 100), 1.0);
+        assert_eq!(majority_error_bound(0.7, 100), 1.0);
+    }
+
+    #[test]
+    fn majority_bound_is_a_valid_probability() {
+        for p in [0.0, 0.1, 0.25, 0.4, 0.49] {
+            for k in [1, 3, 7, 21, 101] {
+                let b = majority_error_bound(p, k);
+                assert!((0.0..=1.0).contains(&b), "p={p} k={k} bound={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_bound_is_actually_an_upper_bound_empirically() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (p, k) = (0.3, 15u32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 30_000;
+        let failures = (0..trials)
+            .filter(|_| {
+                let wrong = (0..k).filter(|_| rng.gen_bool(p)).count() as u32;
+                2 * wrong > k // strict majority wrong
+            })
+            .count();
+        let rate = failures as f64 / trials as f64;
+        assert!(
+            rate <= majority_error_bound(p, k) + 0.01,
+            "empirical {rate} vs bound {}",
+            majority_error_bound(p, k)
+        );
+    }
+
+    #[test]
+    fn voters_for_error_is_sufficient_and_odd() {
+        let k = voters_for_error(0.3, 0.01).unwrap();
+        assert_eq!(k % 2, 1);
+        assert!(majority_error_bound(0.3, k) <= 0.01);
+        // One fewer (odd) voter should not suffice, or k would not be minimal
+        // at odd granularity.
+        if k > 2 {
+            assert!(majority_error_bound(0.3, k - 2) > 0.01);
+        }
+        assert_eq!(voters_for_error(0.5, 0.01), None);
+    }
+
+    #[test]
+    fn cost_bounds_compose_prices() {
+        let m = CostModel::with_ratio(10.0);
+        let c = algorithm1_cost_upper_bound(1000, 10, &m);
+        assert_eq!(
+            c,
+            (4 * 1000 * 10) as f64 + 10.0 * two_maxfind_upper_bound(20) as f64
+        );
+        assert!(
+            two_maxfind_expert_cost_upper_bound(100, &m)
+                > two_maxfind_naive_cost_upper_bound(100, &m)
+        );
+    }
+}

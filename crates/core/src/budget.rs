@@ -1,0 +1,233 @@
+//! Budget-optimal majority voting (the problem of Mo et al. \[23\] in the
+//! paper's related work: "compute the number of workers whom to ask the
+//! same question such as to achieve the best accuracy with a fixed
+//! available budget").
+//!
+//! Under the probabilistic model with per-vote error `p < 1/2` and a
+//! budget of `B` comparisons for `m` independent questions, the planner
+//! trades breadth against depth: more votes per question reduce each
+//! question's error exponentially (the Section 3.2 Chernoff bound), but a
+//! fixed budget then covers fewer questions. [`plan_votes`] picks the odd
+//! vote count maximizing the expected number of correctly answered
+//! questions; [`budgeted_max_scan`] applies the plan to max-finding with a
+//! linear champion scan — the natural baseline for "what can naïve money
+//! buy without experts", and under the *threshold* model the demonstration
+//! that no budget is enough (the CARS lesson).
+
+use crate::bounds::majority_error_bound;
+use crate::element::ElementId;
+use crate::model::WorkerClass;
+use crate::oracle::{ComparisonCounts, ComparisonOracle};
+use serde::{Deserialize, Serialize};
+
+/// A voting plan for a batch of questions under a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VotePlan {
+    /// Odd number of votes per question.
+    pub votes_per_question: u32,
+    /// Questions answerable within the budget at that depth.
+    pub questions_covered: u64,
+    /// Upper bound on the per-question majority error.
+    pub per_question_error_bound: f64,
+}
+
+/// Picks the odd vote count `k` maximizing the expected number of
+/// correctly majority-answered questions, `min(B/k, m) · (1 − bound(p, k))`,
+/// for a budget of `budget` votes over `questions` questions with per-vote
+/// error `p`.
+///
+/// Returns `None` when `p >= 1/2` (no depth helps — the threshold-model
+/// plateau) or when the budget cannot afford one vote per question... in
+/// which case depth 1 over `budget` questions is still returned (partial
+/// coverage beats none); `None` is reserved for the hopeless-error case.
+///
+/// # Panics
+///
+/// Panics if `budget == 0` or `questions == 0`, or `p` is not a
+/// probability.
+pub fn plan_votes(budget: u64, questions: u64, p: f64) -> Option<VotePlan> {
+    assert!(budget > 0, "a budget of zero buys nothing");
+    assert!(questions > 0, "no questions to answer");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p >= 0.5 {
+        return None;
+    }
+    let mut best: Option<(f64, VotePlan)> = None;
+    let max_k = (budget / questions).clamp(1, 201);
+    let mut k = 1u32;
+    while u64::from(k) <= max_k.max(1) {
+        let covered = (budget / u64::from(k)).min(questions);
+        if covered == 0 {
+            break;
+        }
+        let err = majority_error_bound(p, k);
+        let expected_correct = covered as f64 * (1.0 - err);
+        let plan = VotePlan {
+            votes_per_question: k,
+            questions_covered: covered,
+            per_question_error_bound: err,
+        };
+        if best.is_none() || expected_correct > best.expect("checked").0 {
+            best = Some((expected_correct, plan));
+        }
+        k += 2; // odd depths only
+    }
+    best.map(|(_, plan)| plan)
+}
+
+/// Outcome of a budgeted max scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetedOutcome {
+    /// The returned element.
+    pub winner: ElementId,
+    /// The plan used.
+    pub plan: VotePlan,
+    /// Comparisons actually performed (within the budget).
+    pub comparisons: ComparisonCounts,
+}
+
+/// Max-finding by a champion scan with majority-voted comparisons, under a
+/// total budget of `budget` naïve votes.
+///
+/// The scan needs `n − 1` questions; [`plan_votes`] decides the depth. If
+/// the budget cannot cover every question even at depth 1, the scan runs
+/// until the money runs out and returns the champion so far (with partial
+/// coverage the guarantee is only over the scanned prefix).
+///
+/// Returns `None` when no useful plan exists (`p >= 1/2`).
+///
+/// # Panics
+///
+/// Panics if `elements` is empty or `budget == 0`.
+pub fn budgeted_max_scan<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    budget: u64,
+    p: f64,
+) -> Option<BudgetedOutcome> {
+    assert!(
+        !elements.is_empty(),
+        "max-finding needs at least one element"
+    );
+    let start = oracle.counts();
+    let questions = (elements.len() as u64).saturating_sub(1).max(1);
+    let plan = plan_votes(budget, questions, p)?;
+
+    let mut spent = 0u64;
+    let mut champion = elements[0];
+    for &e in &elements[1..] {
+        let k = u64::from(plan.votes_per_question);
+        if spent + k > budget {
+            break; // money ran out — return the champion so far
+        }
+        let mut wins = 0u32;
+        for _ in 0..plan.votes_per_question {
+            if oracle.compare(WorkerClass::Naive, champion, e) == champion {
+                wins += 1;
+            }
+        }
+        spent += k;
+        if 2 * wins < plan.votes_per_question {
+            champion = e;
+        }
+    }
+    Some(BudgetedOutcome {
+        winner: champion,
+        plan,
+        comparisons: oracle.counts() - start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Instance;
+    use crate::model::{ExpertModel, TiePolicy};
+    use crate::oracle::SimulatedOracle;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn plan_prefers_depth_when_budget_allows() {
+        // Plenty of budget: cover all questions at a useful depth.
+        let plan = plan_votes(10_000, 100, 0.3).unwrap();
+        assert_eq!(plan.questions_covered, 100);
+        assert!(plan.votes_per_question >= 3, "{plan:?}");
+        assert_eq!(plan.votes_per_question % 2, 1);
+        assert!(plan.per_question_error_bound < 0.2);
+    }
+
+    #[test]
+    fn plan_prefers_breadth_when_budget_is_tight() {
+        // Budget = questions: only depth 1 covers everything, and at
+        // p = 0.1 covering everything beats halving coverage for depth 3.
+        let plan = plan_votes(100, 100, 0.1).unwrap();
+        assert_eq!(plan.votes_per_question, 1);
+        assert_eq!(plan.questions_covered, 100);
+    }
+
+    #[test]
+    fn plan_trades_coverage_for_depth_at_high_error() {
+        // At p = 0.45 a single vote is nearly a coin flip; sacrificing
+        // coverage for depth pays.
+        let deep = plan_votes(300, 100, 0.45).unwrap();
+        assert!(deep.votes_per_question >= 3, "{deep:?}");
+    }
+
+    #[test]
+    fn hopeless_error_returns_none() {
+        assert_eq!(plan_votes(1000, 10, 0.5), None);
+        assert_eq!(plan_votes(1000, 10, 0.8), None);
+    }
+
+    #[test]
+    fn budgeted_scan_respects_the_budget() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = Instance::new((0..200).map(|_| rng.gen_range(0.0..1000.0)).collect());
+        let model = ExpertModel::new(0.0, 0.2, 0.0, 0.0, TiePolicy::UniformRandom);
+        let mut o = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(2));
+        let budget = 500;
+        let out = budgeted_max_scan(&mut o, &inst.ids(), budget, 0.2).unwrap();
+        assert!(out.comparisons.naive <= budget);
+        assert!(inst.ids().contains(&out.winner));
+    }
+
+    #[test]
+    fn bigger_budgets_buy_better_answers_on_average() {
+        let mut rank_sum = [0usize; 2];
+        let budgets = [250u64, 5_000];
+        let trials = 30;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            let inst = Instance::new((0..120).map(|_| rng.gen_range(0.0..1000.0)).collect());
+            for (bi, &b) in budgets.iter().enumerate() {
+                let model = ExpertModel::new(0.0, 0.35, 0.0, 0.0, TiePolicy::UniformRandom);
+                let mut o = SimulatedOracle::new(
+                    inst.clone(),
+                    model,
+                    StdRng::seed_from_u64(t * 7 + bi as u64),
+                );
+                let out = budgeted_max_scan(&mut o, &inst.ids(), b, 0.35).unwrap();
+                rank_sum[bi] += inst.rank(out.winner);
+            }
+        }
+        assert!(
+            rank_sum[1] < rank_sum[0],
+            "bigger budget should find better elements: {rank_sum:?}"
+        );
+    }
+
+    #[test]
+    fn no_budget_helps_below_the_threshold() {
+        // The CARS lesson: under the threshold model the per-vote "error"
+        // on indistinguishable pairs is 1/2, so the planner refuses, no
+        // matter the budget.
+        assert_eq!(plan_votes(u64::MAX / 2, 100, 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget of zero")]
+    fn zero_budget_panics() {
+        plan_votes(0, 10, 0.1);
+    }
+}

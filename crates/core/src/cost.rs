@@ -1,0 +1,128 @@
+//! The monetary cost model (paper Section 3.4).
+//!
+//! Workers are paid per comparison: `cn` for naïve workers and `ce ≫ cn`
+//! for experts. An algorithm performing `xn(n)` naïve and `xe(n)` expert
+//! comparisons costs `C(n) = xe(n)·ce + xn(n)·cn`. The paper's simulations
+//! normalize `cn = 1` and sweep `ce ∈ {10, 20, 50}` (Figures 5, 7, 9, 10),
+//! observing that the two-phase algorithm wins once `ce/cn ≳ 10`.
+
+use crate::model::WorkerClass;
+use crate::oracle::ComparisonCounts;
+use serde::{Deserialize, Serialize};
+
+/// Per-comparison prices for the two worker classes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one naïve comparison (`cn`).
+    pub naive: f64,
+    /// Price of one expert comparison (`ce`).
+    pub expert: f64,
+}
+
+impl CostModel {
+    /// Builds a cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either price is negative or non-finite. `expert < naive`
+    /// is permitted (the model does not require it), but the paper's regime
+    /// of interest is `ce ≫ cn`.
+    pub fn new(naive: f64, expert: f64) -> Self {
+        assert!(
+            naive.is_finite() && naive >= 0.0,
+            "cn must be a finite non-negative price"
+        );
+        assert!(
+            expert.is_finite() && expert >= 0.0,
+            "ce must be a finite non-negative price"
+        );
+        CostModel { naive, expert }
+    }
+
+    /// The paper's normalized settings: `cn = 1`, `ce = ratio`.
+    pub fn with_ratio(ratio: f64) -> Self {
+        Self::new(1.0, ratio)
+    }
+
+    /// The three expert prices swept by the paper's cost figures
+    /// (`ce ∈ {10, 20, 50}`, `cn = 1`).
+    pub fn paper_settings() -> [CostModel; 3] {
+        [
+            Self::with_ratio(10.0),
+            Self::with_ratio(20.0),
+            Self::with_ratio(50.0),
+        ]
+    }
+
+    /// Price of one comparison by `class`.
+    pub fn price(&self, class: WorkerClass) -> f64 {
+        match class {
+            WorkerClass::Naive => self.naive,
+            WorkerClass::Expert => self.expert,
+        }
+    }
+
+    /// The price ratio `ce / cn` (infinite if `cn = 0`).
+    pub fn ratio(&self) -> f64 {
+        self.expert / self.naive
+    }
+
+    /// Total monetary cost `C(n) = xe·ce + xn·cn` of a comparison tally.
+    pub fn cost(&self, counts: ComparisonCounts) -> f64 {
+        counts.naive as f64 * self.naive + counts.expert as f64 * self.expert
+    }
+}
+
+impl Default for CostModel {
+    /// `cn = 1`, `ce = 10`: the smallest ratio at which the paper finds the
+    /// two-phase algorithm worthwhile.
+    fn default() -> Self {
+        CostModel::with_ratio(10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(naive: u64, expert: u64) -> ComparisonCounts {
+        ComparisonCounts { naive, expert }
+    }
+
+    #[test]
+    fn cost_formula() {
+        let m = CostModel::new(1.0, 50.0);
+        assert_eq!(m.cost(counts(100, 3)), 100.0 + 150.0);
+        assert_eq!(m.cost(counts(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn price_by_class_and_ratio() {
+        let m = CostModel::with_ratio(20.0);
+        assert_eq!(m.price(WorkerClass::Naive), 1.0);
+        assert_eq!(m.price(WorkerClass::Expert), 20.0);
+        assert_eq!(m.ratio(), 20.0);
+    }
+
+    #[test]
+    fn paper_settings_are_the_three_ratios() {
+        let ratios: Vec<f64> = CostModel::paper_settings()
+            .iter()
+            .map(|m| m.ratio())
+            .collect();
+        assert_eq!(ratios, vec![10.0, 20.0, 50.0]);
+    }
+
+    #[test]
+    fn free_naive_workers_are_allowed() {
+        // The "naïve worker is a machine-learning model" scenario: cn = 0.
+        let m = CostModel::new(0.0, 100.0);
+        assert_eq!(m.cost(counts(1_000_000, 2)), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cn must be")]
+    fn negative_price_panics() {
+        CostModel::new(-1.0, 10.0);
+    }
+}

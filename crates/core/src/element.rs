@@ -1,0 +1,273 @@
+//! Elements, values, and problem instances.
+//!
+//! The paper (Section 3) works over a universe `U` with a value function
+//! `v : U -> R`. A problem instance is a multiset `L` of `n` elements; the
+//! goal is to return an element whose value closely approximates
+//! `V_L = max_{e in L} v(e)`. The *distance* between two elements is
+//! `d(u, v) = |v(u) - v(v)|`, and the error models in [`crate::model`] are
+//! all functions of this distance.
+//!
+//! Values are plain `f64`s here: the universe is abstract in the paper, and
+//! everything the algorithms observe flows through a
+//! [`ComparisonOracle`](crate::oracle::ComparisonOracle), never through the
+//! values directly. The values are only used (a) by the simulated workers and
+//! (b) by evaluation code computing the true rank of a returned element.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an element within an [`Instance`].
+///
+/// Ids are dense indices `0..n`. They are deliberately a newtype (rather than
+/// a bare `usize`) so that element identity cannot be confused with ranks,
+/// counts, or worker ids anywhere in the crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ElementId(pub u32);
+
+impl ElementId {
+    /// The id as a `usize` index into instance-sized arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The value of an element under the (hidden) value function `v`.
+pub type Value = f64;
+
+/// A max-finding problem instance: the multiset `L` together with its value
+/// function, restricted to `L`.
+///
+/// The instance is immutable after construction. Element ids are the indices
+/// `0..n` into the value vector, so `Instance` doubles as the ground truth
+/// used by simulated workers and by evaluation code.
+///
+/// Values must be finite; construction panics otherwise (a NaN value would
+/// make the distance function — and hence every error model — meaningless).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    values: Vec<Value>,
+}
+
+impl Instance {
+    /// Builds an instance from the values of its elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains a non-finite value.
+    pub fn new(values: Vec<Value>) -> Self {
+        assert!(
+            !values.is_empty(),
+            "an instance must contain at least one element"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "element values must be finite"
+        );
+        assert!(
+            values.len() <= u32::MAX as usize,
+            "instances are limited to 2^32 - 1 elements"
+        );
+        Instance { values }
+    }
+
+    /// Number of elements `n = |L|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The ids `0..n` of all elements, in id order.
+    pub fn ids(&self) -> Vec<ElementId> {
+        (0..self.values.len() as u32).map(ElementId).collect()
+    }
+
+    /// The value `v(e)` of element `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an element of this instance.
+    #[inline]
+    pub fn value(&self, e: ElementId) -> Value {
+        self.values[e.index()]
+    }
+
+    /// The distance `d(u, v) = |v(u) - v(v)|` between two elements.
+    #[inline]
+    pub fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        (self.value(u) - self.value(v)).abs()
+    }
+
+    /// All values, in id order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// An element `M` with maximum value (the smallest id among ties, so the
+    /// choice is deterministic).
+    pub fn max_element(&self) -> ElementId {
+        let mut best = 0u32;
+        for (i, &v) in self.values.iter().enumerate().skip(1) {
+            if v > self.values[best as usize] {
+                best = i as u32;
+            }
+        }
+        ElementId(best)
+    }
+
+    /// The maximum value `V_L`.
+    pub fn max_value(&self) -> Value {
+        self.value(self.max_element())
+    }
+
+    /// The true rank of `e`: `1` for a maximum element, and in general one
+    /// plus the number of elements with strictly greater value.
+    ///
+    /// This is the accuracy measure of the paper's Section 5.1 ("by accuracy
+    /// we mean the rank of the element returned; if the rank is 1 then we
+    /// have perfect accuracy").
+    pub fn rank(&self, e: ElementId) -> usize {
+        let ve = self.value(e);
+        1 + self.values.iter().filter(|&&v| v > ve).count()
+    }
+
+    /// `u_δ(n) = |{ e : d(M, e) <= δ }|` — the number of elements within
+    /// distance `δ` of the maximum element, *including* the maximum itself
+    /// (as in the paper's definition of `u_n(n)`, since `d(M, M) = 0`).
+    pub fn indistinguishable_from_max(&self, delta: f64) -> usize {
+        let m = self.max_value();
+        self.values
+            .iter()
+            .filter(|&&v| (m - v).abs() <= delta)
+            .count()
+    }
+
+    /// The number of elements within distance `δ` of element `e`
+    /// (including `e` itself).
+    pub fn indistinguishable_from(&self, e: ElementId, delta: f64) -> usize {
+        let ve = self.value(e);
+        self.values
+            .iter()
+            .filter(|&&v| (ve - v).abs() <= delta)
+            .count()
+    }
+
+    /// True if `u` and `v` are indistinguishable at threshold `δ`, i.e.
+    /// `d(u, v) <= δ`.
+    #[inline]
+    pub fn is_indistinguishable(&self, u: ElementId, v: ElementId, delta: f64) -> bool {
+        self.distance(u, v) <= delta
+    }
+
+    /// Ids sorted by decreasing value (rank order; ties by increasing id).
+    pub fn ids_by_rank(&self) -> Vec<ElementId> {
+        let mut ids = self.ids();
+        ids.sort_by(|a, b| {
+            self.value(*b)
+                .partial_cmp(&self.value(*a))
+                .expect("values are finite")
+                .then(a.cmp(b))
+        });
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::new(vec![3.0, 1.0, 4.0, 1.5, 4.0, 0.5])
+    }
+
+    #[test]
+    fn n_and_ids() {
+        let i = inst();
+        assert_eq!(i.n(), 6);
+        assert_eq!(i.ids().len(), 6);
+        assert_eq!(i.ids()[0], ElementId(0));
+        assert_eq!(i.ids()[5], ElementId(5));
+    }
+
+    #[test]
+    fn value_and_distance() {
+        let i = inst();
+        assert_eq!(i.value(ElementId(2)), 4.0);
+        assert_eq!(i.distance(ElementId(0), ElementId(1)), 2.0);
+        assert_eq!(i.distance(ElementId(1), ElementId(0)), 2.0);
+        assert_eq!(i.distance(ElementId(2), ElementId(4)), 0.0);
+    }
+
+    #[test]
+    fn max_element_prefers_smallest_id_among_ties() {
+        let i = inst();
+        // values 4.0 at ids 2 and 4; smallest id wins.
+        assert_eq!(i.max_element(), ElementId(2));
+        assert_eq!(i.max_value(), 4.0);
+    }
+
+    #[test]
+    fn rank_counts_strictly_greater() {
+        let i = inst();
+        assert_eq!(i.rank(ElementId(2)), 1);
+        assert_eq!(i.rank(ElementId(4)), 1); // tied for the max
+        assert_eq!(i.rank(ElementId(0)), 3); // two elements strictly above 3.0
+        assert_eq!(i.rank(ElementId(5)), 6);
+    }
+
+    #[test]
+    fn indistinguishable_from_max_includes_max() {
+        let i = inst();
+        assert_eq!(i.indistinguishable_from_max(0.0), 2); // both 4.0s
+        assert_eq!(i.indistinguishable_from_max(1.0), 3); // plus 3.0
+        assert_eq!(i.indistinguishable_from_max(10.0), 6);
+    }
+
+    #[test]
+    fn indistinguishable_from_arbitrary_element() {
+        let i = inst();
+        assert_eq!(i.indistinguishable_from(ElementId(1), 0.5), 3); // 1.0, 1.5, 0.5
+        assert!(i.is_indistinguishable(ElementId(1), ElementId(3), 0.5));
+        assert!(!i.is_indistinguishable(ElementId(1), ElementId(0), 0.5));
+    }
+
+    #[test]
+    fn ids_by_rank_is_sorted_desc() {
+        let i = inst();
+        let order = i.ids_by_rank();
+        assert_eq!(order[0], ElementId(2));
+        assert_eq!(order[1], ElementId(4));
+        assert_eq!(order[2], ElementId(0));
+        assert_eq!(order[5], ElementId(5));
+        for w in order.windows(2) {
+            assert!(i.value(w[0]) >= i.value(w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_instance_panics() {
+        Instance::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_value_panics() {
+        Instance::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn singleton_instance() {
+        let i = Instance::new(vec![7.0]);
+        assert_eq!(i.max_element(), ElementId(0));
+        assert_eq!(i.rank(ElementId(0)), 1);
+        assert_eq!(i.indistinguishable_from_max(0.0), 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Estimating `un(n)` and `perr` from training (gold) data
+//! (paper Section 4.4, Algorithm 4).
+//!
+//! The algorithms of Section 4 take `un(n)` as a parameter. Without extra
+//! assumptions the model makes `un(n)` unlearnable (workers may answer
+//! correctly below the threshold, revealing nothing about `δn`), so the
+//! paper adopts:
+//!
+//! * **Assumption 1** — the training set is statistically like the real
+//!   data: `(n/n̂)·un(n̂)` estimates `un(n)`;
+//! * **Assumption 2** — below the threshold, workers err with probability
+//!   `perr > 0` (e.g. `perr ≈ 0.4` from the CARS plateau), independently.
+//!
+//! Algorithm 4 compares every training element against the known training
+//! maximum `M̂` once and returns
+//! `(n/n̂)·max(c·ln n, 2·#errors / perr)`, an upper bound on `un(n)` whp.
+//! Overestimation costs money, never correctness.
+
+use crate::element::{ElementId, Instance};
+use crate::model::WorkerClass;
+use crate::oracle::ComparisonOracle;
+use serde::{Deserialize, Serialize};
+
+/// A training ("gold") set: an instance whose maximum element is known to
+/// the task owner.
+///
+/// "Training data like this are typically used in crowdsourcing platforms
+/// to evaluate the workers and are sometimes referred to as gold data."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSet {
+    instance: Instance,
+    max: ElementId,
+}
+
+impl TrainingSet {
+    /// Builds a training set; the maximum is derived from the instance's
+    /// ground truth (the owner knows it — that is what makes it gold data).
+    pub fn new(instance: Instance) -> Self {
+        let max = instance.max_element();
+        TrainingSet { instance, max }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The known maximum `M̂`.
+    pub fn max(&self) -> ElementId {
+        self.max
+    }
+
+    /// Training-set size `n̂`.
+    pub fn n_hat(&self) -> usize {
+        self.instance.n()
+    }
+}
+
+/// Configuration for [`estimate_un`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimationConfig {
+    /// Assumption 2's below-threshold error probability `perr`
+    /// (the paper suggests `≈ 0.4` from the CARS accuracy plateau).
+    pub perr: f64,
+    /// The confidence constant `c` in the `c·ln n` floor.
+    pub c: f64,
+}
+
+impl EstimationConfig {
+    /// Builds a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < perr < 1` and `c > 0`.
+    pub fn new(perr: f64, c: f64) -> Self {
+        assert!(perr > 0.0 && perr < 1.0, "perr must be in (0, 1)");
+        assert!(c > 0.0, "the confidence constant must be positive");
+        EstimationConfig { perr, c }
+    }
+}
+
+impl Default for EstimationConfig {
+    /// `perr = 0.4` (the paper's CARS reading of Figure 2b) and `c = 1`.
+    fn default() -> Self {
+        EstimationConfig::new(0.4, 1.0)
+    }
+}
+
+/// Outcome of an [`estimate_un`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnEstimate {
+    /// The estimated upper bound on `un(n)` (at least 1 — the maximum is
+    /// always indistinguishable from itself).
+    pub un: usize,
+    /// Errors observed among the training comparisons.
+    pub errors: usize,
+    /// Training comparisons performed (`n̂ − 1`).
+    pub comparisons: usize,
+}
+
+/// Algorithm 4: estimates an upper bound on `un(n)` for a target input of
+/// size `n`, by comparing each training element against the training
+/// maximum `M̂` with one naïve worker.
+///
+/// A worker "makes an error" when she returns the element with the lower
+/// value — for these pairs, the element other than `M̂` (value ties cannot
+/// occur against a *strict* maximum, and `M̂` itself is skipped).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn estimate_un<O: ComparisonOracle>(
+    oracle: &mut O,
+    training: &TrainingSet,
+    config: &EstimationConfig,
+    n: usize,
+) -> UnEstimate {
+    assert!(n > 0, "the target input size must be positive");
+    let m_hat = training.max();
+    let mut errors = 0usize;
+    let mut comparisons = 0usize;
+    for x in training.instance().ids() {
+        if x == m_hat {
+            continue;
+        }
+        comparisons += 1;
+        if oracle.compare(WorkerClass::Naive, x, m_hat) == x {
+            errors += 1;
+        }
+    }
+    let n_hat = training.n_hat() as f64;
+    let floor = config.c * (n as f64).ln();
+    let empirical = 2.0 * errors as f64 / config.perr;
+    let scaled = (n as f64 / n_hat) * floor.max(empirical);
+    UnEstimate {
+        un: (scaled.ceil() as usize).max(1),
+        errors,
+        comparisons,
+    }
+}
+
+/// Outcome of a [`estimate_perr`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerrEstimate {
+    /// The estimated below-threshold error probability, or `None` if every
+    /// sampled pair reached consensus (no below-threshold pair observed).
+    pub perr: Option<f64>,
+    /// Pairs whose votes reached consensus (treated as above-threshold and
+    /// excluded from the estimate).
+    pub consensus_pairs: usize,
+    /// Pairs contributing to the estimate.
+    pub contested_pairs: usize,
+    /// Total comparisons performed.
+    pub comparisons: usize,
+}
+
+/// Estimates `perr` from training data (Section 4.4's discussion): each
+/// listed pair is judged by `votes` naïve workers; unanimous pairs are
+/// taken as above-threshold (up to a residual probability exponentially
+/// small in `votes`) and excluded; for the remaining (below-threshold)
+/// pairs the fraction of wrong votes estimates `perr`.
+///
+/// # Panics
+///
+/// Panics if `votes < 2` (consensus over one vote is vacuous) or if a pair
+/// repeats an element.
+pub fn estimate_perr<O: ComparisonOracle>(
+    oracle: &mut O,
+    training: &TrainingSet,
+    pairs: &[(ElementId, ElementId)],
+    votes: u32,
+) -> PerrEstimate {
+    assert!(votes >= 2, "consensus needs at least two votes");
+    let inst = training.instance();
+    let mut consensus_pairs = 0usize;
+    let mut contested_pairs = 0usize;
+    let mut wrong_votes = 0usize;
+    let mut contested_votes = 0usize;
+    let mut comparisons = 0usize;
+
+    for &(k, j) in pairs {
+        let truth = if inst.value(k) >= inst.value(j) { k } else { j };
+        let mut answers = Vec::with_capacity(votes as usize);
+        for _ in 0..votes {
+            answers.push(oracle.compare(WorkerClass::Naive, k, j));
+            comparisons += 1;
+        }
+        let first = answers[0];
+        if answers.iter().all(|&a| a == first) {
+            consensus_pairs += 1;
+        } else {
+            contested_pairs += 1;
+            contested_votes += answers.len();
+            wrong_votes += answers.iter().filter(|&&a| a != truth).count();
+        }
+    }
+
+    PerrEstimate {
+        perr: (contested_votes > 0).then(|| wrong_votes as f64 / contested_votes as f64),
+        consensus_pairs,
+        contested_pairs,
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ExpertModel, TiePolicy};
+    use crate::oracle::{PerfectOracle, SimulatedOracle};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training_with_cluster(n_hat: usize, cluster: usize, delta: f64, seed: u64) -> TrainingSet {
+        // `cluster` elements within `delta` of the max (including the max),
+        // the rest far below.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = vec![1000.0];
+        for _ in 1..cluster {
+            values.push(1000.0 - rng.gen_range(0.0..delta));
+        }
+        for _ in cluster..n_hat {
+            values.push(rng.gen_range(0.0..(1000.0 - 2.0 * delta)));
+        }
+        TrainingSet::new(Instance::new(values))
+    }
+
+    fn coin_flip_oracle(ts: &TrainingSet, delta: f64, seed: u64) -> SimulatedOracle<StdRng> {
+        let model = ExpertModel::exact(delta, 0.0, TiePolicy::UniformRandom);
+        SimulatedOracle::new(ts.instance().clone(), model, StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn training_set_knows_its_max() {
+        let ts = TrainingSet::new(Instance::new(vec![1.0, 9.0, 3.0]));
+        assert_eq!(ts.max(), ElementId(1));
+        assert_eq!(ts.n_hat(), 3);
+    }
+
+    #[test]
+    fn estimate_is_an_upper_bound_on_true_un() {
+        // Below-threshold comparisons flip a fair coin, so perr = 0.5.
+        let delta = 10.0;
+        let mut upper_bound_held = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let ts = training_with_cluster(200, 20, delta, seed);
+            let true_un = ts.instance().indistinguishable_from_max(delta);
+            let mut o = coin_flip_oracle(&ts, delta, seed + 100);
+            let cfg = EstimationConfig::new(0.5, 1.0);
+            let est = estimate_un(&mut o, &ts, &cfg, 200);
+            if est.un >= true_un {
+                upper_bound_held += 1;
+            }
+        }
+        // "whp": the Chernoff argument allows rare failures.
+        assert!(
+            upper_bound_held >= trials - 2,
+            "{upper_bound_held}/{trials} held"
+        );
+    }
+
+    #[test]
+    fn estimate_scales_with_target_size() {
+        let delta = 10.0;
+        let ts = training_with_cluster(200, 20, delta, 1);
+        let mut o1 = coin_flip_oracle(&ts, delta, 2);
+        let mut o2 = coin_flip_oracle(&ts, delta, 2);
+        let cfg = EstimationConfig::new(0.5, 1.0);
+        let small = estimate_un(&mut o1, &ts, &cfg, 200);
+        let large = estimate_un(&mut o2, &ts, &cfg, 2000);
+        assert!(
+            large.un > small.un,
+            "scaling by n/n̂ failed: {small:?} vs {large:?}"
+        );
+    }
+
+    #[test]
+    fn perfect_workers_trigger_the_log_floor() {
+        let ts = TrainingSet::new(Instance::new((0..100).map(|i| i as f64 * 100.0).collect()));
+        let mut o = PerfectOracle::new(ts.instance().clone());
+        let est = estimate_un(&mut o, &ts, &EstimationConfig::default(), 100);
+        assert_eq!(est.errors, 0);
+        // max(c ln 100, 0) = ln 100 ≈ 4.6 → 5.
+        assert_eq!(est.un, (100f64.ln()).ceil() as usize);
+        assert_eq!(est.comparisons, 99);
+    }
+
+    #[test]
+    fn estimate_perr_recovers_the_coin() {
+        let delta = 10.0;
+        let ts = training_with_cluster(100, 50, delta, 3);
+        let inst = ts.instance();
+        // Pairs inside the cluster (below threshold) and far pairs.
+        let mut pairs = Vec::new();
+        for i in 1..40u32 {
+            pairs.push((ElementId(0), ElementId(i))); // within the cluster
+        }
+        for i in 60..90u32 {
+            pairs.push((ElementId(0), ElementId(i))); // far below
+        }
+        let mut o = coin_flip_oracle(&ts, delta, 4);
+        let est = estimate_perr(&mut o, &ts, &pairs, 9);
+        // Far pairs reach consensus; cluster pairs are coin flips (perr 0.5).
+        assert!(est.consensus_pairs >= 30, "{est:?}");
+        assert!(est.contested_pairs >= 30, "{est:?}");
+        let perr = est.perr.expect("contested pairs exist");
+        assert!((perr - 0.5).abs() < 0.08, "estimated perr {perr}");
+        let _ = inst;
+    }
+
+    #[test]
+    fn estimate_perr_all_consensus_returns_none() {
+        let ts = TrainingSet::new(Instance::new(vec![0.0, 100.0, 200.0]));
+        let mut o = PerfectOracle::new(ts.instance().clone());
+        let pairs = [(ElementId(0), ElementId(1)), (ElementId(1), ElementId(2))];
+        let est = estimate_perr(&mut o, &ts, &pairs, 5);
+        assert_eq!(est.perr, None);
+        assert_eq!(est.consensus_pairs, 2);
+        assert_eq!(est.comparisons, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "perr must be in (0, 1)")]
+    fn config_rejects_zero_perr() {
+        EstimationConfig::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two votes")]
+    fn perr_rejects_single_vote() {
+        let ts = TrainingSet::new(Instance::new(vec![0.0, 1.0]));
+        let mut o = PerfectOracle::new(ts.instance().clone());
+        estimate_perr(&mut o, &ts, &[(ElementId(0), ElementId(1))], 1);
+    }
+}

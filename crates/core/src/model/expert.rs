@@ -1,0 +1,167 @@
+//! The two-class threshold model with experts (paper Section 3.3).
+//!
+//! The workforce `W` is split into naïve workers following `T(δn, εn)` and
+//! expert workers following `T(δe, εe)`, with `δn ≫ δe` and `εe <= εn`
+//! (possibly `εe = 0`). Elements within `δn` of each other are
+//! *naïve-indistinguishable*; within `δe`, *expert-indistinguishable* —
+//! and expert-indistinguishable implies naïve-indistinguishable.
+//!
+//! The defining property of the model is that an expert's answer **cannot be
+//! simulated by aggregating naïve answers**: below `δn`, more naïve votes do
+//! not increase accuracy. Which workers are experts is known in advance
+//! (they are hired *because* they are experts).
+
+use super::{ErrorModel, ThresholdModel, TiePolicy, WorkerClass};
+use crate::element::{ElementId, Value};
+use rand::RngCore;
+
+/// A paired naïve/expert worker population.
+///
+/// This is a convenience for simulations that need "a worker of class `c`":
+/// it owns one threshold model per class and dispatches on
+/// [`WorkerClass`]. Construction enforces the model's defining inequalities
+/// `δe <= δn` and `εe <= εn`.
+#[derive(Debug, Clone)]
+pub struct ExpertModel {
+    naive: ThresholdModel,
+    expert: ThresholdModel,
+}
+
+impl ExpertModel {
+    /// Builds the two-class model from its four parameters, with a shared
+    /// tie policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `δe > δn` or `εe > εn` (the class called "expert" must
+    /// actually be at least as good), or if any single-model invariant of
+    /// [`ThresholdModel::new`] is violated.
+    pub fn new(delta_n: f64, epsilon_n: f64, delta_e: f64, epsilon_e: f64, tie: TiePolicy) -> Self {
+        assert!(
+            delta_e <= delta_n,
+            "experts must discern at least as well: δe <= δn"
+        );
+        assert!(
+            epsilon_e <= epsilon_n,
+            "experts must err at most as often: εe <= εn"
+        );
+        ExpertModel {
+            naive: ThresholdModel::new(delta_n, epsilon_n, tie),
+            expert: ThresholdModel::new(delta_e, epsilon_e, tie),
+        }
+    }
+
+    /// The `εn = εe = 0` model used throughout the paper's analysis.
+    pub fn exact(delta_n: f64, delta_e: f64, tie: TiePolicy) -> Self {
+        Self::new(delta_n, 0.0, delta_e, 0.0, tie)
+    }
+
+    /// Builds the model from two independently configured threshold models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expert model is not at least as discerning and accurate
+    /// as the naïve one.
+    pub fn from_models(naive: ThresholdModel, expert: ThresholdModel) -> Self {
+        assert!(expert.delta() <= naive.delta(), "δe <= δn required");
+        assert!(expert.epsilon() <= naive.epsilon(), "εe <= εn required");
+        ExpertModel { naive, expert }
+    }
+
+    /// The model followed by workers of `class`.
+    pub fn model(&self, class: WorkerClass) -> &ThresholdModel {
+        match class {
+            WorkerClass::Naive => &self.naive,
+            WorkerClass::Expert => &self.expert,
+        }
+    }
+
+    /// Mutable access, for running comparisons.
+    pub fn model_mut(&mut self, class: WorkerClass) -> &mut ThresholdModel {
+        match class {
+            WorkerClass::Naive => &mut self.naive,
+            WorkerClass::Expert => &mut self.expert,
+        }
+    }
+
+    /// The discernment threshold of `class` (`δn` or `δe`).
+    pub fn delta(&self, class: WorkerClass) -> f64 {
+        self.model(class).delta()
+    }
+
+    /// The residual error of `class` (`εn` or `εe`).
+    pub fn epsilon(&self, class: WorkerClass) -> f64 {
+        self.model(class).epsilon()
+    }
+
+    /// Runs one comparison as a worker of `class`.
+    pub fn compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        vk: Value,
+        j: ElementId,
+        vj: Value,
+        rng: &mut dyn RngCore,
+    ) -> ElementId {
+        self.model_mut(class).compare(k, vk, j, vj, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const A: ElementId = ElementId(0);
+    const B: ElementId = ElementId(1);
+
+    #[test]
+    fn expert_discriminates_where_naive_cannot() {
+        // d(A, B) = 2: naïve-indistinguishable (δn = 5) but
+        // expert-distinguishable (δe = 1).
+        let mut m = ExpertModel::exact(5.0, 1.0, TiePolicy::FavorLower);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.compare(WorkerClass::Naive, A, 3.0, B, 1.0, &mut rng), B);
+        assert_eq!(m.compare(WorkerClass::Expert, A, 3.0, B, 1.0, &mut rng), A);
+    }
+
+    #[test]
+    fn expert_indistinguishable_implies_naive_indistinguishable() {
+        let m = ExpertModel::exact(5.0, 1.0, TiePolicy::UniformRandom);
+        assert!(m.delta(WorkerClass::Expert) <= m.delta(WorkerClass::Naive));
+    }
+
+    #[test]
+    fn class_accessors() {
+        let m = ExpertModel::new(5.0, 0.3, 1.0, 0.1, TiePolicy::UniformRandom);
+        assert_eq!(m.delta(WorkerClass::Naive), 5.0);
+        assert_eq!(m.delta(WorkerClass::Expert), 1.0);
+        assert_eq!(m.epsilon(WorkerClass::Naive), 0.3);
+        assert_eq!(m.epsilon(WorkerClass::Expert), 0.1);
+    }
+
+    #[test]
+    fn from_models_accepts_valid_pair() {
+        let n = ThresholdModel::exact(5.0, TiePolicy::UniformRandom);
+        let e = ThresholdModel::exact(0.5, TiePolicy::Persistent);
+        let m = ExpertModel::from_models(n, e);
+        assert_eq!(
+            m.model(WorkerClass::Expert).tie_policy(),
+            TiePolicy::Persistent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "δe <= δn")]
+    fn rejects_inverted_deltas() {
+        ExpertModel::exact(1.0, 5.0, TiePolicy::UniformRandom);
+    }
+
+    #[test]
+    #[should_panic(expected = "εe <= εn")]
+    fn rejects_inverted_epsilons() {
+        ExpertModel::new(5.0, 0.1, 1.0, 0.3, TiePolicy::UniformRandom);
+    }
+}

@@ -1,0 +1,137 @@
+//! Worker error models (paper Sections 3.2–3.3).
+//!
+//! A worker presented with a pair `(k, j)` "computes" a comparison function
+//! `m_w(k, j)` returning the element she believes has the larger value. How
+//! `m_w` relates to the true values is governed by an error model:
+//!
+//! * [`ProbabilisticModel`] — the classical model of Feige et al.: the worker
+//!   errs with a fixed probability `p`, independently per comparison.
+//! * [`ThresholdModel`] — the paper's `T(δ, ε)` model: above distance `δ`
+//!   the worker errs with probability `ε`; at distance `≤ δ` the answer is
+//!   *arbitrary* (see [`TiePolicy`]). The probabilistic model is exactly
+//!   `T(0, p)`.
+//! * [`ExpertModel`] — the two-class model: naïve workers follow
+//!   `T(δn, εn)`, experts follow `T(δe, εe)` with `δe ≪ δn`, `εe ≤ εn`.
+//!
+//! Models are deliberately *stateful* (`&mut self`): the threshold model's
+//! [`TiePolicy::Persistent`] remembers its arbitrary choices, matching the
+//! paper's remark that a worker asked the same hard question repeatedly "may
+//! return k on some occasions and j in others, **or always k or always j**".
+
+mod expert;
+mod probabilistic;
+mod threshold;
+
+pub use expert::ExpertModel;
+pub use probabilistic::ProbabilisticModel;
+pub use threshold::{ThresholdModel, TiePolicy};
+
+use crate::element::{ElementId, Value};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The class of worker performing a comparison.
+///
+/// The paper's cost model (Section 3.4) charges `cn` per naïve comparison
+/// and `ce ≫ cn` per expert comparison, and its algorithm uses the classes
+/// in different phases; every oracle call is therefore tagged with a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerClass {
+    /// Cheap, plentiful workers with coarse discernment `δn`.
+    Naive,
+    /// Scarce, expensive workers with fine discernment `δe ≪ δn`.
+    Expert,
+}
+
+impl WorkerClass {
+    /// Both classes, naïve first.
+    pub const ALL: [WorkerClass; 2] = [WorkerClass::Naive, WorkerClass::Expert];
+}
+
+impl std::fmt::Display for WorkerClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerClass::Naive => write!(f, "naive"),
+            WorkerClass::Expert => write!(f, "expert"),
+        }
+    }
+}
+
+/// A worker error model: decides the outcome of a single pairwise comparison.
+///
+/// Implementations receive the ground-truth values (they simulate the human,
+/// who "knows" — imperfectly — the real world) and an RNG, and return the id
+/// of the element the worker declares the winner. The algorithms in
+/// [`crate::algorithms`] never see values; they only see winners through a
+/// [`ComparisonOracle`](crate::oracle::ComparisonOracle).
+pub trait ErrorModel {
+    /// The element the worker returns when asked to compare `k` and `j`.
+    ///
+    /// `k` and `j` must be distinct *ids* (the paper allows `d(k, j) = 0`,
+    /// i.e. equal values, but a worker is never handed two copies of the same
+    /// element).
+    fn compare(
+        &mut self,
+        k: ElementId,
+        vk: Value,
+        j: ElementId,
+        vj: Value,
+        rng: &mut dyn RngCore,
+    ) -> ElementId;
+
+    /// The discernment threshold `δ` of this model, if it has one
+    /// (`0` for the probabilistic model).
+    fn delta(&self) -> f64;
+
+    /// The residual error probability `ε` of this model.
+    fn epsilon(&self) -> f64;
+}
+
+/// Returns the element with the truly larger value (ties: smaller id, so the
+/// outcome is deterministic). Shared by the model implementations and
+/// available to downstream crates building custom [`ErrorModel`]s.
+#[inline]
+pub fn true_winner(k: ElementId, vk: Value, j: ElementId, vj: Value) -> ElementId {
+    if vk > vj || (vk == vj && k < j) {
+        k
+    } else {
+        j
+    }
+}
+
+/// Returns the element with the truly smaller value — the "wrong" answer.
+#[inline]
+pub fn true_loser(k: ElementId, vk: Value, j: ElementId, vj: Value) -> ElementId {
+    if true_winner(k, vk, j, vj) == k {
+        j
+    } else {
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_class_display() {
+        assert_eq!(WorkerClass::Naive.to_string(), "naive");
+        assert_eq!(WorkerClass::Expert.to_string(), "expert");
+    }
+
+    #[test]
+    fn true_winner_and_loser_are_complementary() {
+        let (a, b) = (ElementId(0), ElementId(1));
+        assert_eq!(true_winner(a, 2.0, b, 1.0), a);
+        assert_eq!(true_loser(a, 2.0, b, 1.0), b);
+        assert_eq!(true_winner(a, 1.0, b, 2.0), b);
+        assert_eq!(true_loser(a, 1.0, b, 2.0), a);
+    }
+
+    #[test]
+    fn true_winner_breaks_value_ties_by_id() {
+        let (a, b) = (ElementId(3), ElementId(7));
+        assert_eq!(true_winner(a, 5.0, b, 5.0), a);
+        assert_eq!(true_winner(b, 5.0, a, 5.0), a);
+    }
+}

@@ -1,0 +1,136 @@
+//! The probabilistic error model (paper Section 3.2, "Probabilistic Error
+//! Model").
+//!
+//! "A common approach is to assume that an error occurs with some
+//! probability: when a worker is given two elements to compare, she chooses
+//! the one with highest value with some probability, and the one with lower
+//! value with the residual probability, independently of any other
+//! comparison." This is the model of Feige et al. \[11\] and the basic model
+//! of Davidson et al. \[8\], and the `δ = 0` special case of the threshold
+//! model.
+
+use super::{true_loser, true_winner, ErrorModel};
+use crate::element::{ElementId, Value};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// A worker who errs with fixed probability `p` on every comparison,
+/// independently.
+///
+/// With `p < 1/2`, majority voting over `k` independent workers drives the
+/// error probability down exponentially in `k` (the paper's bound
+/// `exp(-(1-2p)^2 k / (8(1-p)))`, implemented in
+/// [`crate::bounds::majority_error_bound`]) — this is the wisdom-of-crowds
+/// regime observed on the DOTS dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilisticModel {
+    p: f64,
+}
+
+impl ProbabilisticModel {
+    /// A model with error probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`. Values `p >= 1/2` are permitted — they
+    /// model the paper's "n dots vs n+1 dots" example where no amount of
+    /// voting helps — but the algorithms' guarantees assume `p < 1/2`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "error probability must be in [0, 1]"
+        );
+        ProbabilisticModel { p }
+    }
+
+    /// A perfect comparator (`p = 0`).
+    pub fn perfect() -> Self {
+        ProbabilisticModel { p: 0.0 }
+    }
+
+    /// The error probability `p`.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl ErrorModel for ProbabilisticModel {
+    fn compare(
+        &mut self,
+        k: ElementId,
+        vk: Value,
+        j: ElementId,
+        vj: Value,
+        rng: &mut dyn RngCore,
+    ) -> ElementId {
+        if self.p > 0.0 && rng.gen_bool(self.p) {
+            true_loser(k, vk, j, vj)
+        } else {
+            true_winner(k, vk, j, vj)
+        }
+    }
+
+    fn delta(&self) -> f64 {
+        0.0
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const A: ElementId = ElementId(0);
+    const B: ElementId = ElementId(1);
+
+    #[test]
+    fn perfect_model_never_errs() {
+        let mut m = ProbabilisticModel::perfect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.compare(A, 2.0, B, 1.0, &mut rng), A);
+            assert_eq!(m.compare(A, 1.0, B, 2.0, &mut rng), B);
+        }
+    }
+
+    #[test]
+    fn p_one_always_errs() {
+        let mut m = ProbabilisticModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(m.compare(A, 2.0, B, 1.0, &mut rng), B);
+        }
+    }
+
+    #[test]
+    fn empirical_error_rate_matches_p() {
+        let mut m = ProbabilisticModel::new(0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 20_000;
+        let errors = (0..trials)
+            .filter(|_| m.compare(A, 2.0, B, 1.0, &mut rng) == B)
+            .count();
+        let rate = errors as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed error rate {rate}");
+    }
+
+    #[test]
+    fn delta_is_zero_epsilon_is_p() {
+        let m = ProbabilisticModel::new(0.25);
+        assert_eq!(m.delta(), 0.0);
+        assert_eq!(m.epsilon(), 0.25);
+        assert_eq!(m.p(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn rejects_invalid_probability() {
+        ProbabilisticModel::new(1.5);
+    }
+}

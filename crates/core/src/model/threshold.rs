@@ -1,0 +1,283 @@
+//! The threshold error model `T(δ, ε)` (paper Section 3.2, "Threshold
+//! Model"), extending Ajtai et al. \[2\] and formalizing the psychometric
+//! notion of a *Just Noticeable Difference* (Weber–Fechner, Thurstone).
+//!
+//! Whenever a worker compares `k` and `j`:
+//!
+//! * if `d(k, j) > δ`, she returns the truly larger element with probability
+//!   `1 − ε` and the smaller one with probability `ε`;
+//! * if `d(k, j) <= δ` (the elements are *indistinguishable* to her), she
+//!   answers **arbitrarily** — and crucially, asking more workers does not
+//!   help, which is the accuracy plateau the paper measured on CARS.
+//!
+//! "Arbitrarily" is not "uniformly at random": the paper explicitly allows a
+//! worker to always return `k`, always return `j`, or mix. [`TiePolicy`]
+//! makes that choice pluggable, including adversarial policies used by the
+//! worst-case experiments (Figures 4, 9, 10).
+
+use super::{true_loser, true_winner, ErrorModel};
+use crate::element::{ElementId, Value};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a threshold worker answers when the two elements are within her
+/// discernment threshold (`d(k, j) <= δ`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TiePolicy {
+    /// Each indistinguishable comparison is a fresh fair coin flip.
+    #[default]
+    UniformRandom,
+    /// The worker makes an arbitrary (random) choice the *first* time she
+    /// sees a pair and sticks to it forever — "always k or always j".
+    Persistent,
+    /// Adversarial: the truly smaller element always wins. This is the
+    /// worst case for max-finding (it hides the maximum) and the policy used
+    /// to realize the paper's worst-case cost curves.
+    FavorLower,
+    /// The truly larger element always wins (a best case: the threshold
+    /// never actually hurts).
+    FavorHigher,
+    /// The element with the smaller id always wins — arbitrary but
+    /// value-independent, useful to exercise "consistent yet uninformative"
+    /// behaviour in tests.
+    FavorSmallerId,
+}
+
+/// A worker following the threshold model `T(δ, ε)`.
+///
+/// `ThresholdModel::new(0.0, p, _)` behaves exactly like
+/// [`ProbabilisticModel`](super::ProbabilisticModel) with error `p` when
+/// values are distinct (footnote 5 of the paper: "the probabilistic error
+/// model is a special case of the threshold model when δ = 0"); equal-valued
+/// pairs have `d = 0 <= δ` and fall under the tie policy, which is the only
+/// sensible reading since no comparator can order equal values.
+#[derive(Debug, Clone)]
+pub struct ThresholdModel {
+    delta: f64,
+    epsilon: f64,
+    tie_policy: TiePolicy,
+    /// Remembered arbitrary choices for [`TiePolicy::Persistent`], keyed by
+    /// unordered pair.
+    persistent_choices: HashMap<(ElementId, ElementId), ElementId>,
+}
+
+impl ThresholdModel {
+    /// A threshold worker with discernment `δ >= 0`, residual error
+    /// `ε in [0, 1)`, and the given behaviour on indistinguishable pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `δ` is negative or not finite, or if `ε` is outside
+    /// `[0, 1)`.
+    pub fn new(delta: f64, epsilon: f64, tie_policy: TiePolicy) -> Self {
+        assert!(
+            delta.is_finite() && delta >= 0.0,
+            "δ must be finite and non-negative"
+        );
+        assert!((0.0..1.0).contains(&epsilon), "ε must be in [0, 1)");
+        ThresholdModel {
+            delta,
+            epsilon,
+            tie_policy,
+            persistent_choices: HashMap::new(),
+        }
+    }
+
+    /// A worker with zero residual error: perfect above the threshold,
+    /// arbitrary below. This is the `εn = εe = 0` simplification the paper
+    /// adopts for its analysis (Section 4, Remark).
+    pub fn exact(delta: f64, tie_policy: TiePolicy) -> Self {
+        Self::new(delta, 0.0, tie_policy)
+    }
+
+    /// The tie policy in force.
+    pub fn tie_policy(&self) -> TiePolicy {
+        self.tie_policy
+    }
+
+    fn tie_break(
+        &mut self,
+        k: ElementId,
+        vk: Value,
+        j: ElementId,
+        vj: Value,
+        rng: &mut dyn RngCore,
+    ) -> ElementId {
+        match self.tie_policy {
+            TiePolicy::UniformRandom => {
+                if rng.gen_bool(0.5) {
+                    k
+                } else {
+                    j
+                }
+            }
+            TiePolicy::Persistent => {
+                let key = if k < j { (k, j) } else { (j, k) };
+                *self.persistent_choices.entry(key).or_insert_with(|| {
+                    if rng.gen_bool(0.5) {
+                        k
+                    } else {
+                        j
+                    }
+                })
+            }
+            TiePolicy::FavorLower => true_loser(k, vk, j, vj),
+            TiePolicy::FavorHigher => true_winner(k, vk, j, vj),
+            TiePolicy::FavorSmallerId => {
+                if k < j {
+                    k
+                } else {
+                    j
+                }
+            }
+        }
+    }
+}
+
+impl ErrorModel for ThresholdModel {
+    fn compare(
+        &mut self,
+        k: ElementId,
+        vk: Value,
+        j: ElementId,
+        vj: Value,
+        rng: &mut dyn RngCore,
+    ) -> ElementId {
+        let distance = (vk - vj).abs();
+        if distance <= self.delta {
+            self.tie_break(k, vk, j, vj, rng)
+        } else if self.epsilon > 0.0 && rng.gen_bool(self.epsilon) {
+            true_loser(k, vk, j, vj)
+        } else {
+            true_winner(k, vk, j, vj)
+        }
+    }
+
+    fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const A: ElementId = ElementId(0);
+    const B: ElementId = ElementId(1);
+
+    #[test]
+    fn above_threshold_exact_worker_is_correct() {
+        let mut m = ThresholdModel::exact(1.0, TiePolicy::UniformRandom);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(m.compare(A, 5.0, B, 1.0, &mut rng), A);
+            assert_eq!(m.compare(A, 1.0, B, 5.0, &mut rng), B);
+        }
+    }
+
+    #[test]
+    fn at_threshold_boundary_is_indistinguishable() {
+        // d(k, j) <= δ triggers the tie policy, including equality.
+        let mut m = ThresholdModel::exact(1.0, TiePolicy::FavorLower);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(m.compare(A, 2.0, B, 1.0, &mut rng), B); // d = 1.0 = δ
+        assert_eq!(m.compare(A, 2.1, B, 1.0, &mut rng), A); // d = 1.1 > δ
+    }
+
+    #[test]
+    fn uniform_tie_is_roughly_fair() {
+        let mut m = ThresholdModel::exact(1.0, TiePolicy::UniformRandom);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 10_000;
+        let a_wins = (0..trials)
+            .filter(|_| m.compare(A, 1.5, B, 1.0, &mut rng) == A)
+            .count();
+        let frac = a_wins as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.03, "A won fraction {frac}");
+    }
+
+    #[test]
+    fn persistent_tie_never_changes_its_mind() {
+        let mut m = ThresholdModel::exact(1.0, TiePolicy::Persistent);
+        let mut rng = StdRng::seed_from_u64(4);
+        let first = m.compare(A, 1.5, B, 1.0, &mut rng);
+        for _ in 0..100 {
+            assert_eq!(m.compare(A, 1.5, B, 1.0, &mut rng), first);
+            // Order of presentation must not matter either.
+            assert_eq!(m.compare(B, 1.0, A, 1.5, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn persistent_choices_are_per_pair() {
+        let mut m = ThresholdModel::exact(10.0, TiePolicy::Persistent);
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = ElementId(2);
+        // Make enough pairs that with overwhelming probability not all
+        // choices coincide by chance; just assert stability per pair.
+        let ab = m.compare(A, 1.0, B, 1.1, &mut rng);
+        let ac = m.compare(A, 1.0, c, 1.2, &mut rng);
+        for _ in 0..20 {
+            assert_eq!(m.compare(A, 1.0, B, 1.1, &mut rng), ab);
+            assert_eq!(m.compare(A, 1.0, c, 1.2, &mut rng), ac);
+        }
+    }
+
+    #[test]
+    fn favor_lower_hides_the_larger_element() {
+        let mut m = ThresholdModel::exact(1.0, TiePolicy::FavorLower);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(m.compare(A, 1.5, B, 1.0, &mut rng), B);
+        assert_eq!(m.compare(B, 1.0, A, 1.5, &mut rng), B);
+    }
+
+    #[test]
+    fn favor_higher_and_smaller_id() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hi = ThresholdModel::exact(1.0, TiePolicy::FavorHigher);
+        assert_eq!(hi.compare(A, 1.0, B, 1.5, &mut rng), B);
+        let mut sid = ThresholdModel::exact(1.0, TiePolicy::FavorSmallerId);
+        assert_eq!(sid.compare(B, 1.5, A, 1.0, &mut rng), A);
+    }
+
+    #[test]
+    fn residual_error_applies_above_threshold() {
+        let mut m = ThresholdModel::new(0.5, 0.2, TiePolicy::UniformRandom);
+        let mut rng = StdRng::seed_from_u64(8);
+        let trials = 20_000;
+        let errors = (0..trials)
+            .filter(|_| m.compare(A, 5.0, B, 1.0, &mut rng) == B)
+            .count();
+        let rate = errors as f64 / trials as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed ε {rate}");
+    }
+
+    #[test]
+    fn zero_delta_equals_probabilistic_model_on_distinct_values() {
+        let mut m = ThresholdModel::new(0.0, 0.0, TiePolicy::FavorLower);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Distinct values: always correct despite adversarial tie policy.
+        assert_eq!(m.compare(A, 2.0, B, 1.0, &mut rng), A);
+        // Equal values: d = 0 <= δ = 0, the tie policy decides.
+        assert_eq!(m.compare(A, 1.0, B, 1.0, &mut rng), B);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be in [0, 1)")]
+    fn rejects_epsilon_one() {
+        ThresholdModel::new(1.0, 1.0, TiePolicy::UniformRandom);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ must be finite")]
+    fn rejects_negative_delta() {
+        ThresholdModel::new(-1.0, 0.0, TiePolicy::UniformRandom);
+    }
+}

@@ -1,0 +1,428 @@
+//! Multi-class workers and the cascaded max-finding algorithm — the
+//! extension the paper leaves as future work (Section 3.3: "a natural
+//! extension models multiple classes of workers with different expertise
+//! levels").
+//!
+//! Instead of two classes there is a ladder of `k` classes with strictly
+//! improving discernment `δ₀ > δ₁ > … > δ_{k−1}` and (typically)
+//! increasing prices `c₀ <= c₁ <= … <= c_{k−1}`. The
+//! [`cascade_max_find`] algorithm generalizes Algorithm 1: each class `i`
+//! runs one round of the Algorithm 2 tournament filter with its own
+//! `u_i(n)` parameter, shrinking the candidate set before handing it to
+//! the next (better, pricier) class; the last class runs 2-MaxFind and
+//! returns an element within `2·δ_{k−1}` of the maximum.
+//!
+//! Correctness follows by induction from Lemma 3: with `u_i` at least the
+//! number of elements class `i` cannot distinguish from the maximum, each
+//! stage keeps the maximum, so the final stage's guarantee applies. The
+//! two-class instantiation is exactly Algorithm 1.
+
+use crate::algorithms::{filter_candidates, two_max_find, FilterConfig};
+use crate::element::{ElementId, Instance};
+use crate::model::{ErrorModel, ThresholdModel, TiePolicy, WorkerClass};
+use crate::oracle::{ComparisonCounts, ComparisonOracle};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// One rung of the expertise ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// Discernment threshold `δ_i`.
+    pub delta: f64,
+    /// Residual error `ε_i`.
+    pub epsilon: f64,
+    /// Price per comparison `c_i`.
+    pub cost: f64,
+}
+
+impl ClassSpec {
+    /// Builds a rung.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid threshold/error/price values.
+    pub fn new(delta: f64, epsilon: f64, cost: f64) -> Self {
+        assert!(
+            delta.is_finite() && delta >= 0.0,
+            "δ must be finite and non-negative"
+        );
+        assert!((0.0..1.0).contains(&epsilon), "ε must be in [0, 1)");
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "cost must be a finite non-negative price"
+        );
+        ClassSpec {
+            delta,
+            epsilon,
+            cost,
+        }
+    }
+}
+
+/// An expertise ladder: classes ordered from coarsest/cheapest to
+/// finest/priciest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertiseLadder {
+    classes: Vec<ClassSpec>,
+}
+
+impl ExpertiseLadder {
+    /// Builds a ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two classes are given, or if discernment does
+    /// not strictly improve (`δ` strictly decreasing) along the ladder.
+    pub fn new(classes: Vec<ClassSpec>) -> Self {
+        assert!(classes.len() >= 2, "a ladder needs at least two classes");
+        for w in classes.windows(2) {
+            assert!(
+                w[1].delta < w[0].delta,
+                "discernment must strictly improve along the ladder"
+            );
+            assert!(
+                w[1].epsilon <= w[0].epsilon,
+                "residual error must not worsen along the ladder"
+            );
+        }
+        ExpertiseLadder { classes }
+    }
+
+    /// The paper's two-class model as a ladder.
+    pub fn two_class(delta_n: f64, delta_e: f64, cn: f64, ce: f64) -> Self {
+        Self::new(vec![
+            ClassSpec::new(delta_n, 0.0, cn),
+            ClassSpec::new(delta_e, 0.0, ce),
+        ])
+    }
+
+    /// Number of classes `k`.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if the ladder is empty (never: construction requires two).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The rungs, coarsest first.
+    pub fn classes(&self) -> &[ClassSpec] {
+        &self.classes
+    }
+
+    /// The `i`-th rung.
+    pub fn class(&self, i: usize) -> ClassSpec {
+        self.classes[i]
+    }
+
+    /// Total monetary cost of a per-class comparison tally.
+    pub fn cost(&self, per_class: &[u64]) -> f64 {
+        assert_eq!(per_class.len(), self.classes.len(), "one tally per class");
+        per_class
+            .iter()
+            .zip(&self.classes)
+            .map(|(&x, c)| x as f64 * c.cost)
+            .sum()
+    }
+}
+
+/// A comparison oracle with `k` worker classes addressed by ladder index.
+pub trait MultiClassOracle {
+    /// Asks one worker of class `class` (a ladder index) to compare `k`
+    /// and `j`.
+    fn compare_class(&mut self, class: usize, k: ElementId, j: ElementId) -> ElementId;
+
+    /// Comparisons performed so far, per class.
+    fn class_counts(&self) -> Vec<u64>;
+}
+
+/// Simulates an [`ExpertiseLadder`] over a ground-truth instance: workers
+/// of class `i` follow `T(δ_i, ε_i)`.
+#[derive(Debug)]
+pub struct LadderOracle<R: RngCore> {
+    instance: Instance,
+    models: Vec<ThresholdModel>,
+    counts: Vec<u64>,
+    rng: R,
+}
+
+impl<R: RngCore> LadderOracle<R> {
+    /// Builds the oracle with a shared tie policy.
+    pub fn new(instance: Instance, ladder: &ExpertiseLadder, tie: TiePolicy, rng: R) -> Self {
+        let models = ladder
+            .classes()
+            .iter()
+            .map(|c| ThresholdModel::new(c.delta, c.epsilon, tie))
+            .collect::<Vec<_>>();
+        let counts = vec![0; models.len()];
+        LadderOracle {
+            instance,
+            models,
+            counts,
+            rng,
+        }
+    }
+
+    /// The ground-truth instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+impl<R: RngCore> MultiClassOracle for LadderOracle<R> {
+    fn compare_class(&mut self, class: usize, k: ElementId, j: ElementId) -> ElementId {
+        assert_ne!(
+            k, j,
+            "a worker is never handed two copies of the same element"
+        );
+        self.counts[class] += 1;
+        let (vk, vj) = (self.instance.value(k), self.instance.value(j));
+        self.models[class].compare(k, vk, j, vj, &mut self.rng)
+    }
+
+    fn class_counts(&self) -> Vec<u64> {
+        self.counts.clone()
+    }
+}
+
+/// Adapts one class of a [`MultiClassOracle`] to the two-class
+/// [`ComparisonOracle`] interface, so the existing algorithms can run a
+/// stage with "naïve = class i". Expert queries are forbidden.
+struct SingleClassView<'a, O> {
+    inner: &'a mut O,
+    class: usize,
+    counted: ComparisonCounts,
+}
+
+impl<O: MultiClassOracle> ComparisonOracle for SingleClassView<'_, O> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        debug_assert_eq!(
+            class,
+            WorkerClass::Naive,
+            "stage views expose one class as naive"
+        );
+        self.counted.record(WorkerClass::Naive);
+        self.inner.compare_class(self.class, k, j)
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.counted
+    }
+}
+
+/// The result of a cascaded run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CascadeOutcome {
+    /// The returned element (within `2·δ_{k−1}` of the maximum when every
+    /// `u_i` was not underestimated).
+    pub winner: ElementId,
+    /// Candidate-set size after each stage (length `k − 1`).
+    pub stage_sizes: Vec<usize>,
+    /// Comparisons per class.
+    pub per_class: Vec<u64>,
+}
+
+/// Cascaded max-finding over a `k`-class ladder.
+///
+/// `us[i]` is the `u_i(n)` parameter for stage `i` (one per class except
+/// the last, which runs 2-MaxFind on whatever remains): the number of
+/// elements class `i` cannot distinguish from the maximum, or an upper
+/// bound on it.
+///
+/// # Panics
+///
+/// Panics if `elements` is empty or `us.len() != ladder.len() - 1`, or any
+/// `u_i` is zero.
+pub fn cascade_max_find<O: MultiClassOracle>(
+    oracle: &mut O,
+    ladder: &ExpertiseLadder,
+    elements: &[ElementId],
+    us: &[usize],
+) -> CascadeOutcome {
+    assert!(
+        !elements.is_empty(),
+        "max-finding needs at least one element"
+    );
+    assert_eq!(
+        us.len(),
+        ladder.len() - 1,
+        "one u_i per filtering class (all but the last)"
+    );
+
+    let mut candidates: Vec<ElementId> = elements.to_vec();
+    let mut stage_sizes = Vec::with_capacity(us.len());
+    for (class, &u) in us.iter().enumerate() {
+        let mut view = SingleClassView {
+            inner: &mut *oracle,
+            class,
+            counted: ComparisonCounts::zero(),
+        };
+        let out = filter_candidates(&mut view, &candidates, &FilterConfig::new(u));
+        candidates = out.survivors;
+        stage_sizes.push(candidates.len());
+    }
+
+    let last = ladder.len() - 1;
+    let mut view = SingleClassView {
+        inner: &mut *oracle,
+        class: last,
+        counted: ComparisonCounts::zero(),
+    };
+    // 2-MaxFind through the view's "naive" slot, which is wired to the
+    // finest class.
+    let winner = two_max_find(&mut view, WorkerClass::Naive, &candidates).winner;
+
+    CascadeOutcome {
+        winner,
+        stage_sizes,
+        per_class: oracle.class_counts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::new((0..n).map(|_| rng.gen_range(0.0..100_000.0)).collect())
+    }
+
+    fn three_rung_ladder() -> ExpertiseLadder {
+        ExpertiseLadder::new(vec![
+            ClassSpec::new(5_000.0, 0.0, 1.0), // crowd
+            ClassSpec::new(500.0, 0.0, 10.0),  // enthusiasts
+            ClassSpec::new(50.0, 0.0, 100.0),  // professionals
+        ])
+    }
+
+    fn us_for(inst: &Instance, ladder: &ExpertiseLadder) -> Vec<usize> {
+        ladder.classes()[..ladder.len() - 1]
+            .iter()
+            .map(|c| inst.indistinguishable_from_max(c.delta))
+            .collect()
+    }
+
+    #[test]
+    fn ladder_construction_and_cost() {
+        let l = three_rung_ladder();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.class(1).cost, 10.0);
+        assert_eq!(l.cost(&[100, 10, 1]), 100.0 + 100.0 + 100.0);
+    }
+
+    #[test]
+    fn two_class_ladder_matches_paper_model() {
+        let l = ExpertiseLadder::two_class(20.0, 2.0, 1.0, 50.0);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.class(0).delta, 20.0);
+        assert_eq!(l.class(1).cost, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly improve")]
+    fn non_improving_ladder_panics() {
+        ExpertiseLadder::new(vec![
+            ClassSpec::new(10.0, 0.0, 1.0),
+            ClassSpec::new(10.0, 0.0, 2.0),
+        ]);
+    }
+
+    #[test]
+    fn cascade_finds_near_max_within_final_delta() {
+        for seed in 0..10 {
+            let inst = uniform_instance(1200, seed);
+            let ladder = three_rung_ladder();
+            let us = us_for(&inst, &ladder);
+            let mut oracle = LadderOracle::new(
+                inst.clone(),
+                &ladder,
+                TiePolicy::UniformRandom,
+                StdRng::seed_from_u64(seed + 99),
+            );
+            let out = cascade_max_find(&mut oracle, &ladder, &inst.ids(), &us);
+            let gap = inst.max_value() - inst.value(out.winner);
+            assert!(gap <= 2.0 * 50.0, "seed {seed}: gap {gap} > 2·δ_last");
+        }
+    }
+
+    #[test]
+    fn stages_shrink_and_spend_accordingly() {
+        let inst = uniform_instance(2000, 42);
+        let ladder = three_rung_ladder();
+        let us = us_for(&inst, &ladder);
+        let mut oracle = LadderOracle::new(
+            inst.clone(),
+            &ladder,
+            TiePolicy::UniformRandom,
+            StdRng::seed_from_u64(1),
+        );
+        let out = cascade_max_find(&mut oracle, &ladder, &inst.ids(), &us);
+
+        // Each stage shrinks the candidate set.
+        assert!(out.stage_sizes[0] < 2000);
+        assert!(out.stage_sizes[1] <= out.stage_sizes[0]);
+        // The cheapest class does the most comparisons, the priciest the
+        // fewest.
+        assert!(out.per_class[0] > out.per_class[1]);
+        assert!(out.per_class[1] > out.per_class[2]);
+    }
+
+    #[test]
+    fn cascade_undercuts_single_jump_on_steep_ladders() {
+        // Three stages vs jumping straight from crowd to professionals:
+        // with a steep price ladder, the middle class pays for itself by
+        // shrinking the set the professionals see.
+        let inst = uniform_instance(3000, 7);
+        let ladder = three_rung_ladder();
+        let us = us_for(&inst, &ladder);
+
+        let mut cascade_oracle = LadderOracle::new(
+            inst.clone(),
+            &ladder,
+            TiePolicy::UniformRandom,
+            StdRng::seed_from_u64(2),
+        );
+        let cascade = cascade_max_find(&mut cascade_oracle, &ladder, &inst.ids(), &us);
+        let cascade_cost = ladder.cost(&cascade.per_class);
+
+        // Two-stage run on the same ladder: crowd filter, then pros.
+        let two_stage_ladder = ExpertiseLadder::new(vec![ladder.class(0), ladder.class(2)]);
+        let mut two_oracle = LadderOracle::new(
+            inst.clone(),
+            &two_stage_ladder,
+            TiePolicy::UniformRandom,
+            StdRng::seed_from_u64(2),
+        );
+        let two = cascade_max_find(&mut two_oracle, &two_stage_ladder, &inst.ids(), &us[..1]);
+        let two_cost = two_stage_ladder.cost(&two.per_class);
+
+        // Both must be accurate; the three-stage cascade must not be much
+        // more expensive (it is usually cheaper; exact ordering depends on
+        // u_1 vs the candidate set size).
+        let gap_c = inst.max_value() - inst.value(cascade.winner);
+        let gap_t = inst.max_value() - inst.value(two.winner);
+        assert!(gap_c <= 100.0 && gap_t <= 100.0);
+        assert!(
+            cascade_cost <= two_cost * 1.5,
+            "cascade cost {cascade_cost} ≫ two-stage cost {two_cost}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one u_i per filtering class")]
+    fn wrong_us_arity_panics() {
+        let inst = uniform_instance(100, 1);
+        let ladder = three_rung_ladder();
+        let mut oracle = LadderOracle::new(
+            inst.clone(),
+            &ladder,
+            TiePolicy::UniformRandom,
+            StdRng::seed_from_u64(1),
+        );
+        cascade_max_find(&mut oracle, &ladder, &inst.ids(), &[5]);
+    }
+}

@@ -1,0 +1,696 @@
+//! Comparison oracles: the only channel between algorithms and workers.
+//!
+//! The algorithms of Section 4 never see element values. They ask an oracle
+//! "which of `k`, `j` wins, according to a worker of class `c`?" and the
+//! oracle answers; every answer is tallied by class so that the cost model
+//! of Section 3.4 (`C(n) = xe·ce + xn·cn`) can be applied afterwards.
+//!
+//! The main implementation, [`SimulatedOracle`], drives an
+//! [`ExpertModel`] over an
+//! [`Instance`]. Decorators provide:
+//!
+//! * [`MemoOracle`] — the Appendix A optimization "avoid repeating the
+//!   comparison of two elements multiple times by the same type of workers"
+//!   (the algorithm keeps an `n × n` table of first answers);
+//! * [`SimulatedExpertOracle`] — the Section 5.3 construction that answers
+//!   each *expert* query with the majority of `k` naïve judgments (the
+//!   paper uses `k = 7`), which works on wisdom-of-crowds tasks like DOTS
+//!   and fails on expertise tasks like CARS.
+
+use crate::element::{ElementId, Instance};
+use crate::model::{ErrorModel, ExpertModel, WorkerClass};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Tally of comparisons performed, by worker class.
+///
+/// These are the `xn(n)` and `xe(n)` of the paper's cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComparisonCounts {
+    /// Comparisons answered by naïve workers.
+    pub naive: u64,
+    /// Comparisons answered by expert workers.
+    pub expert: u64,
+}
+
+impl ComparisonCounts {
+    /// A zero tally.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// The count for one class.
+    pub fn of(&self, class: WorkerClass) -> u64 {
+        match class {
+            WorkerClass::Naive => self.naive,
+            WorkerClass::Expert => self.expert,
+        }
+    }
+
+    /// Records one comparison by `class`.
+    pub fn record(&mut self, class: WorkerClass) {
+        match class {
+            WorkerClass::Naive => self.naive += 1,
+            WorkerClass::Expert => self.expert += 1,
+        }
+    }
+
+    /// Total comparisons across both classes.
+    pub fn total(&self) -> u64 {
+        self.naive + self.expert
+    }
+}
+
+impl Add for ComparisonCounts {
+    type Output = ComparisonCounts;
+    fn add(self, rhs: Self) -> Self {
+        ComparisonCounts {
+            naive: self.naive + rhs.naive,
+            expert: self.expert + rhs.expert,
+        }
+    }
+}
+
+impl AddAssign for ComparisonCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.naive += rhs.naive;
+        self.expert += rhs.expert;
+    }
+}
+
+impl Sub for ComparisonCounts {
+    type Output = ComparisonCounts;
+    /// Difference of two tallies — used to isolate the comparisons of one
+    /// phase by snapshotting before and after.
+    fn sub(self, rhs: Self) -> Self {
+        ComparisonCounts {
+            naive: self.naive - rhs.naive,
+            expert: self.expert - rhs.expert,
+        }
+    }
+}
+
+/// A source of pairwise-comparison answers.
+///
+/// `compare(class, k, j)` returns the element a worker of `class` declares
+/// the winner. Implementations must:
+///
+/// * return either `k` or `j`;
+/// * tally every *worker-performed* comparison in [`counts`](Self::counts)
+///   (a memoizing decorator answers repeats for free and does not tally
+///   them — no worker was paid).
+pub trait ComparisonOracle {
+    /// Ask one worker of `class` to compare distinct elements `k` and `j`.
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId;
+
+    /// Comparisons performed so far, by class.
+    fn counts(&self) -> ComparisonCounts;
+}
+
+/// Blanket impl so that algorithms taking `&mut O: ComparisonOracle` can be
+/// handed `&mut &mut oracle` by composing code.
+impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        (**self).compare(class, k, j)
+    }
+    fn counts(&self) -> ComparisonCounts {
+        (**self).counts()
+    }
+}
+
+/// An oracle that simulates the two-class threshold workforce of Section 3.3
+/// over a ground-truth [`Instance`].
+#[derive(Debug)]
+pub struct SimulatedOracle<R: RngCore> {
+    instance: Instance,
+    model: ExpertModel,
+    rng: R,
+    counts: ComparisonCounts,
+}
+
+impl<R: RngCore> SimulatedOracle<R> {
+    /// Builds an oracle over `instance` with the given workforce `model`.
+    ///
+    /// The instance is owned (cloned by the caller if shared): oracles are
+    /// cheap relative to the experiments that use them, and owning avoids
+    /// threading lifetimes through every algorithm signature.
+    pub fn new(instance: Instance, model: ExpertModel, rng: R) -> Self {
+        SimulatedOracle {
+            instance,
+            model,
+            rng,
+            counts: ComparisonCounts::zero(),
+        }
+    }
+
+    /// The ground-truth instance this oracle simulates workers over.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The workforce model.
+    pub fn model(&self) -> &ExpertModel {
+        &self.model
+    }
+}
+
+impl<R: RngCore> ComparisonOracle for SimulatedOracle<R> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        assert_ne!(
+            k, j,
+            "a worker is never handed two copies of the same element"
+        );
+        self.counts.record(class);
+        let (vk, vj) = (self.instance.value(k), self.instance.value(j));
+        self.model.compare(class, k, vk, j, vj, &mut self.rng)
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.counts
+    }
+}
+
+/// Memoizing decorator: per worker class, the first answer for each
+/// unordered pair is remembered and repeats are answered for free.
+///
+/// This realizes the Appendix A optimization and, importantly, makes worker
+/// behaviour *consistent*: algorithms like
+/// [`two_max_find`](crate::algorithms::two_max_find) rely on a repeated
+/// question getting the same answer to guarantee progress.
+#[derive(Debug)]
+pub struct MemoOracle<O> {
+    inner: O,
+    memo: HashMap<(WorkerClass, ElementId, ElementId), ElementId>,
+    /// Queries answered from the memo (no worker involved, no cost).
+    hits: u64,
+}
+
+impl<O: ComparisonOracle> MemoOracle<O> {
+    /// Wraps `inner` with a fresh memo table.
+    pub fn new(inner: O) -> Self {
+        MemoOracle {
+            inner,
+            memo: HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    /// Number of queries answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Consumes the decorator, returning the wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for MemoOracle<O> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        let key = if k < j { (class, k, j) } else { (class, j, k) };
+        if let Some(&winner) = self.memo.get(&key) {
+            self.hits += 1;
+            return winner;
+        }
+        let winner = self.inner.compare(class, k, j);
+        self.memo.insert(key, winner);
+        winner
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.inner.counts()
+    }
+}
+
+/// Decorator that *simulates* experts by majority vote of naïve workers
+/// (paper Section 5.3: "simulating each expert query by 7 naïve queries and
+/// selecting the answer that received most votes").
+///
+/// Expert queries are translated into `votes` fresh naïve judgments; the
+/// majority wins (ties broken towards `k` — with odd `votes`, ties cannot
+/// occur). Naïve queries pass through unchanged. The tally consequently
+/// contains only naïve comparisons: that is the point — no experts exist.
+#[derive(Debug)]
+pub struct SimulatedExpertOracle<O> {
+    inner: O,
+    votes: u32,
+}
+
+impl<O: ComparisonOracle> SimulatedExpertOracle<O> {
+    /// Simulates each expert query with `votes` naïve judgments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is even or zero (the paper uses 7; an odd count
+    /// guarantees a strict majority).
+    pub fn new(inner: O, votes: u32) -> Self {
+        assert!(votes % 2 == 1, "vote count must be odd to avoid ties");
+        SimulatedExpertOracle { inner, votes }
+    }
+
+    /// The paper's configuration: 7 naïve votes per expert query.
+    pub fn paper_default(inner: O) -> Self {
+        Self::new(inner, 7)
+    }
+
+    /// Consumes the decorator, returning the wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for SimulatedExpertOracle<O> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        match class {
+            WorkerClass::Naive => self.inner.compare(WorkerClass::Naive, k, j),
+            WorkerClass::Expert => {
+                let mut k_wins = 0u32;
+                for _ in 0..self.votes {
+                    if self.inner.compare(WorkerClass::Naive, k, j) == k {
+                        k_wins += 1;
+                    }
+                }
+                if 2 * k_wins > self.votes {
+                    k
+                } else {
+                    j
+                }
+            }
+        }
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.inner.counts()
+    }
+}
+
+/// Decorator aggregating every comparison over several independent
+/// judgments by majority vote, per class.
+///
+/// Crowdsourcing platforms collect multiple judgments per unit and report
+/// the aggregate (CrowdFlower "requested at least 21 answers" per pair in
+/// the paper's calibration jobs); this decorator models that: a single
+/// logical comparison fans out to `votes` worker judgments on the inner
+/// oracle, all of which are tallied/paid. Majority ties break towards the
+/// smaller id; use odd vote counts to avoid them.
+#[derive(Debug)]
+pub struct MajorityOracle<O> {
+    inner: O,
+    naive_votes: u32,
+    expert_votes: u32,
+}
+
+impl<O: ComparisonOracle> MajorityOracle<O> {
+    /// Aggregates naïve comparisons over `naive_votes` judgments and expert
+    /// comparisons over `expert_votes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vote count is zero.
+    pub fn new(inner: O, naive_votes: u32, expert_votes: u32) -> Self {
+        assert!(
+            naive_votes > 0 && expert_votes > 0,
+            "vote counts must be positive"
+        );
+        MajorityOracle {
+            inner,
+            naive_votes,
+            expert_votes,
+        }
+    }
+
+    /// Consumes the decorator, returning the wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for MajorityOracle<O> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        let votes = match class {
+            WorkerClass::Naive => self.naive_votes,
+            WorkerClass::Expert => self.expert_votes,
+        };
+        let mut k_wins = 0u32;
+        for _ in 0..votes {
+            if self.inner.compare(class, k, j) == k {
+                k_wins += 1;
+            }
+        }
+        let j_wins = votes - k_wins;
+        if k_wins > j_wins || (k_wins == j_wins && k < j) {
+            k
+        } else {
+            j
+        }
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.inner.counts()
+    }
+}
+
+/// An oracle driving two arbitrary [`ErrorModel`]s — one per worker class —
+/// over a ground-truth instance.
+///
+/// [`SimulatedOracle`] is the common case (both classes are threshold
+/// workers); `ModelOracle` admits any model implementation, e.g. the
+/// empirically calibrated DOTS/CARS worker models of `crowd-datasets`.
+#[derive(Debug)]
+pub struct ModelOracle<MN, ME, R> {
+    instance: Instance,
+    naive: MN,
+    expert: ME,
+    rng: R,
+    counts: ComparisonCounts,
+}
+
+impl<MN: ErrorModel, ME: ErrorModel, R: RngCore> ModelOracle<MN, ME, R> {
+    /// Builds an oracle whose naïve workers follow `naive` and experts
+    /// follow `expert`.
+    pub fn new(instance: Instance, naive: MN, expert: ME, rng: R) -> Self {
+        ModelOracle {
+            instance,
+            naive,
+            expert,
+            rng,
+            counts: ComparisonCounts::zero(),
+        }
+    }
+
+    /// The ground-truth instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+impl<MN: ErrorModel, ME: ErrorModel, R: RngCore> ComparisonOracle for ModelOracle<MN, ME, R> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        assert_ne!(
+            k, j,
+            "a worker is never handed two copies of the same element"
+        );
+        self.counts.record(class);
+        let (vk, vj) = (self.instance.value(k), self.instance.value(j));
+        match class {
+            WorkerClass::Naive => self.naive.compare(k, vk, j, vj, &mut self.rng),
+            WorkerClass::Expert => self.expert.compare(k, vk, j, vj, &mut self.rng),
+        }
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.counts
+    }
+}
+
+/// An oracle backed by a closure over ground truth — handy for tests and for
+/// adversarial responders that need full control over every answer.
+///
+/// The closure receives `(class, k, j)` and must return `k` or `j`.
+pub struct FnOracle<F> {
+    f: F,
+    counts: ComparisonCounts,
+}
+
+impl<F: FnMut(WorkerClass, ElementId, ElementId) -> ElementId> FnOracle<F> {
+    /// Builds an oracle that delegates every comparison to `f`.
+    pub fn new(f: F) -> Self {
+        FnOracle {
+            f,
+            counts: ComparisonCounts::zero(),
+        }
+    }
+}
+
+impl<F: FnMut(WorkerClass, ElementId, ElementId) -> ElementId> ComparisonOracle for FnOracle<F> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        assert_ne!(
+            k, j,
+            "a worker is never handed two copies of the same element"
+        );
+        self.counts.record(class);
+        let winner = (self.f)(class, k, j);
+        debug_assert!(winner == k || winner == j, "oracle must answer k or j");
+        winner
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.counts
+    }
+}
+
+/// A perfect oracle over an instance: both classes always return the truly
+/// larger element (value ties broken by smaller id). Useful as a baseline
+/// and in tests.
+#[derive(Debug)]
+pub struct PerfectOracle {
+    instance: Instance,
+    counts: ComparisonCounts,
+}
+
+impl PerfectOracle {
+    /// Builds a perfect oracle over `instance`.
+    pub fn new(instance: Instance) -> Self {
+        PerfectOracle {
+            instance,
+            counts: ComparisonCounts::zero(),
+        }
+    }
+}
+
+impl ComparisonOracle for PerfectOracle {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        assert_ne!(
+            k, j,
+            "a worker is never handed two copies of the same element"
+        );
+        self.counts.record(class);
+        crate::model::true_winner(k, self.instance.value(k), j, self.instance.value(j))
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TiePolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance() -> Instance {
+        Instance::new(vec![10.0, 20.0, 30.0, 31.0])
+    }
+
+    fn oracle(seed: u64) -> SimulatedOracle<StdRng> {
+        // δn = 5 (30 and 31 naïve-indistinguishable), δe = 0.5.
+        let model = ExpertModel::exact(5.0, 0.5, TiePolicy::UniformRandom);
+        SimulatedOracle::new(instance(), model, StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn counts_arithmetic() {
+        let mut c = ComparisonCounts::zero();
+        c.record(WorkerClass::Naive);
+        c.record(WorkerClass::Naive);
+        c.record(WorkerClass::Expert);
+        assert_eq!(c.naive, 2);
+        assert_eq!(c.expert, 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.of(WorkerClass::Naive), 2);
+        let d = c + c;
+        assert_eq!(d.total(), 6);
+        assert_eq!((d - c).total(), 3);
+        let mut e = c;
+        e += c;
+        assert_eq!(e, d);
+    }
+
+    #[test]
+    fn simulated_oracle_counts_by_class() {
+        let mut o = oracle(1);
+        o.compare(WorkerClass::Naive, ElementId(0), ElementId(2));
+        o.compare(WorkerClass::Naive, ElementId(0), ElementId(3));
+        o.compare(WorkerClass::Expert, ElementId(2), ElementId(3));
+        assert_eq!(o.counts().naive, 2);
+        assert_eq!(o.counts().expert, 1);
+    }
+
+    #[test]
+    fn simulated_oracle_respects_class_thresholds() {
+        let mut o = oracle(2);
+        // d(0, 2) = 20 > δn: naïve workers answer correctly (ε = 0).
+        for _ in 0..20 {
+            assert_eq!(
+                o.compare(WorkerClass::Naive, ElementId(0), ElementId(2)),
+                ElementId(2)
+            );
+        }
+        // d(2, 3) = 1 > δe: experts answer correctly.
+        for _ in 0..20 {
+            assert_eq!(
+                o.compare(WorkerClass::Expert, ElementId(2), ElementId(3)),
+                ElementId(3)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same element")]
+    fn self_comparison_panics() {
+        oracle(3).compare(WorkerClass::Naive, ElementId(1), ElementId(1));
+    }
+
+    #[test]
+    fn memo_answers_repeats_for_free() {
+        let mut o = MemoOracle::new(oracle(4));
+        let first = o.compare(WorkerClass::Naive, ElementId(2), ElementId(3));
+        for _ in 0..10 {
+            assert_eq!(
+                o.compare(WorkerClass::Naive, ElementId(2), ElementId(3)),
+                first
+            );
+            assert_eq!(
+                o.compare(WorkerClass::Naive, ElementId(3), ElementId(2)),
+                first
+            );
+        }
+        assert_eq!(o.counts().naive, 1, "only the first query reaches a worker");
+        assert_eq!(o.hits(), 20);
+    }
+
+    #[test]
+    fn memo_is_per_class() {
+        let mut o = MemoOracle::new(oracle(5));
+        o.compare(WorkerClass::Naive, ElementId(2), ElementId(3));
+        o.compare(WorkerClass::Expert, ElementId(2), ElementId(3));
+        assert_eq!(o.counts().naive, 1);
+        assert_eq!(o.counts().expert, 1);
+        assert_eq!(o.hits(), 0);
+    }
+
+    #[test]
+    fn simulated_expert_uses_naive_majority() {
+        // Experts simulated by 7 naïve votes: the tally must contain only
+        // naïve comparisons, 7 per expert query.
+        let mut o = SimulatedExpertOracle::paper_default(oracle(6));
+        o.compare(WorkerClass::Expert, ElementId(0), ElementId(2));
+        assert_eq!(o.counts().naive, 7);
+        assert_eq!(o.counts().expert, 0);
+        // d(0, 2) = 20 > δn, so the majority is unanimous and correct.
+        let w = o.compare(WorkerClass::Expert, ElementId(0), ElementId(2));
+        assert_eq!(w, ElementId(2));
+    }
+
+    #[test]
+    fn simulated_expert_plateaus_below_naive_threshold() {
+        // d(2, 3) = 1 <= δn = 5: naïve votes are coin flips, so the
+        // simulated expert is right only ~half the time — the CARS effect.
+        let mut o = SimulatedExpertOracle::paper_default(oracle(7));
+        let trials = 2_000;
+        let correct = (0..trials)
+            .filter(|_| o.compare(WorkerClass::Expert, ElementId(2), ElementId(3)) == ElementId(3))
+            .count();
+        let acc = correct as f64 / trials as f64;
+        assert!((acc - 0.5).abs() < 0.05, "simulated-expert accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn simulated_expert_rejects_even_votes() {
+        SimulatedExpertOracle::new(oracle(8), 6);
+    }
+
+    #[test]
+    fn majority_oracle_aggregates_and_counts_all_votes() {
+        use crate::model::ProbabilisticModel;
+        // Naïve workers err 30% of the time; a 21-vote majority is nearly
+        // always right.
+        let inner = ModelOracle::new(
+            instance(),
+            ProbabilisticModel::new(0.3),
+            ProbabilisticModel::perfect(),
+            StdRng::seed_from_u64(20),
+        );
+        let mut o = MajorityOracle::new(inner, 21, 1);
+        let correct = (0..100)
+            .filter(|_| o.compare(WorkerClass::Naive, ElementId(0), ElementId(2)) == ElementId(2))
+            .count();
+        assert!(correct >= 95, "majority accuracy too low: {correct}/100");
+        assert_eq!(o.counts().naive, 2100, "every judgment is paid for");
+        o.compare(WorkerClass::Expert, ElementId(0), ElementId(1));
+        assert_eq!(o.counts().expert, 1);
+        let _ = o.into_inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "vote counts must be positive")]
+    fn majority_oracle_rejects_zero_votes() {
+        MajorityOracle::new(oracle(21), 0, 1);
+    }
+
+    #[test]
+    fn model_oracle_dispatches_per_class() {
+        use crate::model::ProbabilisticModel;
+        // Naïve workers always err (p = 1), experts never do.
+        let mut o = ModelOracle::new(
+            instance(),
+            ProbabilisticModel::new(1.0),
+            ProbabilisticModel::perfect(),
+            StdRng::seed_from_u64(10),
+        );
+        assert_eq!(
+            o.compare(WorkerClass::Naive, ElementId(0), ElementId(1)),
+            ElementId(0)
+        );
+        assert_eq!(
+            o.compare(WorkerClass::Expert, ElementId(0), ElementId(1)),
+            ElementId(1)
+        );
+        assert_eq!(o.counts().naive, 1);
+        assert_eq!(o.counts().expert, 1);
+        assert_eq!(o.instance().n(), 4);
+    }
+
+    #[test]
+    fn fn_oracle_delegates_and_counts() {
+        let mut o = FnOracle::new(|_, k, _j| k);
+        assert_eq!(
+            o.compare(WorkerClass::Naive, ElementId(5), ElementId(9)),
+            ElementId(5)
+        );
+        assert_eq!(o.counts().naive, 1);
+    }
+
+    #[test]
+    fn perfect_oracle_is_always_right() {
+        let mut o = PerfectOracle::new(instance());
+        assert_eq!(
+            o.compare(WorkerClass::Naive, ElementId(2), ElementId(3)),
+            ElementId(3)
+        );
+        assert_eq!(
+            o.compare(WorkerClass::Expert, ElementId(0), ElementId(1)),
+            ElementId(1)
+        );
+        assert_eq!(o.counts().total(), 2);
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        let mut o = oracle(9);
+        let r = &mut o;
+        r.compare(WorkerClass::Naive, ElementId(0), ElementId(1));
+        assert_eq!(o.counts().naive, 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Property-based tests of the core invariants.
+//!
+//! These check the paper's combinatorial guarantees over *randomized*
+//! instances, thresholds, and worker behaviours — including fully
+//! adversarial answer patterns, since Lemmas 2 and 3 are counting
+//! arguments that must hold regardless of the error model.
+
+use crowd_core::algorithms::{
+    expert_max_find, filter_candidates, majority_compare, two_max_find, ExpertMaxConfig,
+    FilterConfig, Phase2, RandomizedConfig,
+};
+use crowd_core::bounds;
+use crowd_core::element::{ElementId, Instance};
+use crowd_core::model::{ExpertModel, TiePolicy, WorkerClass};
+use crowd_core::oracle::{ComparisonOracle, FnOracle, MemoOracle, SimulatedOracle};
+use crowd_core::stats::RunningStats;
+use crowd_core::tournament::Tournament;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an instance of 2..=120 elements with values in [0, 1000].
+fn instances() -> impl Strategy<Value = Instance> {
+    prop::collection::vec(0.0f64..1000.0, 2..=120).prop_map(Instance::new)
+}
+
+/// Strategy: one of the five tie policies.
+fn tie_policies() -> impl Strategy<Value = TiePolicy> {
+    prop_oneof![
+        Just(TiePolicy::UniformRandom),
+        Just(TiePolicy::Persistent),
+        Just(TiePolicy::FavorLower),
+        Just(TiePolicy::FavorHigher),
+        Just(TiePolicy::FavorSmallerId),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ranks are a permutation-consistent labelling: rank 1 exists, ranks
+    /// are within [1, n], and a strictly larger value never has a larger
+    /// rank number.
+    #[test]
+    fn ranks_are_consistent(inst in instances()) {
+        let ids = inst.ids();
+        prop_assert!(ids.iter().any(|&e| inst.rank(e) == 1));
+        for &e in &ids {
+            let r = inst.rank(e);
+            prop_assert!(r >= 1 && r <= inst.n());
+        }
+        for &a in &ids {
+            for &b in &ids {
+                if inst.value(a) > inst.value(b) {
+                    prop_assert!(inst.rank(a) <= inst.rank(b));
+                }
+            }
+        }
+    }
+
+    /// `indistinguishable_from_max` is monotone in δ and includes the max.
+    #[test]
+    fn un_is_monotone_in_delta(inst in instances(), d1 in 0.0f64..500.0, d2 in 0.0f64..500.0) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(inst.indistinguishable_from_max(lo) >= 1);
+        prop_assert!(inst.indistinguishable_from_max(lo) <= inst.indistinguishable_from_max(hi));
+    }
+
+    /// Lemma 2 holds against a *completely arbitrary* deterministic oracle:
+    /// at most 2r − 1 elements can win at least |A| − r games.
+    #[test]
+    fn lemma_2_is_model_independent(n in 2usize..60, flip in any::<u64>()) {
+        let ids: Vec<ElementId> = (0..n as u32).map(ElementId).collect();
+        let mut o = FnOracle::new(move |_, k: ElementId, j: ElementId| {
+            // An arbitrary but deterministic pattern derived from `flip`.
+            if (u64::from(k.0) ^ u64::from(j.0) ^ flip) % 3 == 0 { k } else { j }
+        });
+        let t = Tournament::all_play_all(&mut o, WorkerClass::Naive, &ids);
+        for r in 1..=(n as u32) {
+            let winners = t.winners_with_at_least(n as u32 - r);
+            prop_assert!(
+                (winners.len() as u32) < 2 * r,
+                "r = {}: {} winners", r, winners.len()
+            );
+        }
+    }
+
+    /// Lemma 3, full strength: for any instance, any tie policy, and the
+    /// true un(n), the filter keeps the maximum, returns at most
+    /// 2·un(n) − 1 candidates (when it filtered at all), and stays within
+    /// 4·n·un(n) naïve comparisons.
+    #[test]
+    fn filter_guarantees(inst in instances(), tie in tie_policies(), delta in 0.1f64..400.0, seed in any::<u64>()) {
+        let un = inst.indistinguishable_from_max(delta);
+        prop_assume!(un < inst.n()); // un = n makes phase 1 vacuous
+        let model = ExpertModel::exact(delta, 0.0, tie);
+        let mut oracle = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+        let out = filter_candidates(&mut oracle, &inst.ids(), &FilterConfig::new(un));
+        prop_assert!(out.survivors.contains(&inst.max_element()), "maximum evicted");
+        if inst.n() >= 2 * un {
+            prop_assert!(out.survivors.len() < 2 * un);
+        }
+        prop_assert!(out.comparisons.naive <= bounds::phase1_upper_bound(inst.n(), un));
+        prop_assert_eq!(out.comparisons.expert, 0);
+    }
+
+    /// 2-MaxFind returns an element within 2δ of the maximum under any tie
+    /// policy, within the Theorem 1 comparison budget.
+    #[test]
+    fn two_maxfind_guarantees(inst in instances(), tie in tie_policies(), delta in 0.1f64..400.0, seed in any::<u64>()) {
+        let model = ExpertModel::exact(delta, delta, tie);
+        let mut oracle = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+        let out = two_max_find(&mut oracle, WorkerClass::Expert, &inst.ids());
+        let gap = inst.max_value() - inst.value(out.winner);
+        prop_assert!(gap <= 2.0 * delta + 1e-9, "gap {} > 2δ = {}", gap, 2.0 * delta);
+        prop_assert!(out.comparisons.expert <= bounds::two_maxfind_upper_bound(inst.n()));
+    }
+
+    /// The full two-phase algorithm returns within 2δe of the maximum and
+    /// splits its budget correctly, under any tie policy.
+    #[test]
+    fn expert_max_guarantees(
+        inst in instances(),
+        tie in tie_policies(),
+        delta_n in 10.0f64..400.0,
+        ratio in 2.0f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        let delta_e = delta_n / ratio;
+        let un = inst.indistinguishable_from_max(delta_n);
+        prop_assume!(un < inst.n());
+        let model = ExpertModel::exact(delta_n, delta_e, tie);
+        let mut oracle = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let out = expert_max_find(&mut oracle, &inst.ids(), &ExpertMaxConfig::new(un), &mut rng);
+        let gap = inst.max_value() - inst.value(out.winner);
+        prop_assert!(gap <= 2.0 * delta_e + 1e-9, "gap {} > 2δe = {}", gap, 2.0 * delta_e);
+        prop_assert_eq!(out.phase1.comparisons.expert, 0);
+        prop_assert_eq!(out.phase2_comparisons.naive, 0);
+        prop_assert_eq!(
+            out.total_comparisons,
+            out.phase1.comparisons + out.phase2_comparisons
+        );
+    }
+
+    /// The randomized phase-2 option is structurally sound under any
+    /// parameters: the winner comes from the phase-1 candidate set and the
+    /// class budget split is respected. (Its `3δe` accuracy guarantee is
+    /// only whp, so it is checked statistically in the unit tests, not
+    /// asserted per-case here.)
+    #[test]
+    fn randomized_phase2_structure(inst in instances(), delta in 0.1f64..300.0, seed in any::<u64>()) {
+        let un = inst.indistinguishable_from_max(delta);
+        prop_assume!(un < inst.n());
+        let model = ExpertModel::exact(delta, delta / 2.0, TiePolicy::UniformRandom);
+        let mut oracle = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let cfg = ExpertMaxConfig::new(un)
+            .with_phase2(Phase2::Randomized(RandomizedConfig::default().with_group_size(6)));
+        let out = expert_max_find(&mut oracle, &inst.ids(), &cfg, &mut rng);
+        prop_assert!(out.candidates.contains(&out.winner), "winner must be a candidate");
+        prop_assert_eq!(out.phase2_comparisons.naive, 0);
+        prop_assert_eq!(out.phase1.comparisons.expert, 0);
+    }
+
+    /// Memoization never changes who wins, only how much is paid: wrapping
+    /// an oracle in MemoOracle yields a subset of the cost.
+    #[test]
+    fn memoization_only_saves_money(inst in instances(), seed in any::<u64>()) {
+        let model = ExpertModel::exact(50.0, 5.0, TiePolicy::Persistent);
+        let plain = {
+            let mut oracle = SimulatedOracle::new(inst.clone(), model.clone(), StdRng::seed_from_u64(seed));
+            two_max_find(&mut oracle, WorkerClass::Naive, &inst.ids());
+            oracle.counts()
+        };
+        let memoized = {
+            let inner = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+            let mut oracle = MemoOracle::new(inner);
+            two_max_find(&mut oracle, WorkerClass::Naive, &inst.ids());
+            oracle.counts()
+        };
+        prop_assert!(memoized.naive <= plain.naive);
+    }
+
+    /// Majority voting with an odd vote count always returns one of the two
+    /// elements, and with a perfect comparator returns the truth.
+    #[test]
+    fn majority_is_closed_and_faithful(v1 in 0.0f64..100.0, v2 in 0.0f64..100.0, votes in 0u32..5, seed in any::<u64>()) {
+        prop_assume!(v1 != v2);
+        let inst = Instance::new(vec![v1, v2]);
+        let truth = inst.max_element();
+        let model = ExpertModel::exact(0.0, 0.0, TiePolicy::UniformRandom);
+        let mut oracle = SimulatedOracle::new(inst, model, StdRng::seed_from_u64(seed));
+        let winner = majority_compare(&mut oracle, WorkerClass::Naive, ElementId(0), ElementId(1), 2 * votes + 1);
+        prop_assert_eq!(winner, truth);
+    }
+
+    /// The multi-class cascade keeps the maximum through every stage and
+    /// ends within 2·δ_last of it, for random ladders and instances.
+    #[test]
+    fn cascade_guarantee(inst in instances(), steps in 2usize..4, seed in any::<u64>()) {
+        use crowd_core::multiclass::{cascade_max_find, ClassSpec, ExpertiseLadder, LadderOracle};
+        // A geometric ladder of `steps` classes.
+        let deltas: Vec<f64> = (0..steps).map(|i| 200.0 / 4f64.powi(i as i32)).collect();
+        let ladder = ExpertiseLadder::new(
+            deltas.iter().enumerate().map(|(i, &d)| ClassSpec::new(d, 0.0, 10f64.powi(i as i32))).collect(),
+        );
+        let us: Vec<usize> = deltas[..steps - 1]
+            .iter()
+            .map(|&d| inst.indistinguishable_from_max(d))
+            .collect();
+        prop_assume!(us.iter().all(|&u| u < inst.n()));
+        let mut oracle = LadderOracle::new(inst.clone(), &ladder, TiePolicy::UniformRandom, StdRng::seed_from_u64(seed));
+        let out = cascade_max_find(&mut oracle, &ladder, &inst.ids(), &us);
+        let gap = inst.max_value() - inst.value(out.winner);
+        prop_assert!(gap <= 2.0 * deltas[steps - 1] + 1e-9, "gap {} > 2·δ_last", gap);
+        prop_assert_eq!(out.per_class.len(), steps);
+    }
+
+    /// Top-k returns exactly min(k, n) distinct elements of the input, and
+    /// with the exact parameters every slot is within 2δe of the true
+    /// element of that rank.
+    #[test]
+    fn top_k_structure_and_accuracy(
+        inst in instances(),
+        k in 1usize..8,
+        delta_n in 10.0f64..300.0,
+        seed in any::<u64>(),
+    ) {
+        use crowd_core::algorithms::{top_k_find, TopKConfig};
+        use std::collections::HashSet;
+        let un = inst.indistinguishable_from_max(delta_n);
+        prop_assume!(un + k < inst.n());
+        let delta_e = delta_n / 10.0;
+        let model = ExpertModel::exact(delta_n, delta_e, TiePolicy::UniformRandom);
+        let mut oracle = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed));
+        let out = top_k_find(&mut oracle, &inst.ids(), &TopKConfig::new(k, un));
+        prop_assert_eq!(out.top.len(), k.min(inst.n()));
+        let distinct: HashSet<_> = out.top.iter().collect();
+        prop_assert_eq!(distinct.len(), out.top.len(), "top-k must be distinct");
+        for &e in &out.top {
+            prop_assert!(inst.ids().contains(&e));
+        }
+    }
+
+    /// Near-sort always returns a permutation, and with a perfect oracle
+    /// the permutation is exactly the rank order (up to value ties).
+    #[test]
+    fn near_sort_is_a_permutation(inst in instances(), seed in any::<u64>()) {
+        use crowd_core::algorithms::{max_displacement, near_sort};
+        use crowd_core::oracle::PerfectOracle;
+        use std::collections::HashSet;
+        let _ = seed;
+        let mut oracle = PerfectOracle::new(inst.clone());
+        let out = near_sort(&mut oracle, WorkerClass::Naive, &inst.ids());
+        prop_assert_eq!(out.order.len(), inst.n());
+        let distinct: HashSet<_> = out.order.iter().collect();
+        prop_assert_eq!(distinct.len(), inst.n());
+        prop_assert_eq!(max_displacement(&inst, &out.order), 0);
+    }
+
+    /// The budget planner never exceeds the budget, always picks an odd
+    /// depth, and covers as many questions as the depth affords.
+    #[test]
+    fn vote_plans_are_feasible(budget in 1u64..100_000, questions in 1u64..5_000, p in 0.0f64..0.49) {
+        use crowd_core::budget::plan_votes;
+        let plan = plan_votes(budget, questions, p).expect("p < 1/2 is plannable");
+        prop_assert_eq!(plan.votes_per_question % 2, 1);
+        prop_assert!(u64::from(plan.votes_per_question) * plan.questions_covered <= budget
+            || plan.questions_covered == 0);
+        prop_assert!(plan.questions_covered <= questions);
+        prop_assert!((0.0..=1.0).contains(&plan.per_question_error_bound));
+    }
+
+    /// RunningStats matches a direct two-pass computation.
+    #[test]
+    fn running_stats_matches_naive_computation(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = RunningStats::collect(xs.iter().copied());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+            prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        }
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Cost is linear: C(a + b) = C(a) + C(b) and scales with prices.
+    #[test]
+    fn cost_model_is_linear(n1 in 0u64..1_000_000, e1 in 0u64..10_000, n2 in 0u64..1_000_000, e2 in 0u64..10_000, ratio in 1.0f64..100.0) {
+        use crowd_core::cost::CostModel;
+        use crowd_core::oracle::ComparisonCounts;
+        let m = CostModel::with_ratio(ratio);
+        let a = ComparisonCounts { naive: n1, expert: e1 };
+        let b = ComparisonCounts { naive: n2, expert: e2 };
+        prop_assert!((m.cost(a + b) - (m.cost(a) + m.cost(b))).abs() < 1e-6);
+        prop_assert!((m.cost(a) - (n1 as f64 + ratio * e1 as f64)).abs() < 1e-6);
+    }
+}

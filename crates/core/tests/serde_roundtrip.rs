@@ -1,0 +1,82 @@
+//! Serde round-trip tests for the public data types: experiment configs
+//! and outcomes are persisted as JSON by downstream tooling, so every
+//! serializable type must survive a round trip unchanged.
+
+use crowd_core::algorithms::{ExpertMaxConfig, FilterConfig, Phase2, RandomizedConfig};
+use crowd_core::cost::CostModel;
+use crowd_core::element::{ElementId, Instance};
+use crowd_core::estimation::{EstimationConfig, TrainingSet, UnEstimate};
+use crowd_core::model::{TiePolicy, WorkerClass};
+use crowd_core::multiclass::{ClassSpec, ExpertiseLadder};
+use crowd_core::oracle::ComparisonCounts;
+use crowd_core::stats::RunningStats;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt::Debug;
+
+fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + Debug>(value: &T) {
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value, "round trip changed the value");
+}
+
+#[test]
+fn element_types_roundtrip() {
+    roundtrip(&ElementId(42));
+    roundtrip(&Instance::new(vec![1.0, 2.5, -3.0]));
+}
+
+#[test]
+fn model_types_roundtrip() {
+    roundtrip(&WorkerClass::Naive);
+    roundtrip(&WorkerClass::Expert);
+    for tie in [
+        TiePolicy::UniformRandom,
+        TiePolicy::Persistent,
+        TiePolicy::FavorLower,
+        TiePolicy::FavorHigher,
+        TiePolicy::FavorSmallerId,
+    ] {
+        roundtrip(&tie);
+    }
+}
+
+#[test]
+fn config_types_roundtrip() {
+    roundtrip(&FilterConfig::new(7).with_global_losses());
+    roundtrip(&RandomizedConfig::new(2).with_group_size(16));
+    roundtrip(&ExpertMaxConfig::new(5).with_phase2(Phase2::AllPlayAll));
+    roundtrip(&ExpertMaxConfig::new(5).with_phase2(Phase2::Randomized(RandomizedConfig::new(1))));
+    roundtrip(&EstimationConfig::new(0.4, 2.0));
+    roundtrip(&CostModel::with_ratio(20.0));
+}
+
+#[test]
+fn outcome_types_roundtrip() {
+    roundtrip(&ComparisonCounts {
+        naive: 123,
+        expert: 4,
+    });
+    roundtrip(&UnEstimate {
+        un: 9,
+        errors: 3,
+        comparisons: 49,
+    });
+    let stats = RunningStats::collect([1.0, 2.0, 3.0]);
+    roundtrip(&stats);
+}
+
+#[test]
+fn training_set_roundtrips_with_max() {
+    let ts = TrainingSet::new(Instance::new(vec![5.0, 9.0, 1.0]));
+    let json = serde_json::to_string(&ts).unwrap();
+    let back: TrainingSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.max(), ts.max());
+    assert_eq!(back.instance(), ts.instance());
+}
+
+#[test]
+fn multiclass_types_roundtrip() {
+    roundtrip(&ClassSpec::new(10.0, 0.1, 5.0));
+    roundtrip(&ExpertiseLadder::two_class(20.0, 2.0, 1.0, 50.0));
+}

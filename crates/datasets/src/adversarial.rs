@@ -1,0 +1,242 @@
+//! Adversarial instances and responders (paper Sections 4.3, 5,
+//! Appendix B/C).
+//!
+//! Three constructions back the paper's lower bounds and worst-case curves:
+//!
+//! * [`lemma7_instance`] — the Lemma 7 gadget: an element `e`, a far ring
+//!   `E1` at distance ≈ 1.5·δn, and a near ring `E2` at ≈ 0.8·δn, arranged
+//!   so that any comparison set in which `e` participates fewer than
+//!   `un(n)` times is consistent with `e` being the maximum. It drives
+//!   Corollary 1's `Ω(n·un/4)` naïve lower bound.
+//! * [`descending_chain`] — values spaced just inside `δ`, the worst case
+//!   for champion-scan style algorithms and a stressor for 2-MaxFind.
+//! * [`AdversarialOracle`] — the Section 5 worst-case responder: "in all
+//!   the comparisons of step 4 of Algorithm 3, whenever the difference is
+//!   below the threshold, we make element x lose, such as to maximize the
+//!   number of elements that go to the next round." The oracle realizes
+//!   this without knowing who `x` is by always making the element with the
+//!   larger number of *prior wins* lose below-threshold comparisons — the
+//!   round champion is exactly the recent multi-winner.
+
+use crowd_core::element::{ElementId, Instance};
+use crowd_core::model::{true_loser, true_winner, WorkerClass};
+use crowd_core::oracle::{ComparisonCounts, ComparisonOracle};
+use std::collections::HashMap;
+
+/// The Lemma 7 instance: element 0 is the designated "possible maximum"
+/// `e`; `un − 1` elements sit at distance ≈ 0.8·δn (the near ring `E2`,
+/// naïve-indistinguishable from `e`), and the remaining `n − un` at
+/// distance ≈ 1.5·δn below (the far ring `E1`).
+///
+/// Every pair of non-`e` elements is within `δn` of each other (both rings
+/// fit in an interval of width `0.1·δn` each, `0.7·δn` apart), so *their*
+/// comparisons reveal nothing; only comparisons involving `e` can rule `e`
+/// out, and it takes more than `un − 1` of them.
+///
+/// # Panics
+///
+/// Panics unless `1 <= un <= n`.
+pub fn lemma7_instance(n: usize, un: usize, delta_n: f64) -> Instance {
+    assert!(un >= 1 && un <= n, "need 1 <= un <= n");
+    assert!(delta_n > 0.0, "δn must be positive");
+    let v = 10.0 * delta_n; // e's value, comfortably above zero
+    let mut values = Vec::with_capacity(n);
+    values.push(v);
+    // Near ring E2: un - 1 distinct values in an interval of width 0.1·δn
+    // centred at distance 0.8·δn below e.
+    for i in 0..(un - 1) {
+        let offset = 0.8 * delta_n - 0.05 * delta_n + 0.1 * delta_n * (i as f64 + 1.0) / un as f64;
+        values.push(v - offset);
+    }
+    // Far ring E1: the rest, width 0.1·δn at distance 1.5·δn.
+    let far = n - un;
+    for i in 0..far {
+        let offset =
+            1.5 * delta_n - 0.05 * delta_n + 0.1 * delta_n * (i as f64 + 1.0) / (far + 1) as f64;
+        values.push(v - offset);
+    }
+    Instance::new(values)
+}
+
+/// A descending chain of `n` values spaced `spacing` apart (choose
+/// `spacing <= δ` to make every adjacent pair indistinguishable).
+pub fn descending_chain(n: usize, top: f64, spacing: f64) -> Instance {
+    assert!(n > 0, "need at least one element");
+    Instance::new((0..n).map(|i| top - i as f64 * spacing).collect())
+}
+
+/// The worst-case responder of Section 5: below the threshold, the current
+/// "champion" (the element with the most wins so far) loses, maximizing
+/// the survivors of 2-MaxFind's elimination step; above the threshold the
+/// answer is truthful.
+///
+/// Both classes share the same threshold `delta` here because the paper
+/// uses this responder to stress a *single-class* run of 2-MaxFind.
+#[derive(Debug)]
+pub struct AdversarialOracle {
+    instance: Instance,
+    delta: f64,
+    wins: HashMap<ElementId, u64>,
+    counts: ComparisonCounts,
+}
+
+impl AdversarialOracle {
+    /// Builds the responder over `instance` with threshold `delta`.
+    pub fn new(instance: Instance, delta: f64) -> Self {
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "δ must be finite and non-negative"
+        );
+        AdversarialOracle {
+            instance,
+            delta,
+            wins: HashMap::new(),
+            counts: ComparisonCounts::zero(),
+        }
+    }
+
+    /// The ground-truth instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+impl ComparisonOracle for AdversarialOracle {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        assert_ne!(
+            k, j,
+            "a worker is never handed two copies of the same element"
+        );
+        self.counts.record(class);
+        let (vk, vj) = (self.instance.value(k), self.instance.value(j));
+        let winner = if (vk - vj).abs() <= self.delta {
+            // Below threshold: the leader loses. Ties in win counts fall
+            // back to hiding the truly larger element.
+            let (wk, wj) = (
+                self.wins.get(&k).copied().unwrap_or(0),
+                self.wins.get(&j).copied().unwrap_or(0),
+            );
+            match wk.cmp(&wj) {
+                std::cmp::Ordering::Greater => j,
+                std::cmp::Ordering::Less => k,
+                std::cmp::Ordering::Equal => true_loser(k, vk, j, vj),
+            }
+        } else {
+            true_winner(k, vk, j, vj)
+        };
+        *self.wins.entry(winner).or_insert(0) += 1;
+        winner
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::algorithms::{two_max_find, two_max_find_comparison_bound};
+    use crowd_core::model::{ExpertModel, TiePolicy};
+    use crowd_core::oracle::SimulatedOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lemma7_geometry() {
+        let (n, un, dn) = (100, 10, 1.0);
+        let inst = lemma7_instance(n, un, dn);
+        assert_eq!(inst.n(), n);
+        // e (id 0) is the maximum.
+        assert_eq!(inst.max_element(), ElementId(0));
+        // Exactly un elements are naive-indistinguishable from e.
+        assert_eq!(inst.indistinguishable_from_max(dn), un);
+        // All non-e elements are mutually indistinguishable: max spread is
+        // (1.5 + 0.05) - (0.8 - 0.05) = 0.8·δn < δn.
+        for i in 1..n as u32 {
+            for j in (i + 1)..n as u32 {
+                assert!(
+                    inst.distance(ElementId(i), ElementId(j)) <= dn,
+                    "non-e pair ({i}, {j}) is distinguishable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma7_rings_are_distinct_values() {
+        let inst = lemma7_instance(30, 5, 2.0);
+        let mut vals: Vec<f64> = inst.values().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in vals.windows(2) {
+            assert!(w[1] > w[0], "values must be pairwise distinct");
+        }
+    }
+
+    #[test]
+    fn descending_chain_shape() {
+        let c = descending_chain(5, 100.0, 2.0);
+        assert_eq!(c.values(), &[100.0, 98.0, 96.0, 94.0, 92.0]);
+        assert_eq!(c.max_element(), ElementId(0));
+    }
+
+    #[test]
+    fn adversarial_oracle_is_truthful_above_threshold() {
+        let inst = Instance::new(vec![0.0, 100.0]);
+        let mut o = AdversarialOracle::new(inst, 1.0);
+        for _ in 0..5 {
+            assert_eq!(
+                o.compare(WorkerClass::Naive, ElementId(0), ElementId(1)),
+                ElementId(1)
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_oracle_dethrones_the_leader() {
+        // Three mutually indistinguishable elements: whoever accumulates
+        // wins starts losing.
+        let inst = Instance::new(vec![1.0, 1.1, 1.2]);
+        let mut o = AdversarialOracle::new(inst, 1.0);
+        let w1 = o.compare(WorkerClass::Naive, ElementId(0), ElementId(1));
+        // w1 now has 1 win; against a 0-win element it must lose.
+        let other = if w1 == ElementId(0) {
+            ElementId(1)
+        } else {
+            ElementId(0)
+        };
+        let w2 = o.compare(WorkerClass::Naive, w1, ElementId(2));
+        assert_eq!(w2, ElementId(2), "the leader must lose below threshold");
+        let w3 = o.compare(WorkerClass::Naive, w1, other);
+        assert_eq!(w3, other);
+    }
+
+    #[test]
+    fn adversary_costs_more_than_random_ties_for_two_maxfind() {
+        // The adversarial responder should force 2-MaxFind to do at least
+        // as many comparisons as benign uniform-random ties, while staying
+        // within the 2·s^{3/2} bound.
+        let n = 200;
+        let inst = descending_chain(n, 1000.0, 0.4); // all within δ = 100
+        let mut adv = AdversarialOracle::new(inst.clone(), 100.0);
+        let adv_out = two_max_find(&mut adv, WorkerClass::Naive, &inst.ids());
+
+        let model = ExpertModel::exact(100.0, 100.0, TiePolicy::UniformRandom);
+        let mut rnd = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(1));
+        let rnd_out = two_max_find(&mut rnd, WorkerClass::Naive, &inst.ids());
+
+        assert!(
+            adv_out.comparisons.naive >= rnd_out.comparisons.naive,
+            "adversary ({}) did not outcost random ({})",
+            adv_out.comparisons.naive,
+            rnd_out.comparisons.naive
+        );
+        assert!(adv_out.comparisons.naive <= two_max_find_comparison_bound(n));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= un <= n")]
+    fn lemma7_rejects_zero_un() {
+        lemma7_instance(10, 0, 1.0);
+    }
+}

@@ -1,0 +1,609 @@
+//! The CARS dataset (paper Section 3.1).
+//!
+//! The paper scraped ~5000 new cars from cars.com, then curated 110 cars
+//! with prices between $14K and $130K such that every pair differs by at
+//! least $500, avoiding repeated models per brand/year. The task "select
+//! the most expensive car" requires *acquired* knowledge: Figure 2(b) shows
+//! that for relative price differences up to 20% the crowd's accuracy
+//! plateaus at 0.6–0.7 no matter how many workers vote — the behaviour that
+//! motivates the threshold model and the introduction of experts.
+//!
+//! [`CarsCatalog`] generates a synthetic catalog with the same structural
+//! constraints, and [`CarsWorkerModel`] reproduces the plateau: the crowd
+//! shares a *perceived price* per car — the true price distorted by a
+//! persistent multiplicative bias ("the bigger German sedan must cost
+//! more") — and below the 20% threshold workers mostly rank by perceived
+//! price. Majority voting therefore converges to the *perceived* order,
+//! not the true one: accuracy plateaus, and when the perceived order of
+//! the top cluster is wrong the crowd is systematically wrong (the paper's
+//! Table 2 and its 0/14 naive-only runs).
+
+use crowd_core::element::{ElementId, Instance, Value};
+use crowd_core::model::{true_loser, true_winner, ErrorModel};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Car body styles, as shown to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BodyStyle {
+    /// Four-door sedan.
+    Sedan,
+    /// Sport-utility vehicle.
+    Suv,
+    /// Two-door coupe.
+    Coupe,
+    /// Convertible / roadster.
+    Convertible,
+    /// Hatchback.
+    Hatchback,
+    /// Pickup truck.
+    Pickup,
+}
+
+impl BodyStyle {
+    /// All styles, for generation.
+    pub const ALL: [BodyStyle; 6] = [
+        BodyStyle::Sedan,
+        BodyStyle::Suv,
+        BodyStyle::Coupe,
+        BodyStyle::Convertible,
+        BodyStyle::Hatchback,
+        BodyStyle::Pickup,
+    ];
+}
+
+/// A car listing: the limited information shown to workers plus the hidden
+/// ground-truth price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Car {
+    /// Manufacturer.
+    pub make: String,
+    /// Model name.
+    pub model: String,
+    /// Body style.
+    pub body: BodyStyle,
+    /// Number of doors.
+    pub doors: u8,
+    /// Listing price in dollars (the hidden value function).
+    pub price: f64,
+}
+
+/// Synthetic make catalog: `(make, price-band low, price-band high)` in
+/// dollars — premium brands get premium bands, so the generated data has
+/// the same "brand hints at price but does not determine it" structure that
+/// makes CARS hard.
+const MAKES: &[(&str, f64, f64)] = &[
+    ("Kiara", 14_000.0, 35_000.0),
+    ("Fordley", 16_000.0, 55_000.0),
+    ("Chevron", 16_000.0, 75_000.0),
+    ("Toyosan", 17_000.0, 50_000.0),
+    ("Hondara", 18_000.0, 45_000.0),
+    ("Volkswerk", 20_000.0, 60_000.0),
+    ("Audette", 35_000.0, 120_000.0),
+    ("Bavaria", 35_000.0, 125_000.0),
+    ("Mercatus", 38_000.0, 130_000.0),
+    ("Lexion", 36_000.0, 95_000.0),
+    ("Porschia", 55_000.0, 130_000.0),
+    ("Jaguarro", 45_000.0, 110_000.0),
+];
+
+const MODEL_SYLLABLES: &[&str] = &[
+    "Ax", "Bel", "Cor", "Dex", "El", "Fal", "Gran", "Hy", "Ion", "Jet",
+];
+
+/// A schedule of `count` ascending price targets from `lo` to (at most)
+/// `hi`: each step is the larger of a geometric growth factor and
+/// `min_gap`, with the growth factor solved by bisection so the last target
+/// lands on `hi`. The result is the right-skewed shape of real car markets:
+/// dense at the affordable end, sparse at the top.
+fn price_ladder(count: usize, lo: f64, hi: f64, min_gap: f64) -> Vec<f64> {
+    assert!(count >= 2, "a ladder needs at least two rungs");
+    let end_for = |g: f64| {
+        let mut t = lo;
+        for _ in 1..count {
+            t = (t * g).max(t + min_gap);
+        }
+        t
+    };
+    let (mut g_lo, mut g_hi) = (1.0f64, 2.0f64);
+    for _ in 0..64 {
+        let mid = (g_lo + g_hi) / 2.0;
+        if end_for(mid) > hi {
+            g_hi = mid;
+        } else {
+            g_lo = mid;
+        }
+    }
+    let g = g_lo;
+    let mut ladder = Vec::with_capacity(count);
+    let mut t = lo;
+    ladder.push(t);
+    for _ in 1..count {
+        t = (t * g).max(t + min_gap);
+        ladder.push(t);
+    }
+    ladder
+}
+
+/// A curated car catalog satisfying the paper's constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarsCatalog {
+    cars: Vec<Car>,
+}
+
+impl CarsCatalog {
+    /// Generates a catalog with the paper's constraints: `count` cars,
+    /// prices in `[14_000, 130_000]`, every pair at least `min_gap` apart
+    /// (paper: $500), one model per make/price-neighbourhood.
+    ///
+    /// Mirrors the paper's pipeline: oversample a large raw set (~5000),
+    /// then greedily curate to `count` listings respecting the gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` cars cannot fit in the price range with the
+    /// requested gap (needs `count · min_gap <= 116_000`).
+    pub fn generate<R: RngCore>(count: usize, min_gap: f64, rng: &mut R) -> Self {
+        assert!(
+            (count as f64 - 1.0) * min_gap <= 110_000.0,
+            "cannot fit {count} cars at ${min_gap} spacing into $14K-$130K"
+        );
+        // Raw scrape: ~20000 listings (the paper scraped ~5000; we
+        // oversample more to keep the greedy curation's per-pick overshoot
+        // negligible even for dense gap-dominated ladders).
+        let mut raw: Vec<Car> = (0..20_000)
+            .map(|i| {
+                let (make, lo, hi) = MAKES[rng.gen_range(0..MAKES.len())];
+                let body = BodyStyle::ALL[rng.gen_range(0..BodyStyle::ALL.len())];
+                let price = rng.gen_range(lo..hi);
+                let model = format!(
+                    "{}{} {}",
+                    MODEL_SYLLABLES[rng.gen_range(0..MODEL_SYLLABLES.len())],
+                    MODEL_SYLLABLES[rng.gen_range(0..MODEL_SYLLABLES.len())].to_lowercase(),
+                    100 + (i % 9) * 100
+                );
+                Car {
+                    make: make.to_string(),
+                    model,
+                    body,
+                    doors: if matches!(body, BodyStyle::Coupe | BodyStyle::Convertible) {
+                        2
+                    } else {
+                        4
+                    },
+                    price,
+                }
+            })
+            .collect();
+
+        // Curate: sort by price and greedily keep listings at least
+        // `min_gap` apart, at geometrically spaced price targets. Real car
+        // markets are right-skewed — many affordable cars, few expensive
+        // ones — and the paper's own Table 2 shows the same shape (only ~5
+        // cars within 20% of the $124K top car). Geometric spacing
+        // reproduces that: roughly 10% of the catalog sits within 20% of
+        // the maximum.
+        raw.retain(|c| (14_000.0..=130_000.0).contains(&c.price));
+        raw.sort_by(|a, b| a.price.partial_cmp(&b.price).expect("finite prices"));
+        let ladder = price_ladder(count, 14_000.0, 127_000.0, min_gap);
+        let mut curated: Vec<Car> = Vec::with_capacity(count);
+        for car in raw {
+            let far_enough = curated
+                .last()
+                .is_none_or(|prev: &Car| car.price - prev.price >= min_gap);
+            if far_enough && car.price >= ladder[curated.len()] {
+                curated.push(car);
+                if curated.len() == count {
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            curated.len(),
+            count,
+            "raw sample too small to curate {count} cars — increase oversampling"
+        );
+        CarsCatalog { cars: curated }
+    }
+
+    /// The paper's configuration: 110 cars, $500 minimum gap.
+    pub fn paper_default<R: RngCore>(rng: &mut R) -> Self {
+        Self::generate(110, 500.0, rng)
+    }
+
+    /// The cars, in increasing price order.
+    pub fn cars(&self) -> &[Car] {
+        &self.cars
+    }
+
+    /// Number of cars.
+    pub fn len(&self) -> usize {
+        self.cars.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cars.is_empty()
+    }
+
+    /// Downsamples `count` cars uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the catalog size.
+    pub fn downsample<R: RngCore>(&self, count: usize, rng: &mut R) -> Self {
+        use rand::seq::SliceRandom;
+        assert!(
+            count <= self.cars.len(),
+            "cannot downsample beyond the catalog"
+        );
+        let mut cars = self.cars.clone();
+        cars.shuffle(rng);
+        cars.truncate(count);
+        CarsCatalog { cars }
+    }
+
+    /// The max-finding instance: value = price; the maximum element is the
+    /// most expensive car.
+    pub fn to_instance(&self) -> Instance {
+        Instance::new(self.cars.iter().map(|c| c.price).collect())
+    }
+
+    /// The car behind an element id of [`to_instance`](Self::to_instance).
+    pub fn car_of(&self, e: ElementId) -> &Car {
+        &self.cars[e.index()]
+    }
+}
+
+/// A worker model calibrated to the paper's Figure 2(b).
+///
+/// * Above `threshold` (default 20%) relative price difference: a
+///   probabilistic error decaying in the difference — the crowd converges
+///   with more votes, as in the paper's `(0.2, 0.5]` and `(0.5, ∞)` curves.
+/// * At or below the threshold: the crowd ranks by *perceived price* — the
+///   true price times a persistent per-car bias factor drawn once from
+///   `[1 − noise, 1 + noise]` (one crowd, one shared belief per car). Each
+///   worker follows the perceived order with probability `conformity` and
+///   flips a coin otherwise. Majority voting converges to the perceived
+///   order, so accuracy plateaus — and when the shared belief misranks the
+///   top cars, the whole crowd is systematically wrong, reproducing the
+///   paper's Table 2 misrankings and 0/14 naive-only failure rate.
+///
+/// One model instance represents one crowd judging one catalog: the bias
+/// factors are keyed by element id.
+#[derive(Debug, Clone)]
+pub struct CarsWorkerModel {
+    threshold: f64,
+    conformity: f64,
+    noise: f64,
+    /// The crowd's shared bias factor per car, sampled on first sight.
+    bias: HashMap<ElementId, f64>,
+}
+
+impl CarsWorkerModel {
+    /// The calibration used in our Figure 2(b) reproduction: 20% threshold,
+    /// 80% conformity, ±45% perceived-price noise. At those settings the
+    /// plateau sits near 0.55 for near-equal prices and ~0.65-0.7 close to
+    /// the threshold — the paper's 0.6/0.7 bands — and the crowd's shared
+    /// misperception of the top cluster makes naive-only 2-MaxFind fail
+    /// almost always, as in the paper's 0/14 runs.
+    pub fn calibrated() -> Self {
+        CarsWorkerModel {
+            threshold: 0.2,
+            conformity: 0.8,
+            noise: 0.45,
+            bias: HashMap::new(),
+        }
+    }
+
+    /// The relative-difference threshold below which expertise is required.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Error probability above the threshold, decaying with distance.
+    pub fn error_probability_above(&self, r: f64) -> f64 {
+        debug_assert!(r > self.threshold);
+        (0.35 * (-4.0 * (r - self.threshold)).exp()).min(0.499)
+    }
+
+    /// The crowd's perceived value of a car (sampling the shared bias on
+    /// first sight).
+    fn perceived(&mut self, e: ElementId, value: Value, rng: &mut dyn RngCore) -> f64 {
+        let noise = self.noise;
+        let factor = *self
+            .bias
+            .entry(e)
+            .or_insert_with(|| 1.0 + rng.gen_range(-noise..noise));
+        value * factor
+    }
+}
+
+impl Default for CarsWorkerModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+impl ErrorModel for CarsWorkerModel {
+    fn compare(
+        &mut self,
+        k: ElementId,
+        vk: Value,
+        j: ElementId,
+        vj: Value,
+        rng: &mut dyn RngCore,
+    ) -> ElementId {
+        let r = crate::dots::relative_difference(vk, vj);
+        let correct = true_winner(k, vk, j, vj);
+        let wrong = true_loser(k, vk, j, vj);
+        if r > self.threshold {
+            // Wisdom-of-crowds regime.
+            return if rng.gen_bool(self.error_probability_above(r)) {
+                wrong
+            } else {
+                correct
+            };
+        }
+        // Expertise-required regime: follow the crowd's perceived order or
+        // flip a coin.
+        let (pk, pj) = (self.perceived(k, vk, rng), self.perceived(j, vj, rng));
+        if rng.gen_bool(self.conformity) {
+            true_winner(k, pk, j, pj)
+        } else if rng.gen_bool(0.5) {
+            correct
+        } else {
+            wrong
+        }
+    }
+
+    fn delta(&self) -> f64 {
+        self.threshold // in *relative* units; callers bucket by rel. diff
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.35
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::algorithms::majority_compare;
+    use crowd_core::model::{ProbabilisticModel, WorkerClass};
+    use crowd_core::oracle::ModelOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_catalog_satisfies_constraints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = CarsCatalog::paper_default(&mut rng);
+        assert_eq!(c.len(), 110);
+        for car in c.cars() {
+            assert!(
+                (14_000.0..=130_000.0).contains(&car.price),
+                "price {}",
+                car.price
+            );
+        }
+        for w in c.cars().windows(2) {
+            assert!(
+                w[1].price - w[0].price >= 500.0,
+                "gap violated: {} vs {}",
+                w[0].price,
+                w[1].price
+            );
+        }
+    }
+
+    #[test]
+    fn instance_maximum_is_most_expensive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = CarsCatalog::paper_default(&mut rng);
+        let inst = c.to_instance();
+        let m = inst.max_element();
+        let top = c.car_of(m);
+        assert!(c.cars().iter().all(|car| car.price <= top.price));
+    }
+
+    #[test]
+    fn downsample_preserves_membership() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = CarsCatalog::paper_default(&mut rng);
+        let s = c.downsample(50, &mut rng);
+        assert_eq!(s.len(), 50);
+        for car in s.cars() {
+            assert!(c.cars().contains(car));
+        }
+    }
+
+    #[test]
+    fn far_pairs_converge_with_votes() {
+        // 30_000 vs 100_000: r ≈ 0.7, deep in the convergent regime.
+        let inst = Instance::new(vec![30_000.0, 100_000.0]);
+        let mut o = ModelOracle::new(
+            inst,
+            CarsWorkerModel::calibrated(),
+            ProbabilisticModel::perfect(),
+            StdRng::seed_from_u64(4),
+        );
+        let trials = 300;
+        let ok = (0..trials)
+            .filter(|_| {
+                majority_compare(&mut o, WorkerClass::Naive, ElementId(0), ElementId(1), 21)
+                    == ElementId(1)
+            })
+            .count();
+        assert!(ok as f64 / trials as f64 > 0.95);
+    }
+
+    #[test]
+    fn close_pairs_plateau_despite_votes() {
+        // $100K vs $114K: r ≈ 0.12, below the 20% threshold. Accuracy over
+        // many *independent crowds* plateaus near prior_accuracy, not 1.
+        let trials = 400;
+        let mut ok = 0;
+        for seed in 0..trials {
+            let inst = Instance::new(vec![100_000.0, 114_000.0]);
+            // A fresh model per trial = a fresh crowd prior.
+            let mut o = ModelOracle::new(
+                inst,
+                CarsWorkerModel::calibrated(),
+                ProbabilisticModel::perfect(),
+                StdRng::seed_from_u64(1000 + seed),
+            );
+            if majority_compare(&mut o, WorkerClass::Naive, ElementId(0), ElementId(1), 21)
+                == ElementId(1)
+            {
+                ok += 1;
+            }
+        }
+        let acc = ok as f64 / trials as f64;
+        assert!(
+            (0.5..0.8).contains(&acc),
+            "plateau accuracy {acc} should sit in the paper's 0.6-0.7 band"
+        );
+    }
+
+    #[test]
+    fn more_votes_do_not_break_the_plateau() {
+        // The defining CARS property: 21 votes are no better than 7 beyond
+        // noise, because the crowd shares the prior.
+        let acc_with = |votes: u32| {
+            let trials = 300;
+            let mut ok = 0;
+            for seed in 0..trials {
+                let inst = Instance::new(vec![100_000.0, 110_000.0]);
+                let mut o = ModelOracle::new(
+                    inst,
+                    CarsWorkerModel::calibrated(),
+                    ProbabilisticModel::perfect(),
+                    StdRng::seed_from_u64(5000 + seed),
+                );
+                if majority_compare(
+                    &mut o,
+                    WorkerClass::Naive,
+                    ElementId(0),
+                    ElementId(1),
+                    votes,
+                ) == ElementId(1)
+                {
+                    ok += 1;
+                }
+            }
+            ok as f64 / trials as f64
+        };
+        let a7 = acc_with(7);
+        let a21 = acc_with(21);
+        assert!(
+            (a21 - a7).abs() < 0.12,
+            "plateau should be flat: acc(7) = {a7}, acc(21) = {a21}"
+        );
+        assert!(a21 < 0.85, "no convergence to 1 below the threshold: {a21}");
+    }
+
+    #[test]
+    fn price_ladder_is_right_skewed_and_respects_the_gap() {
+        let ladder = super::price_ladder(110, 14_000.0, 127_000.0, 500.0);
+        assert_eq!(ladder.len(), 110);
+        for w in ladder.windows(2) {
+            assert!(
+                w[1] - w[0] >= 500.0 - 1e-6,
+                "gap violated: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(*ladder.last().unwrap() <= 127_000.0 + 1.0);
+        // Right-skew: within 20% of the top there are far fewer rungs than
+        // a uniform spread would put there (uniform would give ~22).
+        let top = *ladder.last().unwrap();
+        let near_top = ladder.iter().filter(|&&p| p >= 0.8 * top).count();
+        assert!((3..=16).contains(&near_top), "near-top rungs: {near_top}");
+    }
+
+    #[test]
+    fn catalog_has_paperlike_un_at_twenty_percent() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let c = CarsCatalog::paper_default(&mut rng);
+        let inst = c.to_instance();
+        let max = inst.max_value();
+        let un = inst
+            .values()
+            .iter()
+            .filter(|&&p| (max - p) / max <= 0.2)
+            .count();
+        // The paper's Table 2 shows ~5-6 cars within 20% of the top price.
+        assert!((3..=16).contains(&un), "un at 20% = {un}");
+    }
+
+    #[test]
+    fn perceived_bias_is_persistent_per_car() {
+        // The crowd's belief about a car does not change between questions:
+        // a conforming crowd answers the same hard pair the same way.
+        let mut m = CarsWorkerModel::calibrated();
+        // Force full conformity so the perceived order fully decides.
+        m_set_conformity(&mut m);
+        let mut rng = StdRng::seed_from_u64(9);
+        let first = m.compare(ElementId(0), 100_000.0, ElementId(1), 104_000.0, &mut rng);
+        for _ in 0..50 {
+            assert_eq!(
+                m.compare(ElementId(0), 100_000.0, ElementId(1), 104_000.0, &mut rng),
+                first
+            );
+        }
+        assert_eq!(m.threshold(), 0.2);
+    }
+
+    fn m_set_conformity(m: &mut CarsWorkerModel) {
+        // Test-only knob: rebuild with conformity ~ 1 via the public parts.
+        *m = CarsWorkerModel {
+            conformity: 0.999_999,
+            ..m.clone()
+        };
+    }
+
+    #[test]
+    fn crowd_can_be_systematically_wrong_on_the_top_cluster() {
+        // Across many independent crowds, the perceived maximum of a tight
+        // top cluster frequently is not the true maximum — the Table 2
+        // phenomenon. (With 5 cars a few percent apart and ±30% bias, the
+        // true top is perceived on top only ~1/5 of the time.)
+        let mut wrong_crowds = 0;
+        let trials = 100;
+        for seed in 0..trials {
+            let mut m = CarsWorkerModel::calibrated();
+            m_set_conformity(&mut m);
+            let mut rng = StdRng::seed_from_u64(40_000 + seed);
+            // Top cluster: 5 cars within 8% of each other.
+            let prices = [120_000.0, 118_000.0, 116_000.0, 114_000.0, 112_000.0];
+            // The true max is element 0; it is "perceived on top" iff it
+            // beats every rival in the crowd's eyes.
+            let beats_all = (1..5).all(|i| {
+                m.compare(
+                    ElementId(0),
+                    prices[0],
+                    ElementId(i as u32),
+                    prices[i],
+                    &mut rng,
+                ) == ElementId(0)
+            });
+            if !beats_all {
+                wrong_crowds += 1;
+            }
+        }
+        assert!(
+            wrong_crowds > trials / 2,
+            "the crowd should usually misrank a tight cluster: {wrong_crowds}/{trials}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn impossible_gap_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        CarsCatalog::generate(1000, 500.0, &mut rng);
+    }
+}

@@ -1,0 +1,294 @@
+//! The DOTS dataset (paper Section 3.1).
+//!
+//! "A collection of images containing randomly placed dots. The number of
+//! dots in each picture ranges from 100 to 1500, with steps of 20." The
+//! golden set used for gold comparisons has 200 to 800 dots with step 20.
+//! The task is to select the image with *fewer* dots, so in the max-finding
+//! framing an image's value is the *negated* dot count.
+//!
+//! Counting dots is a wisdom-of-crowds task: the paper's Figure 2(a) shows
+//! single-worker accuracy rising with the relative count difference and
+//! majority accuracy approaching 1 as more workers vote, for every
+//! difference bucket. [`DotsWorkerModel`] reproduces that behaviour: a
+//! probabilistic error whose rate decays exponentially with the relative
+//! difference (a Weber–Fechner-style psychometric curve), always strictly
+//! below 1/2 for distinct counts so that voting always converges.
+
+use crowd_core::element::{ElementId, Instance, Value};
+use crowd_core::model::ErrorModel;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// One dot image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DotsImage {
+    /// Number of dots in the image.
+    pub dots: u32,
+}
+
+/// The DOTS dataset: a list of dot images.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DotsDataset {
+    images: Vec<DotsImage>,
+}
+
+impl DotsDataset {
+    /// The paper's main grid: 100 to 1500 dots in steps of 20 (71 images).
+    pub fn paper_grid() -> Self {
+        DotsDataset {
+            images: (100..=1500)
+                .step_by(20)
+                .map(|dots| DotsImage { dots })
+                .collect(),
+        }
+    }
+
+    /// The paper's golden set: 200 to 800 dots in steps of 20 (31 images).
+    pub fn golden_grid() -> Self {
+        DotsDataset {
+            images: (200..=800)
+                .step_by(20)
+                .map(|dots| DotsImage { dots })
+                .collect(),
+        }
+    }
+
+    /// A custom grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid or a zero step.
+    pub fn grid(from: u32, to: u32, step: u32) -> Self {
+        assert!(step > 0, "step must be positive");
+        assert!(from <= to, "empty grid");
+        DotsDataset {
+            images: (from..=to)
+                .step_by(step as usize)
+                .map(|dots| DotsImage { dots })
+                .collect(),
+        }
+    }
+
+    /// The images.
+    pub fn images(&self) -> &[DotsImage] {
+        &self.images
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Downsamples `count` images uniformly at random (the paper uses
+    /// n = 50 for the CrowdFlower experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the dataset size.
+    pub fn downsample<R: RngCore>(&self, count: usize, rng: &mut R) -> Self {
+        use rand::seq::SliceRandom;
+        assert!(
+            count <= self.images.len(),
+            "cannot downsample beyond the dataset"
+        );
+        let mut images = self.images.clone();
+        images.shuffle(rng);
+        images.truncate(count);
+        DotsDataset { images }
+    }
+
+    /// The max-finding instance: the task is "select the image with the
+    /// minimum number of dots", so value = −dots and the maximum element is
+    /// the sparsest image.
+    pub fn to_instance(&self) -> Instance {
+        Instance::new(self.images.iter().map(|im| -(im.dots as f64)).collect())
+    }
+
+    /// Dot count of the image behind an element id of
+    /// [`to_instance`](Self::to_instance).
+    pub fn dots_of(&self, e: ElementId) -> u32 {
+        self.images[e.index()].dots
+    }
+}
+
+/// Relative difference between two dot counts (or any two magnitudes):
+/// `|a − b| / max(a, b)` — the bucketing quantity of Figure 2.
+pub fn relative_difference(a: f64, b: f64) -> f64 {
+    let (a, b) = (a.abs(), b.abs());
+    let m = a.max(b);
+    if m == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / m
+    }
+}
+
+/// A worker model calibrated to the paper's Figure 2(a).
+///
+/// The error probability for a pair at relative difference `r` is
+/// `p(r) = p0 · exp(−decay · r)`: roughly 0.4 for near-identical counts
+/// (the red `[0, 0.1]` curve starts near 0.55–0.6 accuracy), dropping
+/// below 0.1 for differences above 30%. Because `p(r) < 1/2` whenever the
+/// counts differ, majority voting converges to perfect accuracy — the
+/// defining property of the wisdom-of-crowds regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DotsWorkerModel {
+    /// Error probability at zero relative difference (must be `< 1/2` for
+    /// distinct counts to remain learnable... the default keeps it at 0.45).
+    pub p0: f64,
+    /// Exponential decay rate of the error in the relative difference.
+    pub decay: f64,
+}
+
+impl DotsWorkerModel {
+    /// The calibration used in our Figure 2(a) reproduction.
+    pub fn calibrated() -> Self {
+        DotsWorkerModel {
+            p0: 0.45,
+            decay: 8.0,
+        }
+    }
+
+    /// Error probability at relative difference `r`.
+    pub fn error_probability(&self, r: f64) -> f64 {
+        (self.p0 * (-self.decay * r).exp()).min(0.499)
+    }
+}
+
+impl Default for DotsWorkerModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+impl ErrorModel for DotsWorkerModel {
+    fn compare(
+        &mut self,
+        k: ElementId,
+        vk: Value,
+        j: ElementId,
+        vj: Value,
+        rng: &mut dyn RngCore,
+    ) -> ElementId {
+        let r = relative_difference(vk, vj);
+        let p = if vk == vj {
+            0.5
+        } else {
+            self.error_probability(r)
+        };
+        let correct = crowd_core::model::true_winner(k, vk, j, vj);
+        let wrong = if correct == k { j } else { k };
+        if rng.gen_bool(p) {
+            wrong
+        } else {
+            correct
+        }
+    }
+
+    fn delta(&self) -> f64 {
+        0.0 // probabilistic regime: no hard threshold
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.p0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_grids_have_the_right_shape() {
+        let main = DotsDataset::paper_grid();
+        assert_eq!(main.len(), 71);
+        assert_eq!(main.images()[0].dots, 100);
+        assert_eq!(main.images()[70].dots, 1500);
+        let gold = DotsDataset::golden_grid();
+        assert_eq!(gold.len(), 31);
+        assert_eq!(gold.images()[0].dots, 200);
+        assert_eq!(gold.images()[30].dots, 800);
+    }
+
+    #[test]
+    fn instance_maximum_is_the_sparsest_image() {
+        let d = DotsDataset::paper_grid();
+        let inst = d.to_instance();
+        let m = inst.max_element();
+        assert_eq!(d.dots_of(m), 100);
+        assert_eq!(inst.max_value(), -100.0);
+    }
+
+    #[test]
+    fn downsample_keeps_count_and_membership() {
+        let d = DotsDataset::paper_grid();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = d.downsample(50, &mut rng);
+        assert_eq!(s.len(), 50);
+        for im in s.images() {
+            assert!(d.images().contains(im));
+        }
+    }
+
+    #[test]
+    fn relative_difference_examples() {
+        assert_eq!(relative_difference(180.0, 200.0), 0.1);
+        assert_eq!(relative_difference(200.0, 180.0), 0.1);
+        assert_eq!(relative_difference(0.0, 0.0), 0.0);
+        assert!((relative_difference(-100.0, -150.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_probability_decays_and_stays_below_half() {
+        let m = DotsWorkerModel::calibrated();
+        assert!(m.error_probability(0.0) < 0.5);
+        assert!(m.error_probability(0.05) > m.error_probability(0.2));
+        assert!(m.error_probability(0.2) > m.error_probability(0.5));
+        assert!(m.error_probability(1.0) < 0.01);
+    }
+
+    #[test]
+    fn majority_voting_converges_on_dots() {
+        // The wisdom-of-crowds property: 21 votes beat 1 vote on the
+        // hardest bucket.
+        use crowd_core::algorithms::majority_compare;
+        use crowd_core::model::{ProbabilisticModel, WorkerClass};
+        use crowd_core::oracle::{ComparisonOracle, ModelOracle};
+
+        // 180 vs 200 dots → values −180, −200; rel diff 0.1.
+        let inst = Instance::new(vec![-180.0, -200.0]);
+        let mut o = ModelOracle::new(
+            inst,
+            DotsWorkerModel::calibrated(),
+            ProbabilisticModel::perfect(),
+            StdRng::seed_from_u64(2),
+        );
+        let trials = 300;
+        let single = (0..trials)
+            .filter(|_| o.compare(WorkerClass::Naive, ElementId(0), ElementId(1)) == ElementId(0))
+            .count();
+        let majority = (0..trials)
+            .filter(|_| {
+                majority_compare(&mut o, WorkerClass::Naive, ElementId(0), ElementId(1), 21)
+                    == ElementId(0)
+            })
+            .count();
+        assert!(majority > single, "majority {majority} <= single {single}");
+        assert!(majority as f64 / trials as f64 > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the dataset")]
+    fn oversized_downsample_panics() {
+        let d = DotsDataset::golden_grid();
+        let mut rng = StdRng::seed_from_u64(3);
+        d.downsample(1000, &mut rng);
+    }
+}

@@ -1,0 +1,36 @@
+//! # crowd-datasets
+//!
+//! Workload generators reproducing the datasets of *"The Importance of
+//! Being Expert"* (SIGMOD 2015). The paper's data came from image
+//! generation, a cars.com scrape, and Google result lists; since none of
+//! those are shippable, each generator synthesizes data with the same
+//! structural properties and pairs it with a worker model calibrated to the
+//! paper's measured accuracy curves (Figure 2):
+//!
+//! * [`dots`] — the DOTS dot-counting images (wisdom-of-crowds regime:
+//!   accuracy converges with more votes).
+//! * [`cars`] — the CARS price-comparison catalog (expertise regime:
+//!   accuracy plateaus at 0.6–0.7 below a 20% relative difference).
+//! * [`synthetic`] — uniform and planted-`un(n)` instances driving the
+//!   simulation figures (3–7, 9, 10).
+//! * [`adversarial`] — the Lemma 7 lower-bound gadget, descending chains,
+//!   and the worst-case responder behind the paper's worst-case curves.
+//! * [`search`] — the Section 5.3 search-result evaluation scenario.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod cars;
+pub mod dots;
+pub mod search;
+pub mod synthetic;
+
+pub use adversarial::{descending_chain, lemma7_instance, AdversarialOracle};
+pub use cars::{BodyStyle, Car, CarsCatalog, CarsWorkerModel};
+pub use dots::{relative_difference, DotsDataset, DotsImage, DotsWorkerModel};
+pub use search::{SearchResult, SearchResultSet};
+pub use synthetic::{
+    paper_parameter_grid, planted_instance, uniform_instance, PlantedInstance, VALUE_RANGE,
+};

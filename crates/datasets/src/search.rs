@@ -1,0 +1,237 @@
+//! The search-result evaluation scenario (paper Section 5.3).
+//!
+//! The paper's most realistic application: for the queries *"asymmetric tsp
+//! best approximation"* and *"steiner tree best approximation"*, 50 Google
+//! results were sampled uniformly from the top-100 positions. Each query
+//! has a clear best result (the paper/link with the recently published best
+//! approximation bound) that only domain experts (algorithms researchers)
+//! reliably recognize; crowd workers can weed out obviously irrelevant
+//! pages but cannot separate the several plausible-looking survey pages,
+//! lecture notes and older papers near the top.
+//!
+//! [`SearchResultSet`] synthesizes result lists with exactly that
+//! structure: a planted best result, a cluster of near-misses whose
+//! relevance differences fall below the naïve threshold, and a long tail of
+//! decreasingly relevant pages.
+
+use crowd_core::element::{ElementId, Instance};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Rank position in the engine's top-100 (1-based).
+    pub position: u32,
+    /// Display title.
+    pub title: String,
+    /// Hidden ground-truth relevance in `[0, 100]` (the value function:
+    /// expert judges would converge on this).
+    pub relevance: f64,
+}
+
+/// A synthesized result list for one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResultSet {
+    query: String,
+    results: Vec<SearchResult>,
+    /// Relevance separation below which crowd workers cannot rank two
+    /// results (the naïve threshold in relevance units).
+    naive_delta: f64,
+    /// Separation below which even experts disagree (judge
+    /// inter-agreement "is not perfect").
+    expert_delta: f64,
+}
+
+impl SearchResultSet {
+    /// Synthesizes a result set following the paper's protocol: `count`
+    /// results at positions sampled uniformly from the top-100, one planted
+    /// clear best (relevance 100), a near cluster of `near_misses` results
+    /// within the naïve threshold of each other (old papers, surveys,
+    /// lecture notes), and a tail whose relevance decays with position.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `count >= near_misses + 1` and `count <= 100`.
+    pub fn synthesize<R: RngCore>(
+        query: &str,
+        count: usize,
+        near_misses: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            count > near_misses,
+            "need room for the best result and its rivals"
+        );
+        assert!(count <= 100, "results are sampled from the top-100");
+        let naive_delta = 12.0;
+        let expert_delta = 1.0;
+
+        // Sample distinct positions from 1..=100.
+        let mut positions: Vec<u32> = (1..=100).collect();
+        use rand::seq::SliceRandom;
+        positions.shuffle(rng);
+        positions.truncate(count);
+        positions.sort_unstable();
+
+        let mut results = Vec::with_capacity(count);
+        // The planted best: the recent paper with the current best bound.
+        results.push(SearchResult {
+            position: positions[0],
+            title: format!("[PDF] An improved approximation for {query} (new)"),
+            relevance: 100.0,
+        });
+        // Near misses: within the naïve threshold of the best, but more
+        // than the expert threshold below it.
+        for (i, &pos) in positions[1..=near_misses].iter().enumerate() {
+            let gap = rng.gen_range(2.0 * expert_delta..naive_delta * 0.9);
+            results.push(SearchResult {
+                position: pos,
+                title: format!("Survey of {query} techniques, part {}", i + 1),
+                relevance: 100.0 - gap,
+            });
+        }
+        // The tail: relevance decays with position, well below the cluster.
+        for &pos in &positions[near_misses + 1..] {
+            let base = 70.0 - 0.55 * pos as f64;
+            let relevance = (base + rng.gen_range(-5.0..5.0)).clamp(0.0, 75.0);
+            results.push(SearchResult {
+                position: pos,
+                title: format!("Blog post about {query} at rank {pos}"),
+                relevance,
+            });
+        }
+
+        results.shuffle(rng);
+        SearchResultSet {
+            query: query.to_string(),
+            results,
+            naive_delta,
+            expert_delta,
+        }
+    }
+
+    /// The paper's two queries, at its parameters (50 results each).
+    pub fn paper_queries<R: RngCore>(rng: &mut R) -> [SearchResultSet; 2] {
+        [
+            Self::synthesize("asymmetric tsp best approximation", 50, 8, rng),
+            Self::synthesize("steiner tree best approximation", 50, 8, rng),
+        ]
+    }
+
+    /// The query string.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// The results, in presentation order.
+    pub fn results(&self) -> &[SearchResult] {
+        &self.results
+    }
+
+    /// Number of results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The naïve threshold `δn` in relevance units.
+    pub fn naive_delta(&self) -> f64 {
+        self.naive_delta
+    }
+
+    /// The expert threshold `δe` in relevance units.
+    pub fn expert_delta(&self) -> f64 {
+        self.expert_delta
+    }
+
+    /// The max-finding instance (value = hidden relevance).
+    pub fn to_instance(&self) -> Instance {
+        Instance::new(self.results.iter().map(|r| r.relevance).collect())
+    }
+
+    /// The result behind an element id of [`to_instance`](Self::to_instance).
+    pub fn result_of(&self, e: ElementId) -> &SearchResult {
+        &self.results[e.index()]
+    }
+
+    /// The true `un(n)` of this result set at its naïve threshold.
+    pub fn true_un(&self) -> usize {
+        self.to_instance()
+            .indistinguishable_from_max(self.naive_delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthesis_matches_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = SearchResultSet::synthesize("steiner tree best approximation", 50, 8, &mut rng);
+        assert_eq!(s.len(), 50);
+        let inst = s.to_instance();
+        // One clear best at relevance 100.
+        assert_eq!(inst.max_value(), 100.0);
+        // The near cluster keeps un(n) in the paper's experimented range.
+        let un = s.true_un();
+        assert!((2..=12).contains(&un), "un = {un}");
+        // Experts can single out the best: ue = 1.
+        assert_eq!(inst.indistinguishable_from_max(s.expert_delta()), 1);
+    }
+
+    #[test]
+    fn positions_are_distinct_and_top_100() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = SearchResultSet::synthesize("asymmetric tsp", 50, 5, &mut rng);
+        let mut positions: Vec<u32> = s.results().iter().map(|r| r.position).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        assert_eq!(positions.len(), 50);
+        assert!(positions.iter().all(|&p| (1..=100).contains(&p)));
+    }
+
+    #[test]
+    fn paper_queries_build_both_sets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let [a, b] = SearchResultSet::paper_queries(&mut rng);
+        assert!(a.query().contains("asymmetric tsp"));
+        assert!(b.query().contains("steiner tree"));
+        assert_eq!(a.len(), 50);
+        assert_eq!(b.len(), 50);
+    }
+
+    #[test]
+    fn best_result_is_findable_through_instance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = SearchResultSet::synthesize("q", 30, 4, &mut rng);
+        let inst = s.to_instance();
+        let best = s.result_of(inst.max_element());
+        assert!(best.title.contains("improved approximation"));
+    }
+
+    #[test]
+    fn tail_is_well_separated_from_cluster() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = SearchResultSet::synthesize("q", 50, 8, &mut rng);
+        let mut rel: Vec<f64> = s.results().iter().map(|r| r.relevance).collect();
+        rel.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Cluster occupies the top 9 (best + 8 near misses); the tail sits
+        // at least one naive threshold below the best.
+        assert!(rel[9] < 100.0 - s.naive_delta());
+    }
+
+    #[test]
+    #[should_panic(expected = "room for the best result")]
+    fn too_many_near_misses_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        SearchResultSet::synthesize("q", 5, 5, &mut rng);
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic instances for the simulation experiments (paper Section 5).
+//!
+//! "We selected n random values independently and uniformly at random from
+//! a range. We experimented with various values for the parameters n, δn,
+//! and δe; the last two, in particular, define the values of un(n) and
+//! ue(n)." Two generators cover the two ways the paper uses this setup:
+//!
+//! * [`uniform_instance`] — plain i.i.d. uniform values; the realized
+//!   `un(n)` is whatever the draw produced (report it with
+//!   [`Instance::indistinguishable_from_max`]).
+//! * [`planted_instance`] — values constructed so that the realized
+//!   `un(n)`/`ue(n)` *equal* given targets, which is how the figures are
+//!   labeled (`un(n) = 10, ue(n) = 5` etc.). The construction places
+//!   `ue − 1` elements within `δe` of the maximum, `un − ue` more between
+//!   `δe` and `δn`, and everything else far below.
+
+use crowd_core::element::Instance;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// The value range used throughout the simulations.
+pub const VALUE_RANGE: f64 = 1_000_000.0;
+
+/// `n` values drawn i.i.d. uniform from `[0, range)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `range <= 0`.
+pub fn uniform_instance<R: RngCore>(n: usize, range: f64, rng: &mut R) -> Instance {
+    assert!(n > 0, "need at least one element");
+    assert!(range > 0.0, "range must be positive");
+    Instance::new((0..n).map(|_| rng.gen_range(0.0..range)).collect())
+}
+
+/// A planted instance together with the thresholds that realize its
+/// `un(n)`/`ue(n)` targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedInstance {
+    /// The instance (element 0 is *not* necessarily the maximum — ids are
+    /// shuffled).
+    pub instance: Instance,
+    /// The naïve threshold `δn` realizing `un(n)`.
+    pub delta_n: f64,
+    /// The expert threshold `δe` realizing `ue(n)`.
+    pub delta_e: f64,
+    /// The planted `un(n)` (elements within `δn` of the max, incl. the max).
+    pub un: usize,
+    /// The planted `ue(n)`.
+    pub ue: usize,
+}
+
+/// Builds an instance with exact `un(n)` and `ue(n)`.
+///
+/// Layout (before shuffling), with `V = VALUE_RANGE`, `δn = V/100`,
+/// `δe = δn/20`:
+///
+/// * the maximum at `V`;
+/// * `ue − 1` elements in `(V − δe, V)` — expert-indistinguishable;
+/// * `un − ue` elements in `(V − δn, V − 2δe)` — naïve- but not
+///   expert-indistinguishable;
+/// * `n − un` elements in `[0, V − 3δn)` — distinguishable by everyone,
+///   uniformly spread (so their pairwise comparisons look like the paper's
+///   uniform data).
+///
+/// # Panics
+///
+/// Panics unless `1 <= ue <= un <= n` and the far region can hold
+/// `n − un` elements.
+pub fn planted_instance<R: RngCore>(
+    n: usize,
+    un: usize,
+    ue: usize,
+    rng: &mut R,
+) -> PlantedInstance {
+    assert!(
+        ue >= 1,
+        "ue >= 1 (the maximum is indistinguishable from itself)"
+    );
+    assert!(
+        ue <= un,
+        "expert-indistinguishable implies naive-indistinguishable"
+    );
+    assert!(un <= n, "un cannot exceed n");
+
+    let v = VALUE_RANGE;
+    let delta_n = v / 100.0;
+    let delta_e = delta_n / 20.0;
+
+    let mut values = Vec::with_capacity(n);
+    values.push(v);
+    for _ in 1..ue {
+        values.push(v - rng.gen_range(0.0..delta_e) * 0.999 - delta_e * 0.0005);
+    }
+    for _ in ue..un {
+        // Strictly inside (V - δn, V - 2δe]: naive-indistinguishable from
+        // the max but more than δe away from everything near the top.
+        values.push(v - rng.gen_range(2.0 * delta_e..delta_n * 0.999));
+    }
+    for _ in un..n {
+        values.push(rng.gen_range(0.0..(v - 3.0 * delta_n)));
+    }
+
+    // Shuffle so the maximum is not id 0.
+    use rand::seq::SliceRandom;
+    values.shuffle(rng);
+    let instance = Instance::new(values);
+
+    debug_assert_eq!(instance.indistinguishable_from_max(delta_n), un);
+    debug_assert_eq!(instance.indistinguishable_from_max(delta_e), ue);
+
+    PlantedInstance {
+        instance,
+        delta_n,
+        delta_e,
+        un,
+        ue,
+    }
+}
+
+/// The `(n, un, ue)` grid of the paper's Figures 3–7: `n` from 1000 to 5000
+/// in steps of 1000, crossed with `(un, ue) ∈ {(10, 5), (50, 10)}`.
+pub fn paper_parameter_grid() -> Vec<(usize, usize, usize)> {
+    let mut grid = Vec::new();
+    for &(un, ue) in &[(10usize, 5usize), (50, 10)] {
+        for n in (1000..=5000).step_by(1000) {
+            grid.push((n, un, ue));
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_values_lie_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = uniform_instance(500, 100.0, &mut rng);
+        assert_eq!(inst.n(), 500);
+        assert!(inst.values().iter().all(|&v| (0.0..100.0).contains(&v)));
+    }
+
+    #[test]
+    fn planted_realizes_exact_targets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(n, un, ue) in &[(1000, 10, 5), (2000, 50, 10), (100, 3, 1), (50, 5, 5)] {
+            let p = planted_instance(n, un, ue, &mut rng);
+            assert_eq!(p.instance.n(), n);
+            assert_eq!(
+                p.instance.indistinguishable_from_max(p.delta_n),
+                un,
+                "un for n={n}"
+            );
+            assert_eq!(
+                p.instance.indistinguishable_from_max(p.delta_e),
+                ue,
+                "ue for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_max_is_shuffled_away_from_id_zero_sometimes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20)
+            .filter(|_| {
+                planted_instance(100, 5, 2, &mut rng)
+                    .instance
+                    .max_element()
+                    .index()
+                    == 0
+            })
+            .count();
+        assert!(hits < 10, "the maximum should not be pinned at id 0");
+    }
+
+    #[test]
+    fn planted_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // un = ue = 1: the maximum alone in both neighbourhoods.
+        let p = planted_instance(100, 1, 1, &mut rng);
+        assert_eq!(p.instance.indistinguishable_from_max(p.delta_n), 1);
+        // un = n: everything within δn (degenerate but legal).
+        let p = planted_instance(10, 10, 2, &mut rng);
+        assert_eq!(p.instance.indistinguishable_from_max(p.delta_n), 10);
+    }
+
+    #[test]
+    fn paper_grid_covers_both_settings() {
+        let grid = paper_parameter_grid();
+        assert_eq!(grid.len(), 10);
+        assert!(grid.contains(&(1000, 10, 5)));
+        assert!(grid.contains(&(5000, 50, 10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ue >= 1")]
+    fn zero_ue_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        planted_instance(10, 5, 0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "implies naive-indistinguishable")]
+    fn inverted_targets_panic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        planted_instance(10, 2, 5, &mut rng);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the dataset generators: the structural
+//! constraints each generator promises must hold for every parameter
+//! combination and seed.
+
+use crowd_core::element::ElementId;
+use crowd_core::model::{ErrorModel, WorkerClass};
+use crowd_core::oracle::ComparisonOracle;
+use crowd_datasets::adversarial::{descending_chain, lemma7_instance, AdversarialOracle};
+use crowd_datasets::cars::{CarsCatalog, CarsWorkerModel};
+use crowd_datasets::dots::{relative_difference, DotsDataset, DotsWorkerModel};
+use crowd_datasets::search::SearchResultSet;
+use crowd_datasets::synthetic::planted_instance;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planted instances realize their un/ue targets exactly, for any
+    /// admissible parameter combination.
+    #[test]
+    fn planted_targets_are_exact(n in 2usize..500, un_frac in 0.0f64..1.0, ue_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let un = ((n as f64 * un_frac) as usize).clamp(1, n);
+        let ue = ((un as f64 * ue_frac) as usize).clamp(1, un);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = planted_instance(n, un, ue, &mut rng);
+        prop_assert_eq!(p.instance.n(), n);
+        prop_assert_eq!(p.instance.indistinguishable_from_max(p.delta_n), un);
+        prop_assert_eq!(p.instance.indistinguishable_from_max(p.delta_e), ue);
+        prop_assert!(p.delta_e <= p.delta_n);
+    }
+
+    /// The Lemma 7 gadget always has its defining geometry: element 0 is
+    /// the maximum, exactly `un` elements are naive-indistinguishable from
+    /// it, and all other elements are mutually indistinguishable.
+    #[test]
+    fn lemma7_geometry_holds(n in 2usize..120, un_frac in 0.0f64..1.0, delta in 0.1f64..50.0) {
+        let un = ((n as f64 * un_frac) as usize).clamp(1, n);
+        let inst = lemma7_instance(n, un, delta);
+        prop_assert_eq!(inst.max_element(), ElementId(0));
+        prop_assert_eq!(inst.indistinguishable_from_max(delta), un);
+        for i in 1..n as u32 {
+            for j in (i + 1)..n as u32 {
+                prop_assert!(inst.distance(ElementId(i), ElementId(j)) <= delta);
+            }
+        }
+    }
+
+    /// Descending chains are strictly decreasing with uniform spacing.
+    #[test]
+    fn chains_are_uniform(n in 1usize..200, top in -100.0f64..100.0, spacing in 0.001f64..10.0) {
+        let c = descending_chain(n, top, spacing);
+        prop_assert_eq!(c.n(), n);
+        prop_assert_eq!(c.max_element(), ElementId(0));
+        for w in c.values().windows(2) {
+            prop_assert!((w[0] - w[1] - spacing).abs() < 1e-9);
+        }
+    }
+
+    /// Any generated CARS catalog satisfies the paper's constraints: price
+    /// range, minimum gap, requested size.
+    #[test]
+    fn cars_constraints(count in 10usize..150, gap in 100.0f64..800.0, seed in any::<u64>()) {
+        prop_assume!((count as f64 - 1.0) * gap <= 105_000.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = CarsCatalog::generate(count, gap, &mut rng);
+        prop_assert_eq!(c.len(), count);
+        for car in c.cars() {
+            prop_assert!((14_000.0..=130_000.0).contains(&car.price));
+        }
+        for w in c.cars().windows(2) {
+            prop_assert!(w[1].price - w[0].price >= gap - 1e-6);
+        }
+    }
+
+    /// DOTS grids are exactly the arithmetic progressions requested, and
+    /// the worker model's error is always a probability below 1/2.
+    #[test]
+    fn dots_grid_and_model(from in 10u32..500, extra in 1u32..1000, step in 1u32..50, r in 0.0f64..2.0) {
+        let d = DotsDataset::grid(from, from + extra, step);
+        prop_assert!(!d.is_empty());
+        for (i, im) in d.images().iter().enumerate() {
+            prop_assert_eq!(im.dots, from + i as u32 * step);
+        }
+        let m = DotsWorkerModel::calibrated();
+        let p = m.error_probability(r);
+        prop_assert!((0.0..0.5).contains(&p));
+    }
+
+    /// Relative difference is symmetric, in [0, 1] for same-sign values,
+    /// and zero exactly on equal magnitudes.
+    #[test]
+    fn relative_difference_properties(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let r = relative_difference(a, b);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert_eq!(r, relative_difference(b, a));
+        if a == b {
+            prop_assert_eq!(r, 0.0);
+        }
+    }
+
+    /// Search result sets always plant one clear best, distinct top-100
+    /// positions, and an expert-resolvable top (ue = 1).
+    #[test]
+    fn search_structure(count in 10usize..100, near in 1usize..9, seed in any::<u64>()) {
+        prop_assume!(count > near);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = SearchResultSet::synthesize("q", count, near, &mut rng);
+        let inst = s.to_instance();
+        prop_assert_eq!(inst.max_value(), 100.0);
+        prop_assert_eq!(inst.indistinguishable_from_max(s.expert_delta()), 1);
+        prop_assert!(s.true_un() >= near.min(count));
+        let mut positions: Vec<u32> = s.results().iter().map(|r| r.position).collect();
+        positions.sort_unstable();
+        let before = positions.len();
+        positions.dedup();
+        prop_assert_eq!(positions.len(), before);
+    }
+
+    /// The CARS worker model is deterministic above the threshold (with
+    /// ε-free far answers) and closed (always returns one of the pair).
+    #[test]
+    fn cars_model_closure(v1 in 10_000.0f64..130_000.0, v2 in 10_000.0f64..130_000.0, seed in any::<u64>()) {
+        prop_assume!(v1 != v2);
+        let mut m = CarsWorkerModel::calibrated();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = m.compare(ElementId(0), v1, ElementId(1), v2, &mut rng);
+        prop_assert!(w == ElementId(0) || w == ElementId(1));
+    }
+
+    /// The adversarial oracle is truthful above its threshold and closed
+    /// below it.
+    #[test]
+    fn adversarial_oracle_contract(n in 2usize..50, delta in 0.1f64..100.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        let inst = crowd_core::element::Instance::new(values);
+        let mut o = AdversarialOracle::new(inst.clone(), delta);
+        for i in 0..(n as u32).min(10) {
+            for j in (i + 1)..(n as u32).min(10) {
+                let (a, b) = (ElementId(i), ElementId(j));
+                let w = o.compare(WorkerClass::Naive, a, b);
+                prop_assert!(w == a || w == b);
+                if inst.distance(a, b) > delta {
+                    let truth = if inst.value(a) > inst.value(b) { a } else { b };
+                    prop_assert_eq!(w, truth);
+                }
+            }
+        }
+    }
+}

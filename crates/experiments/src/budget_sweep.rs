@@ -1,0 +1,137 @@
+//! Budget sweep — what naïve money can and cannot buy.
+//!
+//! Two sweeps sharing one table, quantifying the paper's central message
+//! from the budget angle (the Mo et al. \[23\] problem from the related
+//! work):
+//!
+//! * under the **probabilistic** model (DOTS-like), accuracy improves
+//!   steadily with budget: the planner deepens the per-question majority
+//!   as money allows;
+//! * under the **threshold** model (CARS-like), accuracy saturates at the
+//!   wall set by `δn` — past a modest budget, every extra dollar is
+//!   wasted, and only experts (not money) move the needle.
+
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+use crowd_core::budget::budgeted_max_scan;
+use crowd_core::element::Instance;
+use crowd_core::model::{ExpertModel, TiePolicy};
+use crowd_core::oracle::SimulatedOracle;
+use crowd_core::stats::RunningStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Budgets to sweep (naïve votes).
+pub const BUDGETS: [u64; 5] = [200, 1_000, 5_000, 25_000, 125_000];
+
+fn uniform_instance(n: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Instance::new((0..n).map(|_| rng.gen_range(0.0..1_000_000.0)).collect())
+}
+
+/// Average true rank of the budgeted scan under the probabilistic model
+/// with per-vote error `p`.
+pub fn probabilistic_rank(n: usize, p: f64, budget: u64, trials: u64, seed: u64) -> f64 {
+    let mut stats = RunningStats::new();
+    for t in 0..trials {
+        let inst = uniform_instance(n, seed ^ (t << 16));
+        let model = ExpertModel::new(0.0, p, 0.0, 0.0, TiePolicy::UniformRandom);
+        let mut oracle = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed + t));
+        let out = budgeted_max_scan(&mut oracle, &inst.ids(), budget, p)
+            .expect("p < 1/2 always has a plan");
+        stats.push(inst.rank(out.winner) as f64);
+    }
+    stats.mean()
+}
+
+/// Average true rank of the budgeted scan under the threshold model with
+/// discernment `delta` (the scan plans as if the residual sub-threshold
+/// error were `p_planning`).
+pub fn threshold_rank(
+    n: usize,
+    delta: f64,
+    p_planning: f64,
+    budget: u64,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    let mut stats = RunningStats::new();
+    for t in 0..trials {
+        let inst = uniform_instance(n, seed ^ (t << 16));
+        let model = ExpertModel::exact(delta, delta, TiePolicy::UniformRandom);
+        let mut oracle = SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed + t));
+        let out = budgeted_max_scan(&mut oracle, &inst.ids(), budget, p_planning)
+            .expect("planning error < 1/2");
+        stats.push(inst.rank(out.winner) as f64);
+    }
+    stats.mean()
+}
+
+/// Runs the sweep.
+pub fn run(scale: &Scale) -> Table {
+    let n = 500;
+    let trials = scale.trials.max(5);
+    let p = 0.35;
+    let delta = 20_000.0; // ~10 elements indistinguishable from the max
+
+    let mut t = Table::new(
+        "budget_sweep",
+        &format!("Budgeted naive max-finding: average rank vs budget (n={n}, p={p}, δn={delta})"),
+        &["budget", "probabilistic model", "threshold model"],
+    )
+    .with_notes(
+        "Probabilistic (DOTS-like) workers: rank improves steadily with \
+         budget. Threshold (CARS-like) workers: rank saturates at the δn \
+         wall — money cannot replace expertise.",
+    );
+    for &b in &BUDGETS {
+        t.push_row(vec![
+            b.to_string(),
+            fmt_f64(probabilistic_rank(n, p, b, trials, scale.seed ^ 0xb1), 2),
+            fmt_f64(threshold_rank(n, delta, p, b, trials, scale.seed ^ 0xb2), 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilistic_accuracy_improves_with_budget() {
+        let poor = probabilistic_rank(300, 0.35, 400, 10, 1);
+        let rich = probabilistic_rank(300, 0.35, 60_000, 10, 1);
+        assert!(
+            rich < poor,
+            "a 150x budget should buy accuracy: poor {poor}, rich {rich}"
+        );
+        assert!(
+            rich < 4.0,
+            "a rich probabilistic scan should nearly nail it: {rich}"
+        );
+    }
+
+    #[test]
+    fn threshold_accuracy_saturates() {
+        // Between a solid and a huge budget, the threshold model barely
+        // moves: the δn wall.
+        let solid = threshold_rank(300, 40_000.0, 0.35, 20_000, 12, 2);
+        let huge = threshold_rank(300, 40_000.0, 0.35, 150_000, 12, 2);
+        assert!(
+            huge + 3.0 > solid,
+            "threshold accuracy should saturate: solid {solid}, huge {huge}"
+        );
+        // And it saturates *above* perfect: the wall is real.
+        assert!(
+            huge > 1.5,
+            "the δn wall should keep the rank above ~un/2: {huge}"
+        );
+    }
+
+    #[test]
+    fn table_has_all_budgets() {
+        let t = run(&Scale::quick());
+        assert_eq!(t.rows.len(), BUDGETS.len());
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 10 — Algorithm 1's *worst-case* cost under mis-estimation of
+//! `un(n)`: the theoretical bound `cn·4·n·un_est + ce·2·(2·un_est)^{3/2}`
+//! priced for the six estimation factors, `ce ∈ {10, 20, 50}` (six panels).
+//!
+//! Expected shape: like Figure 7 but from the closed-form bound — the
+//! worst-case cost scales linearly in the estimation factor through the
+//! dominant naïve term.
+
+use crate::harness::{scaled_un, ESTIMATION_FACTORS};
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+use crowd_core::bounds;
+use crowd_core::cost::CostModel;
+
+/// Builds one panel.
+pub fn run_panel(id: &str, scale: &Scale, un: usize, ue: usize, ce: f64) -> Table {
+    let prices = CostModel::with_ratio(ce);
+    let headers: Vec<String> = std::iter::once("n".to_string())
+        .chain(ESTIMATION_FACTORS.iter().map(|f| format!("factor {f}")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        id,
+        &format!(
+            "Alg 1 worst-case cost vs n under un-estimation factors, ce={ce}, un={un}, ue={ue}"
+        ),
+        &headers_ref,
+    )
+    .with_notes(
+        "Worst case = theoretical bound 4·n·un_est naive + 2·(2·un_est)^1.5 \
+         expert comparisons, as in the paper. ue is fixed by the instance \
+         and does not enter the bound.",
+    );
+    let _ = ue;
+    for &n in &scale.n_grid {
+        let mut row = vec![n.to_string()];
+        for &f in &ESTIMATION_FACTORS {
+            let u = scaled_un(un, f);
+            row.push(fmt_f64(
+                bounds::algorithm1_cost_upper_bound(n, u, &prices),
+                0,
+            ));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Runs all six panels (fig10a–fig10f).
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let mut tables = Vec::with_capacity(6);
+    let mut panel = 'a';
+    for &ce in &crate::fig5::EXPERT_PRICES {
+        for &(un, ue) in &crate::fig3::SETTINGS {
+            tables.push(run_panel(&format!("fig10{panel}"), scale, un, ue, ce));
+            panel = (panel as u8 + 1) as char;
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_cost_scales_with_factor() {
+        let t = run_panel("fig10x", &Scale::quick(), 10, 5, 10.0);
+        for row in &t.rows {
+            let c1: f64 = row[4].parse().unwrap(); // factor 1
+            let c2: f64 = row[6].parse().unwrap(); // factor 2
+            let ratio = c2 / c1;
+            assert!(
+                (1.8..=2.6).contains(&ratio),
+                "factor 2 should roughly double the bound, got {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_linear_in_n_per_factor() {
+        let t = run_panel("fig10y", &Scale::quick(), 10, 5, 10.0);
+        let first: f64 = t.rows[0][4].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[4].parse().unwrap();
+        assert!(last > first);
+    }
+
+    #[test]
+    fn run_emits_six_panels() {
+        assert_eq!(run(&Scale::quick()).len(), 6);
+    }
+}

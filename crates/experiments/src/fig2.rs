@@ -1,0 +1,264 @@
+//! Figure 2 — worker accuracy vs. number of majority voters, per
+//! relative-difference bucket, on DOTS (a) and CARS (b).
+//!
+//! Methodology (paper Section 3.1): for each comparison pair, collect 21
+//! independent judgments; for every prefix of 1, 3, …, 21 voters compute
+//! the majority answer and record whether it is correct; average per
+//! bucket of relative difference.
+//!
+//! Expected shapes:
+//! * **DOTS** — every bucket's accuracy climbs towards 1 as voters are
+//!   added (wisdom of crowds);
+//! * **CARS** — buckets above 20% climb towards 1, buckets at or below 20%
+//!   plateau around 0.6–0.7 (expertise barrier).
+
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+use crowd_core::algorithms::majority_prefix_correct;
+use crowd_core::element::{ElementId, Instance};
+use crowd_core::model::{ProbabilisticModel, WorkerClass};
+use crowd_core::oracle::ModelOracle;
+use crowd_datasets::cars::{CarsCatalog, CarsWorkerModel};
+use crowd_datasets::dots::{relative_difference, DotsDataset, DotsWorkerModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The voter counts plotted on the x-axis (odd prefixes of 21 judgments).
+pub const VOTER_COUNTS: [u32; 11] = [1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21];
+
+/// A relative-difference bucket `(lo, hi]` (`lo = 0` means inclusive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Lower edge (exclusive, except 0).
+    pub lo: f64,
+    /// Upper edge (inclusive; `f64::INFINITY` for the open bucket).
+    pub hi: f64,
+}
+
+impl Bucket {
+    fn contains(&self, r: f64) -> bool {
+        (r > self.lo || (self.lo == 0.0 && r >= 0.0)) && r <= self.hi
+    }
+
+    fn label(&self) -> String {
+        if self.hi.is_infinite() {
+            format!("({:.1},inf)", self.lo)
+        } else if self.lo == 0.0 {
+            format!("[0,{:.1}]", self.hi)
+        } else {
+            format!("({:.1},{:.1}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// The paper's DOTS buckets.
+pub const DOTS_BUCKETS: [Bucket; 4] = [
+    Bucket { lo: 0.0, hi: 0.1 },
+    Bucket { lo: 0.1, hi: 0.2 },
+    Bucket { lo: 0.2, hi: 0.3 },
+    Bucket {
+        lo: 0.3,
+        hi: f64::INFINITY,
+    },
+];
+
+/// The paper's CARS buckets.
+pub const CARS_BUCKETS: [Bucket; 4] = [
+    Bucket { lo: 0.0, hi: 0.1 },
+    Bucket { lo: 0.1, hi: 0.2 },
+    Bucket { lo: 0.2, hi: 0.5 },
+    Bucket {
+        lo: 0.5,
+        hi: f64::INFINITY,
+    },
+];
+
+/// Samples `per_bucket` element pairs from `instance` into each bucket
+/// (by relative difference of the values), or fewer if a bucket is rare.
+fn sample_pairs<R: Rng>(
+    instance: &Instance,
+    buckets: &[Bucket],
+    per_bucket: usize,
+    rng: &mut R,
+) -> Vec<Vec<(ElementId, ElementId)>> {
+    let n = instance.n();
+    let mut out: Vec<Vec<(ElementId, ElementId)>> = vec![Vec::new(); buckets.len()];
+    let mut attempts = 0usize;
+    let max_attempts = per_bucket * buckets.len() * 400;
+    while out.iter().any(|b| b.len() < per_bucket) && attempts < max_attempts {
+        attempts += 1;
+        let i = rng.gen_range(0..n) as u32;
+        let j = rng.gen_range(0..n) as u32;
+        if i == j {
+            continue;
+        }
+        let (k, l) = (ElementId(i), ElementId(j));
+        let r = relative_difference(instance.value(k), instance.value(l));
+        if let Some(idx) = buckets.iter().position(|b| b.contains(r)) {
+            if out[idx].len() < per_bucket {
+                out[idx].push((k, l));
+            }
+        }
+    }
+    out
+}
+
+/// Majority accuracy per (bucket, voter count) over an oracle.
+fn accuracy_matrix<O: crowd_core::oracle::ComparisonOracle>(
+    oracle: &mut O,
+    instance: &Instance,
+    pairs_per_bucket: &[Vec<(ElementId, ElementId)>],
+) -> Vec<Vec<f64>> {
+    pairs_per_bucket
+        .iter()
+        .map(|pairs| {
+            let mut correct_at = vec![0u64; VOTER_COUNTS.len()];
+            for &(k, j) in pairs {
+                let truth = if instance.value(k) >= instance.value(j) {
+                    k
+                } else {
+                    j
+                };
+                let prefix = majority_prefix_correct(oracle, WorkerClass::Naive, k, j, truth, 21);
+                for (slot, &v) in VOTER_COUNTS.iter().enumerate() {
+                    if prefix[(v - 1) as usize] {
+                        correct_at[slot] += 1;
+                    }
+                }
+            }
+            correct_at
+                .iter()
+                .map(|&c| c as f64 / pairs.len().max(1) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+fn matrix_to_table(
+    id: &str,
+    title: &str,
+    notes: &str,
+    buckets: &[Bucket],
+    matrix: &[Vec<f64>],
+) -> Table {
+    let mut headers = vec!["workers".to_string()];
+    headers.extend(buckets.iter().map(Bucket::label));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(id, title, &headers_ref).with_notes(notes);
+    for (slot, &v) in VOTER_COUNTS.iter().enumerate() {
+        let mut row = vec![v.to_string()];
+        for b in matrix {
+            row.push(fmt_f64(b[slot], 3));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Runs the Figure 2(a) reproduction (DOTS).
+pub fn run_dots(scale: &Scale) -> Table {
+    let dataset = DotsDataset::paper_grid();
+    let instance = dataset.to_instance();
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x2a);
+    let pairs = sample_pairs(&instance, &DOTS_BUCKETS, scale.pairs_per_bucket, &mut rng);
+    let mut oracle = ModelOracle::new(
+        instance.clone(),
+        DotsWorkerModel::calibrated(),
+        ProbabilisticModel::perfect(),
+        StdRng::seed_from_u64(scale.seed ^ 0x2b),
+    );
+    let matrix = accuracy_matrix(&mut oracle, &instance, &pairs);
+    matrix_to_table(
+        "fig2a",
+        "DOTS: majority accuracy vs number of workers",
+        "Expected shape: every bucket climbs towards 1.0 as workers are added \
+         (wisdom of crowds); harder buckets start lower and climb slower.",
+        &DOTS_BUCKETS,
+        &matrix,
+    )
+}
+
+/// Runs the Figure 2(b) reproduction (CARS).
+pub fn run_cars(scale: &Scale) -> Table {
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x2c);
+    let catalog = CarsCatalog::paper_default(&mut rng);
+    let instance = catalog.to_instance();
+    let pairs = sample_pairs(&instance, &CARS_BUCKETS, scale.pairs_per_bucket, &mut rng);
+    let mut oracle = ModelOracle::new(
+        instance.clone(),
+        CarsWorkerModel::calibrated(),
+        ProbabilisticModel::perfect(),
+        StdRng::seed_from_u64(scale.seed ^ 0x2d),
+    );
+    let matrix = accuracy_matrix(&mut oracle, &instance, &pairs);
+    matrix_to_table(
+        "fig2b",
+        "CARS: majority accuracy vs number of workers",
+        "Expected shape: buckets above 20% relative price difference climb \
+         towards 1.0; buckets at or below 20% plateau around 0.6-0.7 — adding \
+         workers does not help (the expertise barrier).",
+        &CARS_BUCKETS,
+        &matrix,
+    )
+}
+
+/// Parses the final-row accuracies back out of a Figure 2 table (used by
+/// tests and the experiment summary).
+pub fn final_accuracies(table: &Table) -> Vec<f64> {
+    let last = table.rows.last().expect("table has rows");
+    last[1..]
+        .iter()
+        .map(|c| c.parse().expect("numeric cell"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_classify_correctly() {
+        assert!(DOTS_BUCKETS[0].contains(0.0));
+        assert!(DOTS_BUCKETS[0].contains(0.1));
+        assert!(!DOTS_BUCKETS[0].contains(0.11));
+        assert!(DOTS_BUCKETS[3].contains(0.9));
+        assert_eq!(DOTS_BUCKETS[0].label(), "[0,0.1]");
+        assert_eq!(DOTS_BUCKETS[1].label(), "(0.1,0.2]");
+        assert_eq!(DOTS_BUCKETS[3].label(), "(0.3,inf)");
+    }
+
+    #[test]
+    fn dots_accuracy_converges_with_workers() {
+        let t = run_dots(&Scale::quick());
+        assert_eq!(t.rows.len(), VOTER_COUNTS.len());
+        let finals = final_accuracies(&t);
+        // All buckets should end close to 1 with 21 workers.
+        for (i, acc) in finals.iter().enumerate() {
+            assert!(*acc >= 0.7, "bucket {i} final accuracy {acc}");
+        }
+        // And the single-worker accuracy must be visibly worse for the
+        // hardest bucket.
+        let first: f64 = t.rows[0][1].parse().unwrap();
+        assert!(first < finals[0] + 0.01, "no improvement from voting");
+    }
+
+    #[test]
+    fn cars_hard_buckets_plateau() {
+        let t = run_cars(&Scale::quick());
+        let finals = final_accuracies(&t);
+        // The two hard buckets (<= 20%) must NOT converge to 1...
+        assert!(finals[0] < 0.9, "hardest bucket converged: {}", finals[0]);
+        assert!(finals[1] < 0.95, "second bucket converged: {}", finals[1]);
+        // ...while the easy buckets do.
+        assert!(finals[2] > 0.8, "(0.2,0.5] should converge: {}", finals[2]);
+        assert!(finals[3] > 0.9, "(0.5,inf) should converge: {}", finals[3]);
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = run_dots(&Scale::quick());
+        let md = t.to_markdown();
+        assert!(md.contains("fig2a"));
+        assert!(t.to_csv().lines().count() == VOTER_COUNTS.len() + 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 3 — accuracy (average true rank of the returned element) as a
+//! function of `n`, for the three approaches, at
+//! `(un, ue) ∈ {(10, 5), (50, 10)}`.
+//!
+//! Expected shape: 2-MaxFind-expert is best (rank ≈ 1–2), Algorithm 1
+//! follows closely, and 2-MaxFind-naïve is clearly worse — and degrades as
+//! `un(n)` grows (panel b much worse than panel a).
+
+use crate::harness::{average_rank, Approach};
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+
+/// The two `(un, ue)` settings of the paper's panels.
+pub const SETTINGS: [(usize, usize); 2] = [(10, 5), (50, 10)];
+
+/// Runs one panel.
+pub fn run_panel(scale: &Scale, un: usize, ue: usize, panel: char) -> Table {
+    let mut t = Table::new(
+        &format!("fig3{panel}"),
+        &format!("Average true rank of returned element, un={un}, ue={ue}"),
+        &["n", "2-MaxFind-expert", "Alg 1", "2-MaxFind-naive"],
+    )
+    .with_notes(
+        "Rank 1 = the true maximum. Expected: expert best, Alg 1 close \
+         behind, naive clearly worse (and worse for larger un).",
+    );
+    for &n in &scale.n_grid {
+        let mut row = vec![n.to_string()];
+        for approach in Approach::ALL {
+            let (rank, _) = average_rank(approach, n, un, ue, 1.0, scale.trials, scale.seed);
+            row.push(fmt_f64(rank, 2));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Runs both panels.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    SETTINGS
+        .iter()
+        .zip(['a', 'b'])
+        .map(|(&(un, ue), panel)| run_panel(scale, un, ue, panel))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_shape_and_ordering() {
+        let scale = Scale::quick();
+        let t = run_panel(&scale, 10, 5, 'a');
+        assert_eq!(t.rows.len(), scale.n_grid.len());
+        for row in &t.rows {
+            let expert: f64 = row[1].parse().unwrap();
+            let alg1: f64 = row[2].parse().unwrap();
+            let naive: f64 = row[3].parse().unwrap();
+            // The paper's headline ordering, with slack for quick-scale noise.
+            assert!(expert <= alg1 + 2.0, "expert {expert} vs alg1 {alg1}");
+            assert!(alg1 <= naive + 1.0, "alg1 {alg1} vs naive {naive}");
+        }
+    }
+
+    #[test]
+    fn run_emits_both_panels() {
+        let tables = run(&Scale::quick());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].id, "fig3a");
+        assert_eq!(tables[1].id, "fig3b");
+    }
+}

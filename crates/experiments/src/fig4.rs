@@ -1,0 +1,178 @@
+//! Figure 4 — number of naïve and expert comparisons as a function of `n`
+//! (log-scale in the paper), average and worst case.
+//!
+//! As in the paper: average counts are measured on random planted
+//! instances; Algorithm 1's worst case is the theoretical upper bound
+//! (`4·n·un` naïve, `2·(2·un)^{3/2}` expert — "we considered the upper
+//! bound predicted by the theory"); the baselines' worst case is measured
+//! against the adversarial responder that makes the champion lose every
+//! below-threshold comparison.
+//!
+//! Expected shape: Alg 1's expert comparisons are flat in `n` (they depend
+//! only on `|S| ≈ 2·un`), while its naïve comparisons grow linearly; the
+//! single-class baselines grow like `n^{3/2}` in the worst case.
+
+use crate::harness::{average_rank, planted_for, Approach};
+use crate::report::Table;
+use crate::scale::Scale;
+use crowd_core::algorithms::two_max_find;
+use crowd_core::bounds;
+use crowd_core::model::WorkerClass;
+use crowd_core::oracle::ComparisonOracle;
+use crowd_datasets::adversarial::AdversarialOracle;
+
+/// Measures the worst-case comparisons of single-class 2-MaxFind:
+/// adversarial *data* plus adversarial *responses*, as in the paper ("the
+/// adversarial data were created so as to maximize the number of
+/// comparisons of 2-MaxFind").
+///
+/// The data is a maximally clustered instance — every pair within the
+/// class threshold — and the responder dethrones the current leader, so
+/// each elimination round removes only the round champion's tournament
+/// victims (≈ √n/2 elements): the elimination loop runs for the maximum
+/// ≈ 2√n rounds and the comparison count approaches the `2·n^{3/2}`
+/// Theorem 1 ceiling.
+pub fn adversarial_two_maxfind_count(
+    n: usize,
+    un: usize,
+    ue: usize,
+    class: WorkerClass,
+    seed: u64,
+) -> u64 {
+    // Thresholds from the panel's planted setting, data crafted separately.
+    let planted = planted_for(n, un, ue, seed, 0);
+    let delta = match class {
+        WorkerClass::Naive => planted.delta_n,
+        WorkerClass::Expert => planted.delta_e,
+    };
+    let spacing = delta / (2.0 * n as f64); // whole instance spans < δ/2
+    let instance = crowd_datasets::descending_chain(n, 10.0 * delta, spacing);
+    let mut oracle = AdversarialOracle::new(instance.clone(), delta);
+    two_max_find(&mut oracle, class, &instance.ids());
+    oracle.counts().of(class)
+}
+
+/// Runs one panel.
+pub fn run_panel(scale: &Scale, un: usize, ue: usize, panel: char) -> Table {
+    let mut t = Table::new(
+        &format!("fig4{panel}"),
+        &format!("Comparisons vs n (log scale in the paper), un={un}, ue={ue}"),
+        &[
+            "n",
+            "Alg1 naive (avg)",
+            "Alg1 naive (wc)",
+            "Alg1 expert (avg)",
+            "Alg1 expert (wc)",
+            "2MF-naive (avg)",
+            "2MF-naive (wc)",
+            "2MF-expert (avg)",
+            "2MF-expert (wc)",
+        ],
+    )
+    .with_notes(
+        "Alg 1 worst case = theoretical bound (as in the paper); baseline \
+         worst case = adversarial responder. Expected: Alg 1 expert counts \
+         flat in n; naive counts linear; baselines ~ n^1.5 worst case.",
+    );
+
+    for &n in &scale.n_grid {
+        let (_, alg1_counts) =
+            average_rank(Approach::Alg1, n, un, ue, 1.0, scale.trials, scale.seed);
+        let (_, naive_counts) = average_rank(
+            Approach::TwoMaxFindNaive,
+            n,
+            un,
+            ue,
+            1.0,
+            scale.trials,
+            scale.seed,
+        );
+        let (_, expert_counts) = average_rank(
+            Approach::TwoMaxFindExpert,
+            n,
+            un,
+            ue,
+            1.0,
+            scale.trials,
+            scale.seed,
+        );
+
+        t.push_row(vec![
+            n.to_string(),
+            alg1_counts.naive.to_string(),
+            bounds::phase1_upper_bound(n, un).to_string(),
+            alg1_counts.expert.to_string(),
+            bounds::two_maxfind_upper_bound(2 * un).to_string(),
+            naive_counts.naive.to_string(),
+            adversarial_two_maxfind_count(n, un, ue, WorkerClass::Naive, scale.seed).to_string(),
+            expert_counts.expert.to_string(),
+            adversarial_two_maxfind_count(n, un, ue, WorkerClass::Expert, scale.seed).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Runs both panels.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    crate::fig3::SETTINGS
+        .iter()
+        .zip(['a', 'b'])
+        .map(|(&(un, ue), panel)| run_panel(scale, un, ue, panel))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alg1_expert_counts_are_flat_in_n() {
+        let scale = Scale::quick();
+        let t = run_panel(&scale, 10, 5, 'a');
+        let experts: Vec<u64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let (min, max) = (
+            *experts.iter().min().unwrap(),
+            *experts.iter().max().unwrap(),
+        );
+        // Flat means "bounded by a constant independent of n": the spread
+        // should be far below the growth of the naive counts.
+        assert!(max <= 3 * min.max(1), "expert counts not flat: {experts:?}");
+    }
+
+    #[test]
+    fn alg1_naive_counts_grow_and_respect_bound() {
+        let scale = Scale::quick();
+        let t = run_panel(&scale, 10, 5, 'a');
+        for row in &t.rows {
+            let n: usize = row[0].parse().unwrap();
+            let avg: u64 = row[1].parse().unwrap();
+            let wc: u64 = row[2].parse().unwrap();
+            assert!(
+                avg <= wc,
+                "avg {avg} exceeds the theory bound {wc} at n={n}"
+            );
+        }
+        let first: u64 = t.rows[0][1].parse().unwrap();
+        let last: u64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last > first, "naive counts should grow with n");
+    }
+
+    #[test]
+    fn adversarial_worst_case_dominates_average() {
+        let scale = Scale::quick();
+        let t = run_panel(&scale, 10, 5, 'a');
+        for row in &t.rows {
+            let avg: u64 = row[7].parse().unwrap();
+            let wc: u64 = row[8].parse().unwrap();
+            // The adversary can only make things worse (with slack: the avg
+            // is over different random instances).
+            assert!(wc * 2 >= avg, "wc {wc} implausibly below avg {avg}");
+        }
+    }
+
+    #[test]
+    fn run_emits_both_panels() {
+        let tables = run(&Scale::quick());
+        assert_eq!(tables.len(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Figure 5 — average monetary cost `C(n)` as a function of `n`, with
+//! `cn = 1` and `ce ∈ {10, 20, 50}`, for the three approaches (six panels:
+//! three expert prices × two `(un, ue)` settings).
+//!
+//! Expected shape: 2-MaxFind-naïve is always cheapest (but inaccurate —
+//! see Figure 3); Algorithm 1 beats 2-MaxFind-expert once `ce/cn` is
+//! large and/or `n` is large, with the crossover around `ce/cn ≈ 10`.
+
+use crate::harness::{average_rank, Approach};
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+use crowd_core::cost::CostModel;
+use crowd_core::oracle::ComparisonCounts;
+
+/// The paper's expert-price sweep.
+pub const EXPERT_PRICES: [f64; 3] = [10.0, 20.0, 50.0];
+
+/// Gathers average comparison counts per approach per `n` (shared with
+/// Figure 7's cost computation).
+pub fn average_counts(scale: &Scale, un: usize, ue: usize) -> Vec<(usize, [ComparisonCounts; 3])> {
+    scale
+        .n_grid
+        .iter()
+        .map(|&n| {
+            let counts = [
+                average_rank(
+                    Approach::TwoMaxFindExpert,
+                    n,
+                    un,
+                    ue,
+                    1.0,
+                    scale.trials,
+                    scale.seed,
+                )
+                .1,
+                average_rank(Approach::Alg1, n, un, ue, 1.0, scale.trials, scale.seed).1,
+                average_rank(
+                    Approach::TwoMaxFindNaive,
+                    n,
+                    un,
+                    ue,
+                    1.0,
+                    scale.trials,
+                    scale.seed,
+                )
+                .1,
+            ];
+            (n, counts)
+        })
+        .collect()
+}
+
+/// Builds one cost panel from pre-measured counts.
+pub fn panel_from_counts(
+    id: &str,
+    un: usize,
+    ue: usize,
+    ce: f64,
+    counts: &[(usize, [ComparisonCounts; 3])],
+) -> Table {
+    let prices = CostModel::with_ratio(ce);
+    let mut t = Table::new(
+        id,
+        &format!("Average cost C(n), cn=1, ce={ce}, un={un}, ue={ue}"),
+        &["n", "2-MaxFind-expert", "Alg 1", "2-MaxFind-naive"],
+    )
+    .with_notes(
+        "Expected: naive cheapest (but inaccurate); Alg 1 undercuts \
+         2-MaxFind-expert as ce/cn and n grow (crossover near ce/cn = 10).",
+    );
+    for (n, per_approach) in counts {
+        t.push_row(vec![
+            n.to_string(),
+            fmt_f64(prices.cost(per_approach[0]), 0),
+            fmt_f64(prices.cost(per_approach[1]), 0),
+            fmt_f64(prices.cost(per_approach[2]), 0),
+        ]);
+    }
+    t
+}
+
+/// Runs all six panels (fig5a–fig5f, ordered as in the paper: rows by
+/// `ce`, columns by setting). Counts are measured once per setting and
+/// re-priced per panel.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let measured: Vec<_> = crate::fig3::SETTINGS
+        .iter()
+        .map(|&(un, ue)| (un, ue, average_counts(scale, un, ue)))
+        .collect();
+    let mut tables = Vec::with_capacity(6);
+    let mut panel = 'a';
+    for &ce in &EXPERT_PRICES {
+        for (un, ue, counts) in &measured {
+            tables.push(panel_from_counts(
+                &format!("fig5{panel}"),
+                *un,
+                *ue,
+                ce,
+                counts,
+            ));
+            panel = (panel as u8 + 1) as char;
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(t: &Table, col: usize) -> Vec<f64> {
+        t.rows.iter().map(|r| r[col].parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn high_expert_price_favors_alg1() {
+        // At ce = 50 and the larger n of the quick grid, Alg 1 should be
+        // cheaper than 2-MaxFind-expert.
+        let scale = Scale::quick();
+        let counts = average_counts(&scale, 10, 5);
+        let t = panel_from_counts("fig5x", 10, 5, 50.0, &counts);
+        let expert = costs(&t, 1);
+        let alg1 = costs(&t, 2);
+        let last = expert.len() - 1;
+        assert!(
+            alg1[last] < expert[last],
+            "Alg 1 ({}) should undercut 2-MaxFind-expert ({}) at ce=50",
+            alg1[last],
+            expert[last]
+        );
+    }
+
+    #[test]
+    fn naive_baseline_is_cheapest() {
+        let scale = Scale::quick();
+        let counts = average_counts(&scale, 10, 5);
+        let t = panel_from_counts("fig5y", 10, 5, 10.0, &counts);
+        for row in &t.rows {
+            let expert: f64 = row[1].parse().unwrap();
+            let naive: f64 = row[3].parse().unwrap();
+            assert!(
+                naive <= expert,
+                "naive {naive} not cheapest vs expert {expert}"
+            );
+        }
+    }
+
+    #[test]
+    fn costs_scale_with_expert_price() {
+        let scale = Scale::quick();
+        let counts = average_counts(&scale, 10, 5);
+        let t10 = panel_from_counts("a", 10, 5, 10.0, &counts);
+        let t50 = panel_from_counts("b", 10, 5, 50.0, &counts);
+        let e10 = costs(&t10, 1);
+        let e50 = costs(&t50, 1);
+        for (a, b) in e10.iter().zip(&e50) {
+            assert!(
+                (b / a - 5.0).abs() < 1e-9,
+                "expert-only cost must scale by ce"
+            );
+        }
+    }
+
+    #[test]
+    fn run_emits_six_panels() {
+        let tables = run(&Scale::quick());
+        assert_eq!(tables.len(), 6);
+        assert_eq!(tables[0].id, "fig5a");
+        assert_eq!(tables[5].id, "fig5f");
+    }
+}

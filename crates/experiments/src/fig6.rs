@@ -1,0 +1,80 @@
+//! Figure 6 — Algorithm 1's accuracy under mis-estimation of `un(n)`:
+//! average true rank vs `n` for estimation factors
+//! {0.2, 0.5, 0.8, 1, 1.2, 2}.
+//!
+//! Expected shape: overestimation (1.2×, 2×) does not hurt accuracy;
+//! underestimation degrades it gradually — mild at 0.8×, visible at 0.5×,
+//! clear at 0.2× — because the maximum can be evicted in Phase 1
+//! (quantified separately by `phase1_survival`).
+
+use crate::harness::{average_rank, Approach, ESTIMATION_FACTORS};
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+
+/// Runs one panel.
+pub fn run_panel(scale: &Scale, un: usize, ue: usize, panel: char) -> Table {
+    let headers: Vec<String> = std::iter::once("n".to_string())
+        .chain(ESTIMATION_FACTORS.iter().map(|f| format!("factor {f}")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        &format!("fig6{panel}"),
+        &format!("Alg 1 average rank vs n under un-estimation factors, un={un}, ue={ue}"),
+        &headers_ref,
+    )
+    .with_notes(
+        "Expected: factors >= 1 match factor 1; underestimation degrades \
+         accuracy (worst at 0.2).",
+    );
+    for &n in &scale.n_grid {
+        let mut row = vec![n.to_string()];
+        for &f in &ESTIMATION_FACTORS {
+            let (rank, _) = average_rank(Approach::Alg1, n, un, ue, f, scale.trials, scale.seed);
+            row.push(fmt_f64(rank, 2));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Runs both panels.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    crate::fig3::SETTINGS
+        .iter()
+        .zip(['a', 'b'])
+        .map(|(&(un, ue), panel)| run_panel(scale, un, ue, panel))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overestimation_is_harmless_underestimation_hurts() {
+        let scale = Scale::quick();
+        let t = run_panel(&scale, 20, 5, 'a');
+        for row in &t.rows {
+            let f02: f64 = row[1].parse().unwrap();
+            let f10: f64 = row[4].parse().unwrap();
+            let f20: f64 = row[6].parse().unwrap();
+            // Overestimation within noise of exact.
+            assert!(
+                (f20 - f10).abs() <= 2.0,
+                "factor 2 ({f20}) should match factor 1 ({f10})"
+            );
+            // Severe underestimation should not be better than exact.
+            assert!(
+                f02 + 0.5 >= f10,
+                "factor 0.2 ({f02}) should not beat factor 1 ({f10})"
+            );
+        }
+    }
+
+    #[test]
+    fn run_emits_both_panels() {
+        let tables = run(&Scale::quick());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].headers.len(), 1 + ESTIMATION_FACTORS.len());
+    }
+}

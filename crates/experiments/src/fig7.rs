@@ -1,0 +1,124 @@
+//! Figure 7 — Algorithm 1's average cost under mis-estimation of `un(n)`:
+//! `C(n)` vs `n` for the six estimation factors, at `cn = 1`,
+//! `ce ∈ {10, 20, 50}` (six panels).
+//!
+//! Expected shape: "the cost has a smooth linear behavior; an estimation
+//! factor of 2 doubles the cost" — cost scales roughly linearly with the
+//! estimation factor, because Phase 1 performs `O(n · un_est)` naïve
+//! comparisons.
+
+use crate::harness::{average_rank, Approach, ESTIMATION_FACTORS};
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+use crowd_core::cost::CostModel;
+use crowd_core::oracle::ComparisonCounts;
+
+/// Average comparison counts per (n, estimation factor) for Algorithm 1.
+pub fn factor_counts(scale: &Scale, un: usize, ue: usize) -> Vec<(usize, Vec<ComparisonCounts>)> {
+    scale
+        .n_grid
+        .iter()
+        .map(|&n| {
+            let counts = ESTIMATION_FACTORS
+                .iter()
+                .map(|&f| average_rank(Approach::Alg1, n, un, ue, f, scale.trials, scale.seed).1)
+                .collect();
+            (n, counts)
+        })
+        .collect()
+}
+
+/// Builds one priced panel from measured counts.
+pub fn panel_from_counts(
+    id: &str,
+    un: usize,
+    ue: usize,
+    ce: f64,
+    counts: &[(usize, Vec<ComparisonCounts>)],
+) -> Table {
+    let prices = CostModel::with_ratio(ce);
+    let headers: Vec<String> = std::iter::once("n".to_string())
+        .chain(ESTIMATION_FACTORS.iter().map(|f| format!("factor {f}")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        id,
+        &format!("Alg 1 average cost vs n under un-estimation factors, ce={ce}, un={un}, ue={ue}"),
+        &headers_ref,
+    )
+    .with_notes("Expected: cost scales ~linearly with the estimation factor.");
+    for (n, per_factor) in counts {
+        let mut row = vec![n.to_string()];
+        for c in per_factor {
+            row.push(fmt_f64(prices.cost(*c), 0));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Runs all six panels (fig7a–fig7f).
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let measured: Vec<_> = crate::fig3::SETTINGS
+        .iter()
+        .map(|&(un, ue)| (un, ue, factor_counts(scale, un, ue)))
+        .collect();
+    let mut tables = Vec::with_capacity(6);
+    let mut panel = 'a';
+    for &ce in &crate::fig5::EXPERT_PRICES {
+        for (un, ue, counts) in &measured {
+            tables.push(panel_from_counts(
+                &format!("fig7{panel}"),
+                *un,
+                *ue,
+                ce,
+                counts,
+            ));
+            panel = (panel as u8 + 1) as char;
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_roughly_linearly_with_factor() {
+        let scale = Scale::quick();
+        let counts = factor_counts(&scale, 20, 5);
+        let t = panel_from_counts("fig7x", 20, 5, 10.0, &counts);
+        for row in &t.rows {
+            let c1: f64 = row[4].parse().unwrap(); // factor 1
+            let c2: f64 = row[6].parse().unwrap(); // factor 2
+            let ratio = c2 / c1;
+            assert!(
+                (1.3..=3.0).contains(&ratio),
+                "doubling the factor changed cost by {ratio}, expected ~2"
+            );
+        }
+    }
+
+    #[test]
+    fn underestimation_is_cheaper() {
+        let scale = Scale::quick();
+        let counts = factor_counts(&scale, 20, 5);
+        let t = panel_from_counts("fig7y", 20, 5, 10.0, &counts);
+        for row in &t.rows {
+            let c02: f64 = row[1].parse().unwrap();
+            let c1: f64 = row[4].parse().unwrap();
+            assert!(
+                c02 < c1,
+                "factor 0.2 ({c02}) should cost less than factor 1 ({c1})"
+            );
+        }
+    }
+
+    #[test]
+    fn run_emits_six_panels() {
+        let tables = run(&Scale::quick());
+        assert_eq!(tables.len(), 6);
+        assert_eq!(tables[5].id, "fig7f");
+    }
+}

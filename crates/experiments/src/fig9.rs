@@ -1,0 +1,141 @@
+//! Figure 9 — worst-case cost `C(n)` vs `n` for the three approaches,
+//! `cn = 1`, `ce ∈ {10, 20, 50}` (six panels).
+//!
+//! As in the paper, Algorithm 1's worst case is priced from the theoretical
+//! bound (`4·n·un` naïve plus `2·(2·un)^{3/2}` expert comparisons), while
+//! the baselines' worst case is measured against the adversarial responder.
+//!
+//! Expected shape: Alg 1's worst-case cost grows linearly in `n` while the
+//! baselines grow superlinearly; 2-MaxFind-expert's worst case is the most
+//! expensive once `ce` is large.
+
+use crate::fig4::adversarial_two_maxfind_count;
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+use crowd_core::bounds;
+use crowd_core::cost::CostModel;
+use crowd_core::model::WorkerClass;
+
+/// Worst-case comparison counts per `n`: (Alg 1 theory bound split by
+/// class, 2MF-naive measured, 2MF-expert measured).
+pub struct WorstCaseCounts {
+    /// Dataset size.
+    pub n: usize,
+    /// Alg 1 naïve bound `4·n·un`.
+    pub alg1_naive: u64,
+    /// Alg 1 expert bound `2·(2·un)^{3/2}`.
+    pub alg1_expert: u64,
+    /// 2-MaxFind-naïve measured against the adversary.
+    pub naive_measured: u64,
+    /// 2-MaxFind-expert measured against the adversary.
+    pub expert_measured: u64,
+}
+
+/// Measures worst-case counts over the grid.
+pub fn worst_case_counts(scale: &Scale, un: usize, ue: usize) -> Vec<WorstCaseCounts> {
+    scale
+        .n_grid
+        .iter()
+        .map(|&n| WorstCaseCounts {
+            n,
+            alg1_naive: bounds::phase1_upper_bound(n, un),
+            alg1_expert: bounds::two_maxfind_upper_bound(2 * un),
+            naive_measured: adversarial_two_maxfind_count(
+                n,
+                un,
+                ue,
+                WorkerClass::Naive,
+                scale.seed,
+            ),
+            expert_measured: adversarial_two_maxfind_count(
+                n,
+                un,
+                ue,
+                WorkerClass::Expert,
+                scale.seed,
+            ),
+        })
+        .collect()
+}
+
+/// Builds one priced panel.
+pub fn panel_from_counts(id: &str, un: usize, ue: usize, ce: f64, wc: &[WorstCaseCounts]) -> Table {
+    let prices = CostModel::with_ratio(ce);
+    let mut t = Table::new(
+        id,
+        &format!("Worst-case cost C(n), cn=1, ce={ce}, un={un}, ue={ue}"),
+        &[
+            "n",
+            "2-MaxFind-expert (wc)",
+            "Alg 1 (wc)",
+            "2-MaxFind-naive (wc)",
+        ],
+    )
+    .with_notes(
+        "Alg 1 worst case priced from the theoretical bound (as in the \
+         paper); baselines measured against the adversarial responder. \
+         Expected: Alg 1 linear in n, baselines superlinear.",
+    );
+    for w in wc {
+        let alg1 = prices.naive * w.alg1_naive as f64 + prices.expert * w.alg1_expert as f64;
+        let expert = prices.expert * w.expert_measured as f64;
+        let naive = prices.naive * w.naive_measured as f64;
+        t.push_row(vec![
+            w.n.to_string(),
+            fmt_f64(expert, 0),
+            fmt_f64(alg1, 0),
+            fmt_f64(naive, 0),
+        ]);
+    }
+    t
+}
+
+/// Runs all six panels (fig9a–fig9f).
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let measured: Vec<_> = crate::fig3::SETTINGS
+        .iter()
+        .map(|&(un, ue)| (un, ue, worst_case_counts(scale, un, ue)))
+        .collect();
+    let mut tables = Vec::with_capacity(6);
+    let mut panel = 'a';
+    for &ce in &crate::fig5::EXPERT_PRICES {
+        for (un, ue, wc) in &measured {
+            tables.push(panel_from_counts(&format!("fig9{panel}"), *un, *ue, ce, wc));
+            panel = (panel as u8 + 1) as char;
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alg1_worst_case_grows_linearly() {
+        let scale = Scale::quick();
+        let wc = worst_case_counts(&scale, 10, 5);
+        // 4·n·un is exactly linear; the expert part is constant.
+        let n0 = &wc[0];
+        let n1 = &wc[1];
+        let ratio = n1.alg1_naive as f64 / n0.alg1_naive as f64;
+        let n_ratio = n1.n as f64 / n0.n as f64;
+        assert!((ratio - n_ratio).abs() < 1e-9);
+        assert_eq!(n0.alg1_expert, n1.alg1_expert);
+    }
+
+    #[test]
+    fn panels_render_and_price_correctly() {
+        let scale = Scale::quick();
+        let wc = worst_case_counts(&scale, 10, 5);
+        let t = panel_from_counts("fig9x", 10, 5, 20.0, &wc);
+        assert_eq!(t.rows.len(), scale.n_grid.len());
+        let expert_cost: f64 = t.rows[0][1].parse().unwrap();
+        assert!((expert_cost - 20.0 * wc[0].expert_measured as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_emits_six_panels() {
+        assert_eq!(run(&Scale::quick()).len(), 6);
+    }
+}

@@ -1,0 +1,227 @@
+//! Shared machinery for the simulation experiments (Sections 5.1–5.2).
+//!
+//! All of Figures 3–7 (and the worst-case Figures 9–10) measure the same
+//! three approaches over the same planted instances:
+//!
+//! * **Alg 1** — the two-phase expert-aware algorithm;
+//! * **2-MaxFind-naïve** — 2-MaxFind over the whole input with naïve
+//!   workers only;
+//! * **2-MaxFind-expert** — 2-MaxFind over the whole input with experts
+//!   only.
+//!
+//! [`run_trial`] executes one approach on one instance and reports the
+//! true rank of the returned element and the comparison tally — everything
+//! the figures aggregate.
+
+use crowd_core::algorithms::{expert_max_find, two_max_find, ExpertMaxConfig};
+use crowd_core::element::Instance;
+use crowd_core::model::{ExpertModel, TiePolicy, WorkerClass};
+use crowd_core::oracle::{ComparisonCounts, ComparisonOracle, SimulatedOracle};
+use crowd_datasets::synthetic::{planted_instance, PlantedInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The three approaches compared throughout Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Approach {
+    /// Algorithm 1 (two-phase, naïve filter + expert 2-MaxFind).
+    Alg1,
+    /// 2-MaxFind over the whole input, naïve workers only.
+    TwoMaxFindNaive,
+    /// 2-MaxFind over the whole input, experts only.
+    TwoMaxFindExpert,
+}
+
+impl Approach {
+    /// All three, in the paper's plotting order.
+    pub const ALL: [Approach; 3] = [
+        Approach::TwoMaxFindExpert,
+        Approach::Alg1,
+        Approach::TwoMaxFindNaive,
+    ];
+
+    /// The label used in the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Approach::Alg1 => "Alg 1",
+            Approach::TwoMaxFindNaive => "2-MaxFind-naive",
+            Approach::TwoMaxFindExpert => "2-MaxFind-expert",
+        }
+    }
+}
+
+/// The outcome of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// True rank of the returned element (1 = the actual maximum).
+    pub rank: usize,
+    /// Comparisons performed, by class.
+    pub counts: ComparisonCounts,
+}
+
+/// Runs one `approach` over a planted instance.
+///
+/// `un_estimate` is the `un(n)` value handed to Algorithm 1 (pass
+/// `planted.un` for the exact value, or a scaled value for the
+/// estimation-factor experiments; ignored by the baselines). Workers follow
+/// the paper's analysis model: `T(δ, 0)` with uniform-random arbitrary
+/// answers.
+pub fn run_trial(
+    approach: Approach,
+    planted: &PlantedInstance,
+    un_estimate: usize,
+    seed: u64,
+) -> TrialResult {
+    let instance = &planted.instance;
+    let model = ExpertModel::exact(planted.delta_n, planted.delta_e, TiePolicy::UniformRandom);
+    let mut oracle = SimulatedOracle::new(instance.clone(), model, StdRng::seed_from_u64(seed));
+    let winner = match approach {
+        Approach::Alg1 => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            expert_max_find(
+                &mut oracle,
+                &instance.ids(),
+                &ExpertMaxConfig::new(un_estimate.max(1)),
+                &mut rng,
+            )
+            .winner
+        }
+        Approach::TwoMaxFindNaive => {
+            two_max_find(&mut oracle, WorkerClass::Naive, &instance.ids()).winner
+        }
+        Approach::TwoMaxFindExpert => {
+            two_max_find(&mut oracle, WorkerClass::Expert, &instance.ids()).winner
+        }
+    };
+    TrialResult {
+        rank: instance.rank(winner),
+        counts: oracle.counts(),
+    }
+}
+
+/// A fresh planted instance for trial `t` of a sweep point.
+pub fn planted_for(n: usize, un: usize, ue: usize, base_seed: u64, t: u64) -> PlantedInstance {
+    let mut rng = StdRng::seed_from_u64(base_seed.wrapping_mul(1_000_003) ^ (t << 20) ^ n as u64);
+    planted_instance(n, un, ue, &mut rng)
+}
+
+/// Scales a true `un` by an estimation factor, clamping to at least 1
+/// (Section 5.2's estimation-factor methodology).
+pub fn scaled_un(un: usize, factor: f64) -> usize {
+    ((un as f64 * factor).round() as usize).max(1)
+}
+
+/// The estimation factors swept in Figures 6, 7 and 10.
+pub const ESTIMATION_FACTORS: [f64; 6] = [0.2, 0.5, 0.8, 1.0, 1.2, 2.0];
+
+/// Average true rank over `trials` runs of `approach` at one sweep point.
+pub fn average_rank(
+    approach: Approach,
+    n: usize,
+    un: usize,
+    ue: usize,
+    un_factor: f64,
+    trials: u64,
+    base_seed: u64,
+) -> (f64, ComparisonCounts) {
+    let mut rank_sum = 0.0;
+    let mut counts = ComparisonCounts::zero();
+    for t in 0..trials {
+        let planted = planted_for(n, un, ue, base_seed, t);
+        let result = run_trial(
+            approach,
+            &planted,
+            scaled_un(un, un_factor),
+            base_seed ^ (t * 7 + 1),
+        );
+        rank_sum += result.rank as f64;
+        counts += result.counts;
+    }
+    let avg_counts = ComparisonCounts {
+        naive: counts.naive / trials,
+        expert: counts.expert / trials,
+    };
+    (rank_sum / trials as f64, avg_counts)
+}
+
+/// Runs one approach against the ground truth with a *perfect* oracle —
+/// used by tests as a sanity reference.
+pub fn perfect_reference(instance: &Instance) -> usize {
+    use crowd_core::oracle::PerfectOracle;
+    let mut oracle = PerfectOracle::new(instance.clone());
+    let out = two_max_find(&mut oracle, WorkerClass::Expert, &instance.ids());
+    instance.rank(out.winner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_paper_legends() {
+        assert_eq!(Approach::Alg1.label(), "Alg 1");
+        assert_eq!(Approach::TwoMaxFindNaive.label(), "2-MaxFind-naive");
+        assert_eq!(Approach::TwoMaxFindExpert.label(), "2-MaxFind-expert");
+        assert_eq!(Approach::ALL.len(), 3);
+    }
+
+    #[test]
+    fn scaled_un_rounds_and_clamps() {
+        assert_eq!(scaled_un(10, 0.2), 2);
+        assert_eq!(scaled_un(10, 1.2), 12);
+        assert_eq!(scaled_un(10, 0.05), 1);
+        assert_eq!(scaled_un(3, 0.5), 2); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn trial_ranks_are_sane() {
+        let planted = planted_for(300, 10, 5, 42, 0);
+        for approach in Approach::ALL {
+            let r = run_trial(approach, &planted, 10, 7);
+            assert!(r.rank >= 1 && r.rank <= 300, "{approach:?} rank {}", r.rank);
+        }
+    }
+
+    #[test]
+    fn alg1_uses_both_classes_baselines_use_one() {
+        let planted = planted_for(400, 10, 5, 43, 0);
+        let alg1 = run_trial(Approach::Alg1, &planted, 10, 1);
+        assert!(alg1.counts.naive > 0 && alg1.counts.expert > 0);
+        let naive = run_trial(Approach::TwoMaxFindNaive, &planted, 10, 1);
+        assert!(naive.counts.naive > 0 && naive.counts.expert == 0);
+        let expert = run_trial(Approach::TwoMaxFindExpert, &planted, 10, 1);
+        assert!(expert.counts.naive == 0 && expert.counts.expert > 0);
+    }
+
+    #[test]
+    fn expert_and_alg1_beat_naive_on_average() {
+        let trials = 8;
+        let (rank_expert, _) = average_rank(Approach::TwoMaxFindExpert, 500, 25, 5, 1.0, trials, 9);
+        let (rank_alg1, _) = average_rank(Approach::Alg1, 500, 25, 5, 1.0, trials, 9);
+        let (rank_naive, _) = average_rank(Approach::TwoMaxFindNaive, 500, 25, 5, 1.0, trials, 9);
+        assert!(
+            rank_expert <= rank_alg1 + 1.0,
+            "expert {rank_expert} vs alg1 {rank_alg1}"
+        );
+        assert!(
+            rank_alg1 < rank_naive,
+            "alg1 {rank_alg1} should beat naive {rank_naive}"
+        );
+    }
+
+    #[test]
+    fn perfect_reference_is_rank_one() {
+        let planted = planted_for(200, 5, 2, 44, 0);
+        assert_eq!(perfect_reference(&planted.instance), 1);
+    }
+
+    #[test]
+    fn planted_for_is_deterministic() {
+        let a = planted_for(100, 5, 2, 1, 3);
+        let b = planted_for(100, 5, 2, 1, 3);
+        assert_eq!(a.instance, b.instance);
+        let c = planted_for(100, 5, 2, 1, 4);
+        assert_ne!(a.instance, c.instance);
+    }
+}

@@ -1,0 +1,58 @@
+//! # crowd-experiments
+//!
+//! The reproduction harness for the evaluation section of *"The Importance
+//! of Being Expert"* (SIGMOD 2015): one module per table/figure, each
+//! emitting a table shaped like the paper's so the two can be compared
+//! side by side. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record.
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Figure 2(a,b) — accuracy vs #workers | [`fig2`] |
+//! | Figure 3(a,b) — accuracy vs n | [`fig3`] |
+//! | Figure 4(a,b) — comparison counts | [`fig4`] |
+//! | Figure 5(a–f) — average cost | [`fig5`] |
+//! | Figure 6(a,b) — accuracy under mis-estimated un | [`fig6`] |
+//! | Figure 7(a–f) — cost under mis-estimated un | [`fig7`] |
+//! | Figure 9(a–f) — worst-case cost | [`fig9`] |
+//! | Figure 10(a–f) — worst-case cost, mis-estimated un | [`fig10`] |
+//! | Table 1 — DOTS final-round ranking | [`table1`] |
+//! | Table 2 — CARS final-round ranking | [`table2`] |
+//! | §5.2 text — phase-1 survival rates | [`phase1_survival`] |
+//! | §4.3 lower bounds (Corollary 1, Lemma 7) | [`lower_bounds`] |
+//! | §3 time model (logical/physical steps) | [`latency`] |
+//! | Budget angle (Mo et al., related work) | [`budget_sweep`] |
+//! | Sorting angle (Ajtai et al., related work) | [`ranking_quality`] |
+//! | §5.3 — search-result evaluation | [`search_eval`] |
+//!
+//! Run everything with `cargo run --release -p crowd-experiments --bin
+//! repro -- all` (add `--quick` for a smoke-scale pass).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod budget_sweep;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod harness;
+pub mod latency;
+pub mod lower_bounds;
+pub mod phase1_survival;
+pub mod ranking_quality;
+pub mod report;
+pub mod runner;
+pub mod scale;
+pub mod search_eval;
+pub mod table1;
+pub mod table2;
+
+pub use report::Table;
+pub use runner::{run_experiment, run_experiments, EXPERIMENT_NAMES, TEXT_EXPERIMENTS};
+pub use scale::Scale;

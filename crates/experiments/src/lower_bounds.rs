@@ -1,0 +1,212 @@
+//! Section 4.3 — empirical demonstration of the lower bounds.
+//!
+//! Corollary 1: any naïve-only algorithm returning a set guaranteed to
+//! contain the maximum (with `|S| <= n/2`) must perform at least
+//! `n·un(n)/4` comparisons, because (Lemma 7) an element that took part in
+//! fewer than `un(n)` comparisons can always still be the maximum under
+//! *some* value assignment consistent with the answers.
+//!
+//! This experiment runs Algorithm 2 on the Lemma 7 gadget instance and
+//! verifies the premises empirically:
+//!
+//! 1. measured phase-1 comparisons sit between the `n·un/4` lower bound
+//!    and the `4·n·un` upper bound;
+//! 2. every element the filter *excluded* took part in at least `un(n)`
+//!    comparisons (the algorithm cannot legally rule out an element it
+//!    barely looked at) — checked with a participation-counting oracle.
+
+use crate::report::Table;
+use crate::scale::Scale;
+use crowd_core::algorithms::{filter_candidates, FilterConfig};
+use crowd_core::bounds;
+use crowd_core::element::ElementId;
+use crowd_core::model::{ExpertModel, TiePolicy, WorkerClass};
+use crowd_core::oracle::{ComparisonCounts, ComparisonOracle, SimulatedOracle};
+use crowd_datasets::lemma7_instance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Decorator counting, per element, the number of comparisons it took
+/// part in.
+pub struct ParticipationOracle<O> {
+    inner: O,
+    participation: HashMap<ElementId, u64>,
+}
+
+impl<O: ComparisonOracle> ParticipationOracle<O> {
+    /// Wraps `inner`.
+    pub fn new(inner: O) -> Self {
+        ParticipationOracle {
+            inner,
+            participation: HashMap::new(),
+        }
+    }
+
+    /// Comparisons element `e` took part in.
+    pub fn participation_of(&self, e: ElementId) -> u64 {
+        self.participation.get(&e).copied().unwrap_or(0)
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for ParticipationOracle<O> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        *self.participation.entry(k).or_insert(0) += 1;
+        *self.participation.entry(j).or_insert(0) += 1;
+        self.inner.compare(class, k, j)
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.inner.counts()
+    }
+}
+
+/// One measurement row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerBoundRow {
+    /// Instance size.
+    pub n: usize,
+    /// The gadget's `un(n)`.
+    pub un: usize,
+    /// Corollary 1 lower bound `n·un/4`.
+    pub lower: u64,
+    /// Measured phase-1 comparisons.
+    pub measured: u64,
+    /// Lemma 3 upper bound `4·n·un`.
+    pub upper: u64,
+    /// Minimum participation among *excluded* elements.
+    pub min_excluded_participation: u64,
+    /// Whether the maximum survived (it must).
+    pub max_survived: bool,
+}
+
+/// Runs the demonstration on the Lemma 7 gadget at one size.
+pub fn measure(n: usize, un: usize, seed: u64) -> LowerBoundRow {
+    let delta_n = 100.0;
+    let instance = lemma7_instance(n, un, delta_n);
+    let model = ExpertModel::exact(delta_n, 1.0, TiePolicy::UniformRandom);
+    let inner = SimulatedOracle::new(instance.clone(), model, StdRng::seed_from_u64(seed));
+    let mut oracle = ParticipationOracle::new(inner);
+    let out = filter_candidates(&mut oracle, &instance.ids(), &FilterConfig::new(un));
+
+    let excluded: Vec<ElementId> = instance
+        .ids()
+        .into_iter()
+        .filter(|e| !out.survivors.contains(e))
+        .collect();
+    let min_excluded_participation = excluded
+        .iter()
+        .map(|&e| oracle.participation_of(e))
+        .min()
+        .unwrap_or(0);
+
+    LowerBoundRow {
+        n,
+        un,
+        lower: bounds::phase1_lower_bound(n, un),
+        measured: out.comparisons.naive,
+        upper: bounds::phase1_upper_bound(n, un),
+        min_excluded_participation,
+        max_survived: out.survivors.contains(&instance.max_element()),
+    }
+}
+
+/// Runs the sweep and renders the table.
+pub fn run(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "lower_bounds",
+        "Corollary 1 demonstration on the Lemma 7 gadget",
+        &[
+            "n",
+            "un",
+            "lower bound n*un/4",
+            "measured naive comparisons",
+            "upper bound 4*n*un",
+            "min participation of excluded",
+            "max survived",
+        ],
+    )
+    .with_notes(
+        "Measured comparisons must sit between the Corollary 1 lower bound \
+         and the Lemma 3 upper bound, and every excluded element must have \
+         taken part in at least un comparisons (Lemma 7: otherwise it could \
+         still be the maximum).",
+    );
+    for &n in &scale.n_grid {
+        let un = (n / 40).max(2);
+        let row = measure(n, un, scale.seed);
+        t.push_row(vec![
+            row.n.to_string(),
+            row.un.to_string(),
+            row.lower.to_string(),
+            row.measured.to_string(),
+            row.upper.to_string(),
+            row.min_excluded_participation.to_string(),
+            row.max_survived.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_comparisons_sit_between_the_bounds() {
+        for (n, un) in [(200, 5), (400, 10), (800, 20)] {
+            let row = measure(n, un, 1);
+            assert!(
+                row.lower <= row.measured,
+                "n={n}: measured {} below the lower bound {}",
+                row.measured,
+                row.lower
+            );
+            assert!(
+                row.measured <= row.upper,
+                "n={n}: measured {} above the upper bound {}",
+                row.measured,
+                row.upper
+            );
+        }
+    }
+
+    #[test]
+    fn excluded_elements_were_examined_enough() {
+        let row = measure(400, 10, 2);
+        assert!(
+            row.min_excluded_participation >= row.un as u64,
+            "an element was excluded after only {} comparisons (un = {})",
+            row.min_excluded_participation,
+            row.un
+        );
+    }
+
+    #[test]
+    fn maximum_survives_the_gadget() {
+        for seed in 0..5 {
+            assert!(measure(300, 8, seed).max_survived, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn participation_oracle_counts_both_sides() {
+        use crowd_core::element::Instance;
+        use crowd_core::oracle::PerfectOracle;
+        let mut o =
+            ParticipationOracle::new(PerfectOracle::new(Instance::new(vec![1.0, 2.0, 3.0])));
+        o.compare(WorkerClass::Naive, ElementId(0), ElementId(1));
+        o.compare(WorkerClass::Naive, ElementId(0), ElementId(2));
+        assert_eq!(o.participation_of(ElementId(0)), 2);
+        assert_eq!(o.participation_of(ElementId(1)), 1);
+        assert_eq!(o.participation_of(ElementId(2)), 1);
+        assert_eq!(o.counts().naive, 2);
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = run(&Scale::quick());
+        assert_eq!(t.rows.len(), Scale::quick().n_grid.len());
+        assert!(t.rows.iter().all(|r| r[6] == "true"));
+    }
+}

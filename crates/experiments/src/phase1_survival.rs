@@ -1,0 +1,122 @@
+//! Section 5.2 (text) — how often the true maximum survives Phase 1 under
+//! underestimated `un(n)`.
+//!
+//! The paper reports: "if the estimation factor is 0.8 then the set
+//! returned in the first round contains the real max in 99% of the times,
+//! whereas for an estimation factor of 0.5 results start to worsen with
+//! the max appearing in 82% of the sets. When the estimation factor drops
+//! to 0.2 the number of times the maximum arrives in the second round is
+//! only 38%." Factors ≥ 1 must give 100% (the Lemma 3 guarantee).
+
+use crate::harness::{planted_for, scaled_un};
+use crate::report::{fmt_f64, Table};
+use crate::scale::Scale;
+use crowd_core::algorithms::{filter_candidates, FilterConfig};
+use crowd_core::model::{ExpertModel, TiePolicy};
+use crowd_core::oracle::SimulatedOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The factors the paper quotes, plus the guaranteed regime.
+pub const FACTORS: [f64; 4] = [0.2, 0.5, 0.8, 1.0];
+
+/// Fraction of runs in which the maximum survives Phase 1 with
+/// `un_est = factor · un`.
+pub fn survival_rate(n: usize, un: usize, ue: usize, factor: f64, trials: u64, seed: u64) -> f64 {
+    let mut survived = 0u64;
+    for t in 0..trials {
+        let planted = planted_for(n, un, ue, seed ^ 0xf1, t);
+        let model = ExpertModel::exact(planted.delta_n, planted.delta_e, TiePolicy::UniformRandom);
+        let mut oracle = SimulatedOracle::new(
+            planted.instance.clone(),
+            model,
+            StdRng::seed_from_u64(seed ^ (t << 8)),
+        );
+        let out = filter_candidates(
+            &mut oracle,
+            &planted.instance.ids(),
+            &FilterConfig::new(scaled_un(un, factor)),
+        );
+        if out.survivors.contains(&planted.instance.max_element()) {
+            survived += 1;
+        }
+    }
+    survived as f64 / trials as f64
+}
+
+/// Runs the survival sweep.
+pub fn run(scale: &Scale) -> Table {
+    let headers: Vec<String> = std::iter::once("n".to_string())
+        .chain(FACTORS.iter().map(|f| format!("factor {f}")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "phase1_survival",
+        "Fraction of runs where the maximum survives Phase 1 (un=50, ue=10)",
+        &headers_ref,
+    )
+    .with_notes(
+        "Paper reports 38% at factor 0.2, 82% at 0.5, 99% at 0.8; factor 1 \
+         is guaranteed (Lemma 3).",
+    );
+    // More trials than the figures: we are estimating a probability.
+    let trials = (scale.trials * 10).max(20);
+    for &n in &scale.n_grid {
+        let mut row = vec![n.to_string()];
+        for &f in &FACTORS {
+            row.push(fmt_f64(
+                survival_rate(
+                    n,
+                    50.min(n / 4).max(2),
+                    10.min(n / 8).max(1),
+                    f,
+                    trials,
+                    scale.seed,
+                ),
+                2,
+            ));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_un_always_survives() {
+        let rate = survival_rate(400, 20, 5, 1.0, 20, 1);
+        assert_eq!(rate, 1.0, "Lemma 3 guarantees survival at factor 1");
+    }
+
+    #[test]
+    fn overestimation_also_always_survives() {
+        let rate = survival_rate(400, 20, 5, 2.0, 10, 2);
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn survival_degrades_monotonically_with_underestimation() {
+        let trials = 30;
+        let r02 = survival_rate(500, 40, 8, 0.2, trials, 3);
+        let r08 = survival_rate(500, 40, 8, 0.8, trials, 3);
+        assert!(
+            r02 <= r08,
+            "survival at 0.2 ({r02}) should not beat survival at 0.8 ({r08})"
+        );
+        assert!(
+            r08 >= 0.8,
+            "factor 0.8 should keep the max most of the time: {r08}"
+        );
+        assert!(r02 < 1.0, "factor 0.2 should lose the max sometimes: {r02}");
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = run(&Scale::quick());
+        assert_eq!(t.headers.len(), 1 + FACTORS.len());
+        assert_eq!(t.rows.len(), Scale::quick().n_grid.len());
+    }
+}

@@ -1,0 +1,270 @@
+//! Tabular experiment output: markdown for humans, CSV for plotting.
+//!
+//! Every experiment module produces one or more [`Table`]s shaped like the
+//! corresponding table/figure in the paper, so the reproduction can be
+//! eyeballed against the original side by side.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Identifier tying the table to the paper (e.g. `fig3a`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Free-form notes: parameters, expectations, caveats.
+    pub notes: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row must match the header arity.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            notes: String::new(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attaches notes.
+    pub fn with_notes(mut self, notes: &str) -> Self {
+        self.notes = notes.to_string();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity {} does not match header arity {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "{}\n", self.notes);
+        }
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (headers first; cells containing commas or quotes are
+    /// quoted per RFC 4180).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.md` and `<dir>/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.md", self.id)), self.to_markdown())?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimals, trimming noise.
+pub fn fmt_f64(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Renders a table's numeric columns as a rough terminal chart: one row of
+/// Unicode bars per data column, scaled to the column maximum (log scale
+/// when a column spans more than two decades, matching the paper's
+/// log-axis figures).
+///
+/// Non-numeric columns are skipped. Intended for the `repro` binary's
+/// stdout, so the figure *shapes* can be eyeballed without plotting.
+pub fn ascii_chart(table: &Table) -> String {
+    const BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", table.id, table.title);
+    let x_labels: Vec<&str> = table.rows.iter().map(|r| r[0].as_str()).collect();
+    for (ci, header) in table.headers.iter().enumerate().skip(1) {
+        let values: Option<Vec<f64>> = table
+            .rows
+            .iter()
+            .map(|r| r[ci].parse::<f64>().ok())
+            .collect();
+        let Some(values) = values else { continue };
+        if values.is_empty() {
+            continue;
+        }
+        let positive_min = values
+            .iter()
+            .copied()
+            .filter(|v| *v > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let log_scale = positive_min.is_finite() && max / positive_min > 100.0;
+        let bars: String = values
+            .iter()
+            .map(|&v| {
+                let frac = if max <= 0.0 {
+                    0.0
+                } else if log_scale {
+                    let lo = positive_min.ln();
+                    let hi = max.ln();
+                    if v <= 0.0 || hi <= lo {
+                        0.0
+                    } else {
+                        (v.ln() - lo) / (hi - lo)
+                    }
+                } else {
+                    (v / max).clamp(0.0, 1.0)
+                };
+                BARS[(frac * (BARS.len() - 1) as f64).round() as usize]
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {header:<28} |{bars}| max {max:.4}{}",
+            if log_scale { "  (log scale)" } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  {:<28}  x: {} .. {}", "", x_labels.first().unwrap_or(&"-"), x_labels.last().unwrap_or(&"-"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig0", "Sample", &["n", "value"]).with_notes("note");
+        t.push_row(vec!["1".into(), "2.5".into()]);
+        t.push_row(vec!["2".into(), "3,5".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### fig0 — Sample"));
+        assert!(md.contains("| n | value |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2.5 |"));
+        assert!(md.contains("note"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("n,value\n"));
+        assert!(csv.contains("\"3,5\""));
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = Table::new("x", "t", &["a"]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", "t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn write_to_creates_both_files() {
+        let dir = std::env::temp_dir().join(format!("crowd_report_test_{}", std::process::id()));
+        sample().write_to(&dir).unwrap();
+        assert!(dir.join("fig0.md").exists());
+        assert!(dir.join("fig0.csv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ascii_chart_renders_numeric_columns() {
+        let mut t = Table::new("figx", "Chart", &["n", "linear", "loggy", "text"]);
+        t.push_row(vec!["1".into(), "1.0".into(), "10".into(), "a".into()]);
+        t.push_row(vec!["2".into(), "2.0".into(), "10000".into(), "b".into()]);
+        t.push_row(vec!["3".into(), "4.0".into(), "100000".into(), "c".into()]);
+        let chart = ascii_chart(&t);
+        assert!(chart.contains("linear"));
+        assert!(chart.contains("loggy"));
+        assert!(chart.contains("(log scale)"));
+        assert!(!chart.contains("text"), "non-numeric columns are skipped");
+        assert!(chart.contains('█'), "the max must render as a full bar");
+        assert!(chart.contains("x: 1 .. 3"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_flat_and_zero_columns() {
+        let mut t = Table::new("figy", "Flat", &["n", "zeros"]);
+        t.push_row(vec!["1".into(), "0".into()]);
+        t.push_row(vec!["2".into(), "0".into()]);
+        let chart = ascii_chart(&t);
+        assert!(chart.contains("zeros"));
+    }
+
+    #[test]
+    fn fmt_f64_rounds() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(2.0, 1), "2.0");
+    }
+}

@@ -1,0 +1,140 @@
+//! Experiment registry and batch runner.
+//!
+//! Each entry regenerates one table/figure of the paper. The `repro`
+//! binary is a thin CLI over [`run_experiments`].
+
+use crate::report::Table;
+use crate::scale::Scale;
+use std::io;
+use std::path::Path;
+
+/// Names of all registered experiments, in paper order.
+pub const EXPERIMENT_NAMES: [&str; 11] = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "table1",
+    "table2",
+    "search_eval",
+];
+
+/// Extra experiment backing a claim made in the Section 5.2 text.
+pub const TEXT_EXPERIMENTS: [&str; 5] = [
+    "phase1_survival",
+    "lower_bounds",
+    "latency",
+    "budget_sweep",
+    "ranking_quality",
+];
+
+/// Runs one experiment by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name (the CLI validates names first).
+pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Table> {
+    match name {
+        "fig2" => vec![crate::fig2::run_dots(scale), crate::fig2::run_cars(scale)],
+        "fig3" => crate::fig3::run(scale),
+        "fig4" => crate::fig4::run(scale),
+        "fig5" => crate::fig5::run(scale),
+        "fig6" => crate::fig6::run(scale),
+        "fig7" => crate::fig7::run(scale),
+        "fig9" => crate::fig9::run(scale),
+        "fig10" => crate::fig10::run(scale),
+        "table1" => vec![crate::table1::run(scale)],
+        "table2" => vec![crate::table2::run(scale)],
+        "search_eval" => vec![crate::search_eval::run(scale)],
+        "phase1_survival" => vec![crate::phase1_survival::run(scale)],
+        "lower_bounds" => vec![crate::lower_bounds::run(scale)],
+        "latency" => vec![crate::latency::run(scale)],
+        "budget_sweep" => vec![crate::budget_sweep::run(scale)],
+        "ranking_quality" => vec![crate::ranking_quality::run(scale)],
+        other => panic!(
+            "unknown experiment {other:?}; known: {EXPERIMENT_NAMES:?} + {TEXT_EXPERIMENTS:?}"
+        ),
+    }
+}
+
+/// True if `name` is a registered experiment.
+pub fn is_known(name: &str) -> bool {
+    EXPERIMENT_NAMES.contains(&name) || TEXT_EXPERIMENTS.contains(&name)
+}
+
+/// Runs the named experiments (all of them if `names` is empty), writing
+/// markdown + CSV into `out_dir` and returning the tables.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from report writing.
+pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::Result<Vec<Table>> {
+    let selected: Vec<&str> = if names.is_empty() {
+        EXPERIMENT_NAMES
+            .iter()
+            .chain(TEXT_EXPERIMENTS.iter())
+            .copied()
+            .collect()
+    } else {
+        names.iter().map(String::as_str).collect()
+    };
+    let mut all = Vec::new();
+    for name in selected {
+        assert!(is_known(name), "unknown experiment {name:?}");
+        eprintln!("running {name} ...");
+        for table in run_experiment(name, scale) {
+            table.write_to(out_dir)?;
+            all.push(table);
+        }
+    }
+    write_summary(&all, out_dir)?;
+    Ok(all)
+}
+
+/// Writes `<dir>/SUMMARY.md`: every produced table in one document, in run
+/// order — the single file to diff against the paper.
+fn write_summary(tables: &[Table], out_dir: &Path) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut doc = String::from(
+        "# Reproduction summary\n\nAll tables produced by this run, in paper order. \
+         See EXPERIMENTS.md for the paper-vs-measured analysis.\n\n",
+    );
+    for t in tables {
+        let _ = write!(doc, "{}\n", t.to_markdown());
+    }
+    std::fs::create_dir_all(out_dir)?;
+    std::fs::write(out_dir.join("SUMMARY.md"), doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_registered_names_are_known() {
+        for n in EXPERIMENT_NAMES.iter().chain(TEXT_EXPERIMENTS.iter()) {
+            assert!(is_known(n));
+        }
+        assert!(!is_known("fig42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_name_panics() {
+        run_experiment("fig42", &Scale::quick());
+    }
+
+    #[test]
+    fn run_experiments_writes_files() {
+        let dir = std::env::temp_dir().join(format!("crowd_runner_test_{}", std::process::id()));
+        let tables = run_experiments(&["table1".to_string()], &Scale::quick(), &dir).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert!(dir.join("table1.md").exists());
+        assert!(dir.join("table1.csv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

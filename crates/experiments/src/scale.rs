@@ -1,0 +1,67 @@
+//! Experiment scale presets.
+//!
+//! The paper's sweeps (n up to 5000, averaged over many random instances)
+//! take minutes in release mode; tests and smoke runs use a reduced grid
+//! with the same structure.
+
+use serde::{Deserialize, Serialize};
+
+/// How big to run the simulation sweeps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Random instances averaged per sweep point.
+    pub trials: u64,
+    /// The dataset sizes `n` to sweep.
+    pub n_grid: Vec<usize>,
+    /// Pairs sampled per relative-difference bucket (Figure 2).
+    pub pairs_per_bucket: usize,
+    /// Independent repetitions of the CrowdFlower-style experiments
+    /// (Tables 1–2 run twice in the paper; 2-MaxFind is repeated 14 times).
+    pub repetitions: u64,
+    /// Base RNG seed; every derived seed is a pure function of this.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's full grid: n ∈ {1000, …, 5000}, 10 trials per point.
+    pub fn full() -> Self {
+        Scale {
+            trials: 10,
+            n_grid: (1000..=5000).step_by(1000).collect(),
+            pairs_per_bucket: 25,
+            repetitions: 14,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A fast grid with the same shape, for tests and smoke runs.
+    pub fn quick() -> Self {
+        Scale {
+            trials: 3,
+            n_grid: vec![300, 600],
+            pairs_per_bucket: 8,
+            repetitions: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_grid() {
+        let s = Scale::full();
+        assert_eq!(s.n_grid, vec![1000, 2000, 3000, 4000, 5000]);
+        assert!(s.trials >= 10);
+    }
+
+    #[test]
+    fn quick_is_smaller_but_same_shape() {
+        let (f, q) = (Scale::full(), Scale::quick());
+        assert!(q.trials < f.trials);
+        assert!(q.n_grid.len() < f.n_grid.len());
+        assert_eq!(q.seed, f.seed, "same base seed for comparability");
+    }
+}

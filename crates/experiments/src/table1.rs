@@ -1,0 +1,185 @@
+//! Table 1 — the DOTS CrowdFlower experiment (Section 5.3).
+//!
+//! Protocol: downsample 50 dot images; run Algorithm 1 with `un = 5`;
+//! naïve comparisons come from the calibrated DOTS crowd, with each unit
+//! aggregating 5 independent judgments (CrowdFlower collects several
+//! judgments per unit and reports the aggregate); *experts are simulated*
+//! by the majority of 7 such units (exactly the paper's construction,
+//! since CrowdFlower offers no experts). Report the true ranks of the
+//! final-round ranking.
+//!
+//! Expected result: the second phase receives ≈ 9 elements which are the
+//! true top elements, and the simulated experts rank them (nearly)
+//! perfectly — on DOTS, wisdom of crowds *can* substitute for expertise.
+//! The paper's two runs produced the exact top-9, with one adjacent swap
+//! in one run.
+//!
+//! The paper also repeats naïve-only 2-MaxFind 14 times: "in all but one
+//! case the correct instance was returned" (13/14).
+
+use crate::report::Table;
+use crate::scale::Scale;
+use crowd_core::algorithms::{filter_candidates, two_max_find_naive, FilterConfig};
+use crowd_core::element::Instance;
+use crowd_core::model::{ProbabilisticModel, WorkerClass};
+use crowd_core::oracle::{ComparisonOracle, MajorityOracle, ModelOracle, SimulatedExpertOracle};
+use crowd_core::tournament::Tournament;
+use crowd_datasets::dots::{DotsDataset, DotsWorkerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One experiment run: the final-round ranking as true ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinalRound {
+    /// Size of the candidate set entering the second phase.
+    pub candidates: usize,
+    /// True rank of each element of the final tournament ranking, best
+    /// first (paper Table 1 reports these columns).
+    pub true_ranks: Vec<usize>,
+    /// True rank of the winner.
+    pub winner_rank: usize,
+}
+
+/// Runs one two-phase experiment over `instance` with naïve workers from
+/// `model`-like DOTS crowds and simulated experts (majority of 7).
+pub fn run_two_phase_dots(instance: &Instance, un: usize, seed: u64) -> FinalRound {
+    let oracle = ModelOracle::new(
+        instance.clone(),
+        DotsWorkerModel::calibrated(),
+        // The expert slot is never exercised directly: the decorator
+        // translates expert queries into naïve majorities.
+        ProbabilisticModel::perfect(),
+        StdRng::seed_from_u64(seed),
+    );
+    // Platform-style aggregation: every logical comparison is a unit
+    // collecting 5 judgments; simulated experts take the majority of 7
+    // such units.
+    let oracle = MajorityOracle::new(oracle, 5, 1);
+    let mut oracle = SimulatedExpertOracle::paper_default(oracle);
+
+    let phase1 = filter_candidates(&mut oracle, &instance.ids(), &FilterConfig::new(un));
+    // The candidate set is tiny (<= 2·un - 1), so the last round is a full
+    // all-play-all among the candidates — this is what lets the paper rank
+    // *all* second-phase elements in Tables 1 and 2.
+    let last_round = Tournament::all_play_all(&mut oracle, WorkerClass::Expert, &phase1.survivors);
+    let ranking = last_round.ranking();
+    FinalRound {
+        candidates: phase1.survivors.len(),
+        true_ranks: ranking.iter().map(|&(e, _)| instance.rank(e)).collect(),
+        winner_rank: instance.rank(ranking[0].0),
+    }
+}
+
+/// Success count of repeated naïve-only 2-MaxFind (the paper's 14 runs).
+pub fn naive_only_successes(instance: &Instance, repetitions: u64, seed: u64) -> u64 {
+    (0..repetitions)
+        .filter(|&r| {
+            let inner = ModelOracle::new(
+                instance.clone(),
+                DotsWorkerModel::calibrated(),
+                ProbabilisticModel::perfect(),
+                StdRng::seed_from_u64(seed ^ (r << 16) ^ 0xd07),
+            );
+            let mut oracle = MajorityOracle::new(inner, 5, 1);
+            let out = two_max_find_naive(&mut oracle, &instance.ids());
+            let _ = oracle.counts();
+            instance.rank(out.winner) == 1
+        })
+        .count() as u64
+}
+
+/// Runs the Table 1 reproduction: two independent experiments (as in the
+/// paper) plus the 14-run naïve-only tally.
+pub fn run(scale: &Scale) -> Table {
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x71);
+    let dataset = DotsDataset::paper_grid().downsample(50, &mut rng);
+    let instance = dataset.to_instance();
+
+    let exp1 = run_two_phase_dots(&instance, 5, scale.seed ^ 0x711);
+    let exp2 = run_two_phase_dots(&instance, 5, scale.seed ^ 0x712);
+    let naive_ok = naive_only_successes(&instance, scale.repetitions, scale.seed);
+
+    let depth = exp1.true_ranks.len().max(exp2.true_ranks.len());
+    let mut t = Table::new(
+        "table1",
+        "DOTS: true ranks of the final-round ranking (two experiments)",
+        &[
+            "final-round position",
+            "Exp. 1 true rank",
+            "Exp. 2 true rank",
+        ],
+    )
+    .with_notes(&format!(
+        "un = 5, n = 50; experts simulated by majority of 7 naive votes. \
+         Expected: candidate sets of <= 9 true-top elements, ranked almost \
+         perfectly. Candidates: exp1 = {}, exp2 = {}. Naive-only 2-MaxFind \
+         found the true best in {}/{} runs (paper: 13/14).",
+        exp1.candidates, exp2.candidates, naive_ok, scale.repetitions
+    ));
+    for i in 0..depth {
+        t.push_row(vec![
+            (i + 1).to_string(),
+            exp1.true_ranks
+                .get(i)
+                .map_or("-".into(), ToString::to_string),
+            exp2.true_ranks
+                .get(i)
+                .map_or("-".into(), ToString::to_string),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dots_instance(seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DotsDataset::paper_grid()
+            .downsample(50, &mut rng)
+            .to_instance()
+    }
+
+    #[test]
+    fn simulated_experts_find_the_sparsest_image() {
+        let instance = dots_instance(1);
+        let out = run_two_phase_dots(&instance, 5, 2);
+        assert_eq!(
+            out.winner_rank, 1,
+            "DOTS simulated experts should find the max"
+        );
+        assert!(out.candidates <= 9, "Lemma 3: |S| <= 2·5 - 1");
+    }
+
+    #[test]
+    fn final_round_contains_true_top_elements() {
+        let instance = dots_instance(3);
+        let out = run_two_phase_dots(&instance, 5, 4);
+        // The final-round elements should all be genuinely high-ranked.
+        for &rank in &out.true_ranks {
+            assert!(
+                rank <= 12,
+                "an element of true rank {rank} reached the final round"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_only_succeeds_most_of_the_time() {
+        let instance = dots_instance(5);
+        let ok = naive_only_successes(&instance, 8, 6);
+        assert!(
+            ok >= 6,
+            "naive 2-MaxFind on DOTS should almost always succeed: {ok}/8"
+        );
+    }
+
+    #[test]
+    fn table_renders_with_two_experiments() {
+        let t = run(&Scale::quick());
+        assert_eq!(t.headers.len(), 3);
+        assert!(!t.rows.is_empty());
+        assert!(t.notes.contains("Candidates"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Table 2 — the CARS CrowdFlower experiment (Section 5.3).
+//!
+//! Same protocol as Table 1, on the CARS catalog: downsample 50 cars, run
+//! the two-phase algorithm with `un = 5`, naïve comparisons from the
+//! calibrated CARS crowd, experts *simulated* by the majority of 7 naïve
+//! votes.
+//!
+//! Expected result — the paper's central negative finding: the most
+//! expensive car reliably *reaches* the final round (Phase 1 works — it
+//! only needs coarse discrimination), but the simulated experts **fail to
+//! rank it first** (majority voting cannot crack the sub-20% price gaps),
+//! and some cars far from the top-10 sneak into the final round. Repeated
+//! naïve-only 2-MaxFind fails outright: the paper got 0/14 successes.
+//! "Clearly a truly informed expert opinion is required in this case" —
+//! which the companion run with *real* (threshold) experts demonstrates.
+
+use crate::report::Table;
+use crate::scale::Scale;
+use crate::table1::FinalRound;
+use crowd_core::algorithms::{filter_candidates, two_max_find_naive, FilterConfig};
+use crowd_core::element::Instance;
+use crowd_core::model::{ProbabilisticModel, ThresholdModel, TiePolicy, WorkerClass};
+use crowd_core::oracle::{MajorityOracle, ModelOracle, SimulatedExpertOracle};
+use crowd_core::tournament::Tournament;
+use crowd_datasets::cars::{CarsCatalog, CarsWorkerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs one two-phase experiment on CARS with simulated (majority-of-7)
+/// experts.
+pub fn run_two_phase_cars(instance: &Instance, un: usize, seed: u64) -> FinalRound {
+    let oracle = ModelOracle::new(
+        instance.clone(),
+        CarsWorkerModel::calibrated(),
+        ProbabilisticModel::perfect(), // never reached: experts are simulated
+        StdRng::seed_from_u64(seed),
+    );
+    // Platform-style aggregation: 5 judgments per unit. On CARS this
+    // converges to the crowd's shared prior, not the truth — the point of
+    // the experiment.
+    let oracle = MajorityOracle::new(oracle, 5, 1);
+    let mut oracle = SimulatedExpertOracle::paper_default(oracle);
+    let phase1 = filter_candidates(&mut oracle, &instance.ids(), &FilterConfig::new(un));
+    let last_round = Tournament::all_play_all(&mut oracle, WorkerClass::Expert, &phase1.survivors);
+    let ranking = last_round.ranking();
+    FinalRound {
+        candidates: phase1.survivors.len(),
+        true_ranks: ranking.iter().map(|&(e, _)| instance.rank(e)).collect(),
+        winner_rank: instance.rank(ranking[0].0),
+    }
+}
+
+/// Runs one two-phase experiment on CARS with *real* experts: threshold
+/// workers who discern price differences down to `delta_e` dollars.
+pub fn run_two_phase_cars_real_experts(
+    instance: &Instance,
+    un: usize,
+    delta_e: f64,
+    seed: u64,
+) -> FinalRound {
+    let oracle = ModelOracle::new(
+        instance.clone(),
+        CarsWorkerModel::calibrated(),
+        ThresholdModel::exact(delta_e, TiePolicy::UniformRandom),
+        StdRng::seed_from_u64(seed),
+    );
+    // 5 judgments per naive unit; real experts judge once each.
+    let mut oracle = MajorityOracle::new(oracle, 5, 1);
+    let phase1 = filter_candidates(&mut oracle, &instance.ids(), &FilterConfig::new(un));
+    let last_round = Tournament::all_play_all(&mut oracle, WorkerClass::Expert, &phase1.survivors);
+    let ranking = last_round.ranking();
+    FinalRound {
+        candidates: phase1.survivors.len(),
+        true_ranks: ranking.iter().map(|&(e, _)| instance.rank(e)).collect(),
+        winner_rank: instance.rank(ranking[0].0),
+    }
+}
+
+/// Success count of repeated naïve-only 2-MaxFind on CARS (paper: 0/14).
+pub fn naive_only_successes(instance: &Instance, repetitions: u64, seed: u64) -> u64 {
+    (0..repetitions)
+        .filter(|&r| {
+            let inner = ModelOracle::new(
+                instance.clone(),
+                CarsWorkerModel::calibrated(),
+                ProbabilisticModel::perfect(),
+                StdRng::seed_from_u64(seed ^ (r << 16) ^ 0xca5),
+            );
+            let mut oracle = MajorityOracle::new(inner, 5, 1);
+            let out = two_max_find_naive(&mut oracle, &instance.ids());
+            instance.rank(out.winner) == 1
+        })
+        .count() as u64
+}
+
+/// Runs the Table 2 reproduction.
+pub fn run(scale: &Scale) -> Table {
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x72);
+    let catalog = CarsCatalog::paper_default(&mut rng).downsample(50, &mut rng);
+    let instance = catalog.to_instance();
+
+    let exp1 = run_two_phase_cars(&instance, 5, scale.seed ^ 0x721);
+    let exp2 = run_two_phase_cars(&instance, 5, scale.seed ^ 0x722);
+    let real = run_two_phase_cars_real_experts(&instance, 5, 400.0, scale.seed ^ 0x723);
+    let naive_ok = naive_only_successes(&instance, scale.repetitions, scale.seed);
+
+    let depth = exp1
+        .true_ranks
+        .len()
+        .max(exp2.true_ranks.len())
+        .max(real.true_ranks.len());
+    let mut t = Table::new(
+        "table2",
+        "CARS: true ranks of the final-round ranking (two simulated-expert experiments + real experts)",
+        &[
+            "final-round position",
+            "Exp. 1 true rank",
+            "Exp. 2 true rank",
+            "Real experts true rank",
+        ],
+    )
+    .with_notes(&format!(
+        "un = 5, n = 50; Exp. 1-2 simulate experts by majority of 7 naive \
+         votes (the paper's setup) — expected to FAIL to rank the top car \
+         first, though it reaches the final round. The real-expert column \
+         uses threshold experts (δe = $400) and should rank it first. \
+         Top car reached the final round: exp1 = {}, exp2 = {}. Naive-only \
+         2-MaxFind succeeded {}/{} times (paper: 0/14).",
+        exp1.true_ranks.contains(&1),
+        exp2.true_ranks.contains(&1),
+        naive_ok,
+        scale.repetitions
+    ));
+    for i in 0..depth {
+        t.push_row(vec![
+            (i + 1).to_string(),
+            exp1.true_ranks
+                .get(i)
+                .map_or("-".into(), ToString::to_string),
+            exp2.true_ranks
+                .get(i)
+                .map_or("-".into(), ToString::to_string),
+            real.true_ranks
+                .get(i)
+                .map_or("-".into(), ToString::to_string),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cars_instance(seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CarsCatalog::paper_default(&mut rng)
+            .downsample(50, &mut rng)
+            .to_instance()
+    }
+
+    #[test]
+    fn top_car_reaches_the_final_round() {
+        // Phase 1 only needs coarse discrimination, which the CARS crowd
+        // has above 20% differences — the max should survive in (nearly)
+        // every run.
+        let mut reached = 0;
+        for seed in 0..10 {
+            let instance = cars_instance(100 + seed);
+            let out = run_two_phase_cars(&instance, 5, seed);
+            if out.true_ranks.contains(&1) {
+                reached += 1;
+            }
+        }
+        // See `real_experts_succeed` for why this is not 10/10: downsamples
+        // whose top cluster exceeds un = 5 can evict the top car.
+        assert!(
+            reached >= 7,
+            "top car reached the final round only {reached}/10 times"
+        );
+    }
+
+    #[test]
+    fn simulated_experts_often_fail_to_rank_it_first() {
+        // The paper's negative result: across runs, the simulated experts
+        // misrank the top car a substantial fraction of the time.
+        let mut failures = 0;
+        for seed in 0..10 {
+            let instance = cars_instance(200 + seed);
+            let out = run_two_phase_cars(&instance, 5, seed);
+            if out.winner_rank != 1 {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures >= 3,
+            "simulated experts failed only {failures}/10 times — the CARS barrier should bite"
+        );
+    }
+
+    #[test]
+    fn real_experts_succeed() {
+        let mut ok = 0;
+        for seed in 0..10 {
+            let instance = cars_instance(300 + seed);
+            let out = run_two_phase_cars_real_experts(&instance, 5, 400.0, seed);
+            if out.winner_rank == 1 {
+                ok += 1;
+            }
+        }
+        // Failures happen exactly when the downsampled top cluster exceeds
+        // un = 5 (the paper's value): the crowd's shared misperception then
+        // evicts the top car in Phase 1 — the Section 5.2 underestimation
+        // regime. The paper's own catalog had only 4 rivals within 20%.
+        assert!(ok >= 6, "real experts succeeded only {ok}/10 times");
+    }
+
+    #[test]
+    fn naive_only_mostly_fails() {
+        let instance = cars_instance(400);
+        let ok = naive_only_successes(&instance, 10, 7);
+        assert!(
+            ok <= 4,
+            "naive-only 2-MaxFind should mostly fail on CARS: {ok}/10"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(&Scale::quick());
+        assert_eq!(t.headers.len(), 4);
+        assert!(t.notes.contains("paper: 0/14"));
+    }
+}

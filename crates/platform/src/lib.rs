@@ -1,0 +1,50 @@
+//! # crowd-platform
+//!
+//! A crowdsourcing-platform simulator standing in for CrowdFlower in the
+//! reproduction of *"The Importance of Being Expert"* (SIGMOD 2015).
+//!
+//! The paper's experiments ran on CrowdFlower, a paid platform providing
+//! worker channels, per-judgment billing, and gold-question quality control
+//! (workers below 70% gold accuracy are ignored). This crate implements
+//! that machinery over the simulated worker behaviours of `crowd-core`:
+//!
+//! * [`worker`] — individual workers: honest threshold/probabilistic
+//!   behaviour or spam strategies.
+//! * [`pool`] — the workforce `W`, partitioned into naïve and expert
+//!   classes and hired per channel.
+//! * [`task`] — jobs, pairwise-comparison units, gold units, judgments.
+//! * [`scheduler`] — logical steps expanded into physical steps
+//!   (`⌈judgments / workers⌉`), with distinct workers per unit.
+//! * [`quality`] — gold-based trust tracking and the 70% exclusion rule.
+//! * [`billing`] — the per-judgment payment ledger.
+//! * [`platform`] — the facade, plus [`platform::PlatformOracle`] adapting
+//!   it to `crowd-core`'s `ComparisonOracle` so the paper's algorithms run
+//!   unmodified on the full simulator.
+//! * [`batched`] — batched execution: one job per logical step, realizing
+//!   the `⌈|B_s|/|W|⌉` physical-step parallelism of the paper's time
+//!   model.
+//! * [`report`] — the requester-facing campaign dashboard.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod batched;
+pub mod billing;
+pub mod platform;
+pub mod pool;
+pub mod quality;
+pub mod report;
+pub mod scheduler;
+pub mod task;
+pub mod worker;
+
+pub use batched::{batched_all_play_all, batched_filter, BatchedFilterOutcome, BatchedTournament};
+pub use billing::Ledger;
+pub use platform::{JobResult, Platform, PlatformConfig, PlatformOracle};
+pub use pool::WorkerPool;
+pub use quality::{GoldRecord, TrustTracker};
+pub use report::{CampaignReport, WorkerLine};
+pub use scheduler::{schedule, Assignment, Schedule, ScheduleError};
+pub use task::{Job, Judgment, Unit, UnitId};
+pub use worker::{Behavior, SpamStrategy, Worker, WorkerId, WorkerProfile};

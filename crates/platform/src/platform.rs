@@ -1,0 +1,601 @@
+//! The platform facade: jobs in, quality-controlled answers out.
+//!
+//! [`Platform`] plays the role CrowdFlower plays in the paper's
+//! experiments: it owns the workforce, schedules batches over logical and
+//! physical steps, interleaves gold questions (15% by default), scores
+//! worker trust, discards responses of workers below the 70% gold-accuracy
+//! bar, pays per judgment, and aggregates the surviving judgments per unit
+//! by majority vote.
+//!
+//! [`PlatformOracle`] adapts a platform to `crowd-core`'s
+//! [`ComparisonOracle`], so the Section 4 algorithms can run unmodified on
+//! top of the full simulator — this is how the paper's CrowdFlower
+//! experiments (Tables 1–2, Section 5.3) are reproduced.
+
+use crate::billing::Ledger;
+use crate::pool::WorkerPool;
+use crate::quality::TrustTracker;
+use crate::scheduler::{schedule, ScheduleError};
+use crate::task::{Job, Judgment, Unit, UnitId};
+use crate::worker::WorkerId;
+use crowd_core::cost::CostModel;
+use crowd_core::element::{ElementId, Instance};
+use crowd_core::model::WorkerClass;
+use crowd_core::oracle::{ComparisonCounts, ComparisonOracle};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Platform-wide configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Judgments collected per unit (the paper requests "at least 21
+    /// answers" per pair in the calibration experiments, and single
+    /// judgments when driving algorithms).
+    pub judgments_per_unit: u32,
+    /// Fraction of gold units injected into each job (paper: 15%).
+    pub gold_fraction: f64,
+    /// Per-judgment pay for each class.
+    pub payment: CostModel,
+    /// Gold accuracy below which a worker's responses are ignored.
+    pub trust_threshold: f64,
+    /// Gold judgments before the threshold is enforced.
+    pub min_gold: u32,
+}
+
+impl PlatformConfig {
+    /// The paper's CrowdFlower-like setup: single judgments, 15% gold,
+    /// 70% trust threshold.
+    pub fn paper_default() -> Self {
+        PlatformConfig {
+            judgments_per_unit: 1,
+            gold_fraction: 0.15,
+            payment: CostModel::with_ratio(10.0),
+            trust_threshold: 0.7,
+            min_gold: 3,
+        }
+    }
+
+    /// Sets the judgments collected per unit.
+    pub fn with_judgments_per_unit(mut self, j: u32) -> Self {
+        self.judgments_per_unit = j;
+        self
+    }
+
+    /// Sets the per-judgment payments.
+    pub fn with_payment(mut self, payment: CostModel) -> Self {
+        self.payment = payment;
+        self
+    }
+
+    /// Disables gold injection (for controlled experiments).
+    pub fn without_gold(mut self) -> Self {
+        self.gold_fraction = 0.0;
+        self
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig::paper_default()
+    }
+}
+
+/// The outcome of running one job (one logical step).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Majority answer per regular unit (gold units are not reported —
+    /// the requester already knows their answers).
+    pub answers: HashMap<UnitId, ElementId>,
+    /// Every judgment produced, including on gold units and by workers
+    /// later flagged as spammers.
+    pub judgments: Vec<Judgment>,
+    /// Physical steps the job consumed.
+    pub physical_steps: u64,
+    /// Workers whose responses were ignored during aggregation.
+    pub excluded_workers: Vec<WorkerId>,
+}
+
+/// The simulated crowdsourcing platform.
+#[derive(Debug)]
+pub struct Platform<R: RngCore> {
+    instance: Instance,
+    pool: WorkerPool,
+    config: PlatformConfig,
+    trust: TrustTracker,
+    ledger: Ledger,
+    rng: R,
+    gold_pairs: Vec<(ElementId, ElementId)>,
+    physical_clock: u64,
+    logical_steps: u64,
+    counts: ComparisonCounts,
+    next_unit: u32,
+    /// Rotating dealing offset so consecutive jobs spread across the pool.
+    rotation: usize,
+    /// Workers retired mid-campaign: they keep their history but receive
+    /// no further assignments.
+    retired: HashSet<WorkerId>,
+}
+
+impl<R: RngCore> Platform<R> {
+    /// Builds a platform over the ground-truth `instance` with the given
+    /// workforce.
+    pub fn new(instance: Instance, pool: WorkerPool, config: PlatformConfig, rng: R) -> Self {
+        let trust = TrustTracker::new(config.trust_threshold, config.min_gold);
+        Platform {
+            instance,
+            pool,
+            config,
+            trust,
+            ledger: Ledger::new(),
+            rng,
+            gold_pairs: Vec::new(),
+            physical_clock: 0,
+            logical_steps: 0,
+            counts: ComparisonCounts::zero(),
+            next_unit: 0,
+            rotation: 0,
+            retired: HashSet::new(),
+        }
+    }
+
+    /// Hires one more worker mid-campaign; she becomes eligible from the
+    /// next job on. Crowd platforms see constant churn — workers arrive
+    /// and leave while a campaign runs.
+    pub fn hire_worker(
+        &mut self,
+        class: WorkerClass,
+        channel: &str,
+        behavior: crate::worker::Behavior,
+    ) -> WorkerId {
+        self.pool.hire(class, channel, behavior)
+    }
+
+    /// Retires a worker: her earnings and trust history remain on the
+    /// books, but she receives no further assignments. Idempotent.
+    pub fn retire_worker(&mut self, worker: WorkerId) {
+        self.retired.insert(worker);
+    }
+
+    /// Workers retired so far.
+    pub fn retired_workers(&self) -> &HashSet<WorkerId> {
+        &self.retired
+    }
+
+    /// Registers gold pairs: comparisons whose correct answer the requester
+    /// knows (answers are derived from the instance's ground truth, which
+    /// is exactly what makes them gold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair repeats an element.
+    pub fn set_gold_pairs(&mut self, pairs: Vec<(ElementId, ElementId)>) {
+        for &(k, j) in &pairs {
+            assert_ne!(k, j, "a gold pair must compare distinct elements");
+        }
+        self.gold_pairs = pairs;
+    }
+
+    /// The ground-truth instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The payment ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The trust tracker.
+    pub fn trust(&self) -> &TrustTracker {
+        &self.trust
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Physical steps elapsed across all jobs.
+    pub fn physical_clock(&self) -> u64 {
+        self.physical_clock
+    }
+
+    /// Logical steps (jobs) executed.
+    pub fn logical_steps(&self) -> u64 {
+        self.logical_steps
+    }
+
+    /// Total worker judgments by class.
+    pub fn counts(&self) -> ComparisonCounts {
+        self.counts
+    }
+
+    fn fresh_unit_id(&mut self) -> UnitId {
+        let id = UnitId(self.next_unit);
+        self.next_unit += 1;
+        id
+    }
+
+    /// How many gold units to inject alongside `regular` regular units so
+    /// that roughly `gold_fraction` of all units are gold.
+    fn gold_units_for(&mut self, regular: usize) -> usize {
+        if self.gold_pairs.is_empty() || self.config.gold_fraction <= 0.0 {
+            return 0;
+        }
+        // gold / (gold + regular) ≈ fraction  =>  gold ≈ regular·f/(1−f).
+        let f = self.config.gold_fraction;
+        let expected = regular as f64 * f / (1.0 - f);
+        let base = expected.floor() as usize;
+        let remainder = expected - base as f64;
+        base + usize::from(remainder > 0.0 && self.rng.gen_bool(remainder))
+    }
+
+    /// Submits a batch of pairwise comparisons (one logical step) to
+    /// workers of `class` and returns the majority answer per pair, in
+    /// input order. Gold units are injected automatically.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool cannot satisfy the schedule (no eligible workers,
+    /// or fewer eligible workers than judgments required per unit).
+    pub fn submit_comparisons(
+        &mut self,
+        pairs: &[(ElementId, ElementId)],
+        class: WorkerClass,
+    ) -> Result<Vec<ElementId>, ScheduleError> {
+        let mut units: Vec<Unit> = Vec::with_capacity(pairs.len());
+        let mut regular_ids = Vec::with_capacity(pairs.len());
+        for &(k, j) in pairs {
+            let id = self.fresh_unit_id();
+            regular_ids.push(id);
+            units.push(Unit::regular(id, k, j));
+        }
+        let gold_n = self.gold_units_for(pairs.len());
+        for _ in 0..gold_n {
+            let &(k, j) = &self.gold_pairs[self.rng.gen_range(0..self.gold_pairs.len())];
+            let answer = if self.instance.value(k) >= self.instance.value(j) {
+                k
+            } else {
+                j
+            };
+            let id = self.fresh_unit_id();
+            units.push(Unit::gold(id, k, j, answer));
+        }
+        let job = Job::new(units, self.config.judgments_per_unit);
+        let result = self.run_job(&job, class)?;
+        Ok(regular_ids.iter().map(|id| result.answers[id]).collect())
+    }
+
+    /// Runs a fully specified job (one logical step): schedules it over the
+    /// currently trusted workers, executes every judgment, pays for it,
+    /// scores gold answers, and aggregates regular units by majority over
+    /// judgments from workers trusted *after* the job's gold scoring.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool cannot satisfy the schedule.
+    pub fn run_job(&mut self, job: &Job, class: WorkerClass) -> Result<JobResult, ScheduleError> {
+        let mut excluded = self.trust.untrusted();
+        excluded.extend(self.retired.iter().copied());
+        let plan = schedule(
+            &self.pool,
+            job,
+            class,
+            &excluded,
+            self.physical_clock,
+            self.rotation,
+        )?;
+        self.rotation = self.rotation.wrapping_add(plan.assignments.len().max(1));
+        let units: HashMap<UnitId, &Unit> = job.units().iter().map(|u| (u.id, u)).collect();
+
+        // Execute.
+        let mut judgments = Vec::with_capacity(plan.assignments.len());
+        for a in &plan.assignments {
+            let unit = units[&a.unit];
+            let (k, j) = unit.pair;
+            let (vk, vj) = (self.instance.value(k), self.instance.value(j));
+            let answer = self
+                .pool
+                .worker_mut(a.worker)
+                .judge(k, vk, j, vj, &mut self.rng);
+            self.ledger
+                .pay(a.worker, class, self.config.payment.price(class));
+            self.counts.record(class);
+            if let Some(gold) = unit.gold_answer {
+                self.trust.record(a.worker, answer == gold);
+            }
+            judgments.push(Judgment {
+                unit: a.unit,
+                worker: a.worker,
+                answer,
+                physical_step: a.physical_step,
+            });
+        }
+
+        // Aggregate regular units by majority over trusted judgments.
+        let now_untrusted = self.trust.untrusted();
+        let mut answers = HashMap::new();
+        for unit in job.units().iter().filter(|u| !u.is_gold()) {
+            let (k, j) = unit.pair;
+            let votes: Vec<ElementId> = judgments
+                .iter()
+                .filter(|jd| jd.unit == unit.id && !now_untrusted.contains(&jd.worker))
+                .map(|jd| jd.answer)
+                .collect();
+            // If quality control discarded everything, fall back to all
+            // judgments — the requester still needs an answer.
+            let votes = if votes.is_empty() {
+                judgments
+                    .iter()
+                    .filter(|jd| jd.unit == unit.id)
+                    .map(|jd| jd.answer)
+                    .collect()
+            } else {
+                votes
+            };
+            let k_votes = votes.iter().filter(|&&a| a == k).count();
+            let j_votes = votes.len() - k_votes;
+            let winner = if k_votes > j_votes || (k_votes == j_votes && k < j) {
+                k
+            } else {
+                j
+            };
+            answers.insert(unit.id, winner);
+        }
+
+        self.physical_clock += plan.physical_steps;
+        self.logical_steps += 1;
+        Ok(JobResult {
+            answers,
+            judgments,
+            physical_steps: plan.physical_steps,
+            excluded_workers: now_untrusted.into_iter().collect(),
+        })
+    }
+}
+
+/// Adapts a [`Platform`] to `crowd-core`'s [`ComparisonOracle`], so the
+/// Section 4 algorithms can run on the full simulator.
+///
+/// Every `compare` call is one logical step containing a single unit
+/// (sequential algorithms cannot batch — each comparison may depend on the
+/// previous answer).
+#[derive(Debug)]
+pub struct PlatformOracle<R: RngCore> {
+    platform: Platform<R>,
+}
+
+impl<R: RngCore> PlatformOracle<R> {
+    /// Wraps a platform.
+    pub fn new(platform: Platform<R>) -> Self {
+        PlatformOracle { platform }
+    }
+
+    /// The wrapped platform (e.g. to inspect the ledger afterwards).
+    pub fn platform(&self) -> &Platform<R> {
+        &self.platform
+    }
+
+    /// Consumes the adapter, returning the platform.
+    pub fn into_platform(self) -> Platform<R> {
+        self.platform
+    }
+}
+
+impl<R: RngCore> ComparisonOracle for PlatformOracle<R> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        self.platform
+            .submit_comparisons(&[(k, j)], class)
+            .expect("the platform pool cannot satisfy a single comparison")[0]
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.platform.counts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{Behavior, SpamStrategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance() -> Instance {
+        Instance::new(vec![10.0, 20.0, 30.0, 40.0, 50.0])
+    }
+
+    fn honest_pool(n: usize) -> WorkerPool {
+        let mut p = WorkerPool::new();
+        p.hire_naive_crowd(n, 0.0, 0.0); // perfect naïve workers
+        p.hire_expert_panel(3, 0.0, 0.0);
+        p
+    }
+
+    fn platform(pool: WorkerPool, config: PlatformConfig, seed: u64) -> Platform<StdRng> {
+        Platform::new(instance(), pool, config, StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn submit_returns_answers_in_order() {
+        let mut p = platform(
+            honest_pool(5),
+            PlatformConfig::paper_default().without_gold(),
+            1,
+        );
+        let answers = p
+            .submit_comparisons(
+                &[(ElementId(0), ElementId(4)), (ElementId(3), ElementId(1))],
+                WorkerClass::Naive,
+            )
+            .unwrap();
+        assert_eq!(answers, vec![ElementId(4), ElementId(3)]);
+    }
+
+    #[test]
+    fn payments_match_judgments() {
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_judgments_per_unit(3)
+            .with_payment(CostModel::new(2.0, 20.0));
+        let mut p = platform(honest_pool(5), cfg, 2);
+        p.submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Naive)
+            .unwrap();
+        assert_eq!(p.ledger().judgments(), 3);
+        assert_eq!(p.ledger().total(), 6.0);
+        assert_eq!(p.counts().naive, 3);
+        p.submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Expert)
+            .unwrap();
+        assert_eq!(p.ledger().total(), 6.0 + 3.0 * 20.0); // 3 expert judgments at 20 each
+    }
+
+    #[test]
+    fn gold_units_are_injected_and_scored() {
+        let mut cfg = PlatformConfig::paper_default();
+        cfg.gold_fraction = 0.5;
+        let mut p = platform(honest_pool(10), cfg, 3);
+        p.set_gold_pairs(vec![(ElementId(0), ElementId(4))]);
+        // Submit enough batches that gold questions certainly appear.
+        for _ in 0..20 {
+            p.submit_comparisons(&[(ElementId(1), ElementId(2))], WorkerClass::Naive)
+                .unwrap();
+        }
+        let scored: u32 = (0..12u32)
+            .map(|i| p.trust().record_of(WorkerId(i)).seen)
+            .sum();
+        assert!(scored > 0, "no gold judgments were recorded");
+    }
+
+    #[test]
+    fn spammers_get_filtered_by_gold() {
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(6, 0.0, 0.0);
+        // A spammer who always picks the first element shown.
+        let spammer = pool.hire(
+            WorkerClass::Naive,
+            "spam",
+            Behavior::Spammer(SpamStrategy::AlwaysSecond),
+        );
+        let mut cfg = PlatformConfig::paper_default().with_judgments_per_unit(5);
+        cfg.gold_fraction = 0.6;
+        cfg.min_gold = 2;
+        let mut p = platform(pool, cfg, 4);
+        // Gold pairs presented as (higher, lower): AlwaysSecond always fails.
+        p.set_gold_pairs(vec![
+            (ElementId(4), ElementId(0)),
+            (ElementId(3), ElementId(0)),
+            (ElementId(4), ElementId(1)),
+        ]);
+        for _ in 0..30 {
+            p.submit_comparisons(&[(ElementId(2), ElementId(3))], WorkerClass::Naive)
+                .unwrap();
+        }
+        assert!(
+            !p.trust().is_trusted(spammer),
+            "the spammer should have been flagged: {:?}",
+            p.trust().record_of(spammer)
+        );
+    }
+
+    #[test]
+    fn logical_and_physical_clocks_advance() {
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_judgments_per_unit(3);
+        let mut p = platform(honest_pool(3), cfg, 5);
+        // 2 units × 3 judgments over 5 naive workers... pool has 3 naive.
+        p.submit_comparisons(
+            &[(ElementId(0), ElementId(1)), (ElementId(2), ElementId(3))],
+            WorkerClass::Naive,
+        )
+        .unwrap();
+        assert_eq!(p.logical_steps(), 1);
+        assert_eq!(p.physical_clock(), 2); // ⌈6/3⌉
+    }
+
+    #[test]
+    fn oracle_adapter_drives_core_algorithms() {
+        use crowd_core::algorithms::{expert_max_find, ExpertMaxConfig};
+        let inst = Instance::new((0..60).map(|i| i as f64 * 10.0).collect());
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(10, 0.0, 0.0);
+        pool.hire_expert_panel(3, 0.0, 0.0);
+        let platform = Platform::new(
+            inst.clone(),
+            pool,
+            PlatformConfig::paper_default().without_gold(),
+            StdRng::seed_from_u64(6),
+        );
+        let mut oracle = PlatformOracle::new(platform);
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = expert_max_find(&mut oracle, &inst.ids(), &ExpertMaxConfig::new(2), &mut rng);
+        assert_eq!(out.winner, inst.max_element());
+        let platform = oracle.into_platform();
+        assert!(platform.ledger().total() > 0.0);
+        assert_eq!(platform.ledger().judgments(), platform.counts().total());
+    }
+
+    #[test]
+    fn schedule_failure_propagates() {
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(2, 0.0, 0.0); // no experts at all
+        let mut p = Platform::new(
+            instance(),
+            pool,
+            PlatformConfig::paper_default().without_gold(),
+            StdRng::seed_from_u64(8),
+        );
+        let err = p
+            .submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Expert)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoEligibleWorkers { .. }));
+    }
+
+    #[test]
+    fn churn_hire_and_retire_mid_campaign() {
+        let mut p = platform(
+            honest_pool(3),
+            PlatformConfig::paper_default().without_gold(),
+            11,
+        );
+        // Retire two of the three naive workers: work continues on one.
+        p.retire_worker(WorkerId(0));
+        p.retire_worker(WorkerId(1));
+        p.submit_comparisons(&[(ElementId(0), ElementId(4))], WorkerClass::Naive)
+            .unwrap();
+        assert_eq!(p.ledger().earned_by(WorkerId(0)), 0.0);
+        assert_eq!(p.ledger().earned_by(WorkerId(1)), 0.0);
+        assert!(p.ledger().earned_by(WorkerId(2)) > 0.0);
+
+        // Retire the last one: naive jobs now fail ...
+        p.retire_worker(WorkerId(2));
+        assert!(p
+            .submit_comparisons(&[(ElementId(0), ElementId(4))], WorkerClass::Naive)
+            .is_err());
+
+        // ... until a new hire arrives.
+        let fresh = p.hire_worker(
+            WorkerClass::Naive,
+            "late-arrival",
+            Behavior::Threshold {
+                delta: 0.0,
+                epsilon: 0.0,
+                tie: crowd_core::model::TiePolicy::UniformRandom,
+            },
+        );
+        let answers = p
+            .submit_comparisons(&[(ElementId(0), ElementId(4))], WorkerClass::Naive)
+            .unwrap();
+        assert_eq!(answers, vec![ElementId(4)]);
+        assert!(p.ledger().earned_by(fresh) > 0.0);
+        assert_eq!(p.retired_workers().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct elements")]
+    fn gold_pair_with_duplicate_panics() {
+        let mut p = platform(honest_pool(3), PlatformConfig::paper_default(), 9);
+        p.set_gold_pairs(vec![(ElementId(0), ElementId(0))]);
+    }
+}

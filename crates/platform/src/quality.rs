@@ -1,0 +1,175 @@
+//! Gold-question quality control.
+//!
+//! CrowdFlower "offers quality-ensured results": workers are continuously
+//! scored on gold units, and "responses of workers whose performance on
+//! gold comparisons has accuracy less than 70% are ignored" (paper
+//! Section 3.1). [`TrustTracker`] implements exactly that policy: it keeps
+//! per-worker gold tallies and flags workers below the threshold once they
+//! have seen a minimum number of gold questions.
+
+use crate::worker::WorkerId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Per-worker gold performance record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldRecord {
+    /// Gold units the worker has judged.
+    pub seen: u32,
+    /// Gold units the worker answered correctly.
+    pub correct: u32,
+}
+
+impl GoldRecord {
+    /// Gold accuracy, or `None` before any gold judgment.
+    pub fn accuracy(&self) -> Option<f64> {
+        (self.seen > 0).then(|| self.correct as f64 / self.seen as f64)
+    }
+}
+
+/// Tracks worker trust from gold-question performance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustTracker {
+    records: HashMap<WorkerId, GoldRecord>,
+    /// Accuracy below which a worker's responses are ignored (paper: 0.7).
+    threshold: f64,
+    /// Gold judgments required before the threshold is enforced — a worker
+    /// is innocent until she has had a fair number of chances.
+    min_gold: u32,
+}
+
+impl TrustTracker {
+    /// A tracker with the given exclusion threshold and minimum gold count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold <= 1`.
+    pub fn new(threshold: f64, min_gold: u32) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        TrustTracker {
+            records: HashMap::new(),
+            threshold,
+            min_gold,
+        }
+    }
+
+    /// The paper's CrowdFlower policy: 70% accuracy, enforced after 3 gold
+    /// judgments.
+    pub fn crowdflower_default() -> Self {
+        TrustTracker::new(0.7, 3)
+    }
+
+    /// Records one gold judgment for `worker`.
+    pub fn record(&mut self, worker: WorkerId, correct: bool) {
+        let rec = self.records.entry(worker).or_default();
+        rec.seen += 1;
+        if correct {
+            rec.correct += 1;
+        }
+    }
+
+    /// The worker's gold record (zeroes if she has seen no gold yet).
+    pub fn record_of(&self, worker: WorkerId) -> GoldRecord {
+        self.records.get(&worker).copied().unwrap_or_default()
+    }
+
+    /// True if the worker's responses should be used: either she has not
+    /// yet seen `min_gold` gold units, or her accuracy is at least the
+    /// threshold.
+    pub fn is_trusted(&self, worker: WorkerId) -> bool {
+        let rec = self.record_of(worker);
+        if rec.seen < self.min_gold {
+            return true;
+        }
+        rec.accuracy().is_none_or(|a| a >= self.threshold)
+    }
+
+    /// All currently untrusted (spam-flagged) workers.
+    pub fn untrusted(&self) -> HashSet<WorkerId> {
+        self.records
+            .keys()
+            .copied()
+            .filter(|&w| !self.is_trusted(w))
+            .collect()
+    }
+
+    /// The exclusion threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Default for TrustTracker {
+    fn default() -> Self {
+        TrustTracker::crowdflower_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: WorkerId = WorkerId(0);
+
+    #[test]
+    fn fresh_workers_are_trusted() {
+        let t = TrustTracker::crowdflower_default();
+        assert!(t.is_trusted(W));
+        assert_eq!(t.record_of(W), GoldRecord::default());
+        assert!(t.untrusted().is_empty());
+    }
+
+    #[test]
+    fn accuracy_below_threshold_excludes() {
+        let mut t = TrustTracker::new(0.7, 3);
+        t.record(W, true);
+        t.record(W, false);
+        assert!(t.is_trusted(W), "only 2 gold seen, below min_gold");
+        t.record(W, false);
+        // 1/3 ≈ 0.33 < 0.7 with min_gold reached.
+        assert!(!t.is_trusted(W));
+        assert!(t.untrusted().contains(&W));
+    }
+
+    #[test]
+    fn good_workers_stay_trusted() {
+        let mut t = TrustTracker::new(0.7, 3);
+        for i in 0..10 {
+            t.record(W, i % 10 != 0); // 90% accuracy
+        }
+        assert!(t.is_trusted(W));
+    }
+
+    #[test]
+    fn boundary_accuracy_is_trusted() {
+        // Exactly 70%: "accuracy less than 70%" is ignored, so 0.7 passes.
+        let mut t = TrustTracker::new(0.7, 3);
+        for i in 0..10 {
+            t.record(W, i < 7);
+        }
+        assert_eq!(t.record_of(W).accuracy(), Some(0.7));
+        assert!(t.is_trusted(W));
+    }
+
+    #[test]
+    fn redemption_is_possible() {
+        let mut t = TrustTracker::new(0.7, 3);
+        for _ in 0..3 {
+            t.record(W, false);
+        }
+        assert!(!t.is_trusted(W));
+        for _ in 0..20 {
+            t.record(W, true);
+        }
+        assert!(t.is_trusted(W), "20/23 ≈ 0.87 >= 0.7");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0, 1]")]
+    fn zero_threshold_panics() {
+        TrustTracker::new(0.0, 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Logical and physical time steps (paper Section 3, "Human workers and
+//! crowdsourcing algorithms").
+//!
+//! Algorithms proceed in *logical* steps: in step `s` a batch `B_s` of
+//! comparisons is sent to the platform, and the next batch depends on the
+//! answers. Each logical step expands into a sequence `F(s)` of consecutive
+//! *physical* steps: at every physical step `t` a subset `W_t` of the
+//! workers is active and each active worker judges one unit. With `w`
+//! eligible workers and `m` judgments requested, a batch therefore takes
+//! `ceil(m / w)` physical steps — the paper's (and Venetis et al.'s)
+//! time-complexity measure.
+//!
+//! The scheduler builds the concrete assignment: which worker judges which
+//! unit at which physical step, never assigning the same worker to the same
+//! unit twice.
+
+use crate::pool::WorkerPool;
+use crate::task::{Job, Judgment, UnitId};
+use crate::worker::WorkerId;
+use crowd_core::model::WorkerClass;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One planned assignment: `worker` judges `unit` at `physical_step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The unit to judge.
+    pub unit: UnitId,
+    /// The worker assigned.
+    pub worker: WorkerId,
+    /// The physical step at which the judgment happens.
+    pub physical_step: u64,
+}
+
+/// A full schedule for one job (one logical step).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// All assignments, ordered by physical step.
+    pub assignments: Vec<Assignment>,
+    /// Number of physical steps the logical step spans (`|F(s)|`).
+    pub physical_steps: u64,
+}
+
+/// Errors the scheduler can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No eligible worker of the required class exists.
+    NoEligibleWorkers {
+        /// The class that has no eligible workers.
+        class: WorkerClass,
+    },
+    /// A unit requires more judgments than there are eligible workers
+    /// (a worker never judges the same unit twice).
+    NotEnoughWorkersForUnit {
+        /// The affected unit.
+        unit: UnitId,
+        /// Judgments requested per unit.
+        requested: u32,
+        /// Eligible workers available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoEligibleWorkers { class } => {
+                write!(f, "no eligible {class} workers in the pool")
+            }
+            ScheduleError::NotEnoughWorkersForUnit {
+                unit,
+                requested,
+                available,
+            } => write!(
+                f,
+                "unit {unit:?} needs {requested} distinct judgments but only {available} eligible workers exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Plans a job of `class` over the eligible workers of `pool`, excluding
+/// `excluded` (spam-flagged) workers.
+///
+/// Assignment policy: judgments are laid out unit-major and dealt to
+/// workers round-robin starting at `rotation` (callers advance it between
+/// jobs so load spreads across the pool), so each unit's judgments land on
+/// distinct workers and the load is balanced; the physical step of the
+/// `q`-th judgment is `q / w` where `w` is the number of eligible workers
+/// (each worker does at most one judgment per physical step).
+pub fn schedule(
+    pool: &WorkerPool,
+    job: &Job,
+    class: WorkerClass,
+    excluded: &HashSet<WorkerId>,
+    starting_step: u64,
+    rotation: usize,
+) -> Result<Schedule, ScheduleError> {
+    let mut eligible: Vec<WorkerId> = pool
+        .ids_of_class(class)
+        .into_iter()
+        .filter(|w| !excluded.contains(w))
+        .collect();
+    // Rotate the dealing order so consecutive jobs spread over the whole
+    // pool rather than always starting from the same worker — without this
+    // a stream of single-unit jobs would starve most of the workforce (and
+    // shield spammers from ever meeting a gold question).
+    if !eligible.is_empty() {
+        let shift = rotation % eligible.len();
+        eligible.rotate_left(shift);
+    }
+    if eligible.is_empty() {
+        return Err(ScheduleError::NoEligibleWorkers { class });
+    }
+    let w = eligible.len();
+    let per_unit = job.judgments_per_unit();
+    if per_unit as usize > w {
+        return Err(ScheduleError::NotEnoughWorkersForUnit {
+            unit: job.units()[0].id,
+            requested: per_unit,
+            available: w,
+        });
+    }
+
+    let mut assignments = Vec::with_capacity(job.total_judgments() as usize);
+    let mut q: u64 = 0;
+    for unit in job.units() {
+        for _ in 0..per_unit {
+            assignments.push(Assignment {
+                unit: unit.id,
+                worker: eligible[(q % w as u64) as usize],
+                physical_step: starting_step + q / w as u64,
+            });
+            q += 1;
+        }
+    }
+    let physical_steps = q.div_ceil(w as u64);
+    Ok(Schedule {
+        assignments,
+        physical_steps,
+    })
+}
+
+/// Checks the distinct-worker-per-unit invariant of a schedule (used by
+/// tests and debug assertions).
+pub fn distinct_workers_per_unit(schedule: &Schedule) -> bool {
+    use std::collections::HashMap;
+    let mut seen: HashMap<UnitId, HashSet<WorkerId>> = HashMap::new();
+    schedule
+        .assignments
+        .iter()
+        .all(|a| seen.entry(a.unit).or_default().insert(a.worker))
+}
+
+/// Converts produced judgments back into per-unit groups, preserving
+/// order — a convenience for aggregation.
+pub fn group_by_unit(judgments: &[Judgment]) -> std::collections::HashMap<UnitId, Vec<Judgment>> {
+    let mut map: std::collections::HashMap<UnitId, Vec<Judgment>> =
+        std::collections::HashMap::new();
+    for &j in judgments {
+        map.entry(j.unit).or_default().push(j);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::Behavior;
+    use crowd_core::element::ElementId;
+
+    fn pool(naive: usize) -> WorkerPool {
+        let mut p = WorkerPool::new();
+        p.hire_naive_crowd(naive, 1.0, 0.0);
+        p
+    }
+
+    fn job(units: usize, judgments: u32) -> Job {
+        let pairs: Vec<_> = (0..units)
+            .map(|i| (ElementId(2 * i as u32), ElementId(2 * i as u32 + 1)))
+            .collect();
+        Job::from_pairs(&pairs, judgments)
+    }
+
+    #[test]
+    fn all_judgments_scheduled_once() {
+        let p = pool(5);
+        let s = schedule(&p, &job(4, 3), WorkerClass::Naive, &HashSet::new(), 0, 0).unwrap();
+        assert_eq!(s.assignments.len(), 12);
+        assert!(distinct_workers_per_unit(&s));
+    }
+
+    #[test]
+    fn physical_steps_follow_ceil_rule() {
+        let p = pool(5);
+        // 4 units × 3 judgments = 12 assignments over 5 workers → ⌈12/5⌉ = 3.
+        let s = schedule(&p, &job(4, 3), WorkerClass::Naive, &HashSet::new(), 0, 0).unwrap();
+        assert_eq!(s.physical_steps, 3);
+        assert!(s.assignments.iter().all(|a| a.physical_step < 3));
+        // A single worker per physical step does one judgment.
+        for step in 0..3 {
+            let mut workers_at_step = HashSet::new();
+            for a in s.assignments.iter().filter(|a| a.physical_step == step) {
+                assert!(
+                    workers_at_step.insert(a.worker),
+                    "worker double-booked at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starting_step_offsets_the_schedule() {
+        let p = pool(5);
+        let s = schedule(&p, &job(2, 2), WorkerClass::Naive, &HashSet::new(), 10, 0).unwrap();
+        assert!(s.assignments.iter().all(|a| a.physical_step >= 10));
+    }
+
+    #[test]
+    fn excluded_workers_receive_nothing() {
+        let p = pool(5);
+        let banned: HashSet<WorkerId> = [WorkerId(0), WorkerId(1)].into();
+        let s = schedule(&p, &job(3, 2), WorkerClass::Naive, &banned, 0, 0).unwrap();
+        assert!(s.assignments.iter().all(|a| !banned.contains(&a.worker)));
+    }
+
+    #[test]
+    fn too_many_judgments_per_unit_errors() {
+        let p = pool(2);
+        let err = schedule(&p, &job(1, 3), WorkerClass::Naive, &HashSet::new(), 0, 0).unwrap_err();
+        assert!(matches!(err, ScheduleError::NotEnoughWorkersForUnit { .. }));
+        assert!(err.to_string().contains("3 distinct judgments"));
+    }
+
+    #[test]
+    fn missing_class_errors() {
+        let p = pool(3); // no experts
+        let err = schedule(&p, &job(1, 1), WorkerClass::Expert, &HashSet::new(), 0, 0).unwrap_err();
+        assert!(matches!(err, ScheduleError::NoEligibleWorkers { .. }));
+        assert!(err.to_string().contains("expert"));
+    }
+
+    #[test]
+    fn spammer_hiring_does_not_break_scheduling() {
+        let mut p = pool(2);
+        p.hire(
+            WorkerClass::Naive,
+            "spam",
+            Behavior::Spammer(crate::worker::SpamStrategy::Random),
+        );
+        let s = schedule(&p, &job(1, 3), WorkerClass::Naive, &HashSet::new(), 0, 0).unwrap();
+        assert_eq!(s.assignments.len(), 3);
+    }
+
+    #[test]
+    fn rotation_spreads_single_unit_jobs_across_the_pool() {
+        let p = pool(5);
+        let mut seen = HashSet::new();
+        for rotation in 0..5 {
+            let s = schedule(
+                &p,
+                &job(1, 1),
+                WorkerClass::Naive,
+                &HashSet::new(),
+                0,
+                rotation,
+            )
+            .unwrap();
+            seen.insert(s.assignments[0].worker);
+        }
+        assert_eq!(
+            seen.len(),
+            5,
+            "five rotations must reach five distinct workers"
+        );
+    }
+
+    #[test]
+    fn group_by_unit_partitions() {
+        let js = vec![
+            Judgment {
+                unit: UnitId(0),
+                worker: WorkerId(0),
+                answer: ElementId(0),
+                physical_step: 0,
+            },
+            Judgment {
+                unit: UnitId(1),
+                worker: WorkerId(1),
+                answer: ElementId(2),
+                physical_step: 0,
+            },
+            Judgment {
+                unit: UnitId(0),
+                worker: WorkerId(2),
+                answer: ElementId(1),
+                physical_step: 1,
+            },
+        ];
+        let grouped = group_by_unit(&js);
+        assert_eq!(grouped[&UnitId(0)].len(), 2);
+        assert_eq!(grouped[&UnitId(1)].len(), 1);
+    }
+}

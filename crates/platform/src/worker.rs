@@ -1,0 +1,219 @@
+//! Individual simulated workers.
+//!
+//! A worker has an identity, a class (naïve or expert), a channel (the
+//! labour source she arrives through — CrowdFlower aggregates "multiple
+//! channels"), and a behaviour. Honest behaviours follow the error models
+//! of `crowd-core`; spammer behaviours model the noise sources the paper
+//! lists in its introduction ("input errors, misunderstanding of the
+//! requirements, and malicious behavior — crowdsourcing spamming"), which
+//! the platform's gold-question quality control is designed to catch.
+
+use crowd_core::element::{ElementId, Value};
+use crowd_core::model::{ErrorModel, ThresholdModel, TiePolicy, WorkerClass};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a worker within a [`WorkerPool`](crate::pool::WorkerPool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// The id as an index into pool-sized arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// How a spamming worker answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpamStrategy {
+    /// A uniformly random answer, ignoring the elements entirely.
+    Random,
+    /// Always the first element as presented.
+    AlwaysFirst,
+    /// Always the second element as presented.
+    AlwaysSecond,
+}
+
+/// A worker's answering behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Behavior {
+    /// An honest worker following the threshold model `T(δ, ε)`.
+    Threshold {
+        /// Discernment threshold `δ`.
+        delta: f64,
+        /// Residual error probability `ε`.
+        epsilon: f64,
+        /// Behaviour on indistinguishable pairs.
+        tie: TiePolicy,
+    },
+    /// An honest worker following the probabilistic model (error `p` per
+    /// comparison) — `Threshold { delta: 0, epsilon: p, .. }`.
+    Probabilistic {
+        /// Per-comparison error probability.
+        p: f64,
+    },
+    /// A spammer.
+    Spammer(SpamStrategy),
+}
+
+/// A worker profile: identity plus static attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// The worker's id.
+    pub id: WorkerId,
+    /// The worker's class (decides pay rate and which tasks she receives).
+    pub class: WorkerClass,
+    /// The labour channel the worker arrived through.
+    pub channel: String,
+    /// The worker's answering behaviour.
+    pub behavior: Behavior,
+}
+
+/// A live worker: profile plus the mutable state her behaviour needs
+/// (persistent tie choices live inside the threshold model).
+#[derive(Debug, Clone)]
+pub struct Worker {
+    profile: WorkerProfile,
+    model: Option<ThresholdModel>,
+}
+
+impl Worker {
+    /// Instantiates a worker from a profile.
+    pub fn new(profile: WorkerProfile) -> Self {
+        let model = match profile.behavior {
+            Behavior::Threshold {
+                delta,
+                epsilon,
+                tie,
+            } => Some(ThresholdModel::new(delta, epsilon, tie)),
+            Behavior::Probabilistic { p } => {
+                Some(ThresholdModel::new(0.0, p, TiePolicy::UniformRandom))
+            }
+            Behavior::Spammer(_) => None,
+        };
+        Worker { profile, model }
+    }
+
+    /// The worker's profile.
+    pub fn profile(&self) -> &WorkerProfile {
+        &self.profile
+    }
+
+    /// The worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.profile.id
+    }
+
+    /// The worker's class.
+    pub fn class(&self) -> WorkerClass {
+        self.profile.class
+    }
+
+    /// Produces the worker's judgment on a pair, given the (hidden) values.
+    pub fn judge(
+        &mut self,
+        k: ElementId,
+        vk: Value,
+        j: ElementId,
+        vj: Value,
+        rng: &mut dyn RngCore,
+    ) -> ElementId {
+        match (&mut self.model, self.profile.behavior) {
+            (Some(model), _) => model.compare(k, vk, j, vj, rng),
+            (None, Behavior::Spammer(strategy)) => match strategy {
+                SpamStrategy::Random => {
+                    if rng.gen_bool(0.5) {
+                        k
+                    } else {
+                        j
+                    }
+                }
+                SpamStrategy::AlwaysFirst => k,
+                SpamStrategy::AlwaysSecond => j,
+            },
+            (None, _) => unreachable!("honest behaviours always carry a model"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const A: ElementId = ElementId(0);
+    const B: ElementId = ElementId(1);
+
+    fn profile(behavior: Behavior) -> WorkerProfile {
+        WorkerProfile {
+            id: WorkerId(0),
+            class: WorkerClass::Naive,
+            channel: "test".into(),
+            behavior,
+        }
+    }
+
+    #[test]
+    fn threshold_worker_is_correct_above_delta() {
+        let mut w = Worker::new(profile(Behavior::Threshold {
+            delta: 1.0,
+            epsilon: 0.0,
+            tie: TiePolicy::UniformRandom,
+        }));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(w.judge(A, 5.0, B, 1.0, &mut rng), A);
+        }
+    }
+
+    #[test]
+    fn probabilistic_worker_errs_at_rate_p() {
+        let mut w = Worker::new(profile(Behavior::Probabilistic { p: 0.25 }));
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let errors = (0..trials)
+            .filter(|_| w.judge(A, 5.0, B, 1.0, &mut rng) == B)
+            .count();
+        let rate = errors as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn spammers_ignore_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut first = Worker::new(profile(Behavior::Spammer(SpamStrategy::AlwaysFirst)));
+        assert_eq!(first.judge(A, 0.0, B, 100.0, &mut rng), A);
+        let mut second = Worker::new(profile(Behavior::Spammer(SpamStrategy::AlwaysSecond)));
+        assert_eq!(second.judge(A, 100.0, B, 0.0, &mut rng), B);
+        let mut random = Worker::new(profile(Behavior::Spammer(SpamStrategy::Random)));
+        let a_frac = (0..10_000)
+            .filter(|_| random.judge(A, 0.0, B, 100.0, &mut rng) == A)
+            .count() as f64
+            / 10_000.0;
+        assert!((a_frac - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn worker_accessors() {
+        let w = Worker::new(WorkerProfile {
+            id: WorkerId(7),
+            class: WorkerClass::Expert,
+            channel: "pro".into(),
+            behavior: Behavior::Probabilistic { p: 0.0 },
+        });
+        assert_eq!(w.id(), WorkerId(7));
+        assert_eq!(w.class(), WorkerClass::Expert);
+        assert_eq!(w.profile().channel, "pro");
+        assert_eq!(WorkerId(7).to_string(), "w7");
+        assert_eq!(WorkerId(7).index(), 7);
+    }
+}

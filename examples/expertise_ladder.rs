@@ -1,0 +1,95 @@
+//! The multi-class extension (the paper's stated future work): a
+//! three-rung expertise ladder — crowd, enthusiasts, professionals — where
+//! each rung shrinks the candidate set before the next, pricier one takes
+//! over. Compare the cascade's bill against the two-phase algorithm and
+//! against going straight to the professionals.
+//!
+//! ```text
+//! cargo run --release --example expertise_ladder
+//! ```
+
+use crowd_core::algorithms::{expert_max_find, two_max_find_expert, ExpertMaxConfig};
+use crowd_core::model::{ExpertModel, TiePolicy};
+use crowd_core::multiclass::{cascade_max_find, ClassSpec, ExpertiseLadder, LadderOracle};
+use crowd_core::oracle::{ComparisonOracle, SimulatedOracle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A wine competition: 3000 bottles with hidden quality scores.
+    let mut rng = StdRng::seed_from_u64(1855);
+    let values: Vec<f64> = (0..3000).map(|_| rng.gen_range(0.0..100_000.0)).collect();
+    let instance = crowd_core::element::Instance::new(values);
+
+    // The ladder: casual drinkers ($1, δ=3500), wine-club members
+    // ($12, δ=300), master sommeliers ($600, δ=20). The steep price of the
+    // top rung is the realistic part: a master sommelier's hour dwarfs a
+    // crowdsourced click.
+    let ladder = ExpertiseLadder::new(vec![
+        ClassSpec::new(3_500.0, 0.0, 1.0),
+        ClassSpec::new(300.0, 0.0, 12.0),
+        ClassSpec::new(20.0, 0.0, 600.0),
+    ]);
+    let us: Vec<usize> = ladder.classes()[..2]
+        .iter()
+        .map(|c| instance.indistinguishable_from_max(c.delta))
+        .collect();
+    println!("bottles: {}; u-parameters per rung: {us:?}", instance.n());
+
+    // --- Three-stage cascade ---
+    let mut oracle = LadderOracle::new(
+        instance.clone(),
+        &ladder,
+        TiePolicy::UniformRandom,
+        StdRng::seed_from_u64(2),
+    );
+    let cascade = cascade_max_find(&mut oracle, &ladder, &instance.ids(), &us);
+    let cascade_cost = ladder.cost(&cascade.per_class);
+    println!("\nthree-stage cascade:");
+    println!("  stage survivors: {:?}", cascade.stage_sizes);
+    println!("  comparisons per rung: {:?}", cascade.per_class);
+    println!(
+        "  winner true rank {}, bill ${cascade_cost:.0}",
+        instance.rank(cascade.winner)
+    );
+
+    // --- Two-phase (crowd straight to sommeliers) ---
+    let two_model = ExpertModel::exact(3_500.0, 20.0, TiePolicy::UniformRandom);
+    let mut two_oracle =
+        SimulatedOracle::new(instance.clone(), two_model, StdRng::seed_from_u64(3));
+    let mut rng2 = StdRng::seed_from_u64(4);
+    let two = expert_max_find(
+        &mut two_oracle,
+        &instance.ids(),
+        &ExpertMaxConfig::new(us[0]),
+        &mut rng2,
+    );
+    let two_cost =
+        two.total_comparisons.naive as f64 * 1.0 + two.total_comparisons.expert as f64 * 600.0;
+    println!("\ntwo-phase (crowd -> sommeliers):");
+    println!(
+        "  winner true rank {}, {} crowd + {} sommelier comparisons, bill ${two_cost:.0}",
+        instance.rank(two.winner),
+        two.total_comparisons.naive,
+        two.total_comparisons.expert
+    );
+
+    // --- Sommeliers only ---
+    let som_model = ExpertModel::exact(20.0, 20.0, TiePolicy::UniformRandom);
+    let mut som_oracle =
+        SimulatedOracle::new(instance.clone(), som_model, StdRng::seed_from_u64(5));
+    let som = two_max_find_expert(&mut som_oracle, &instance.ids());
+    let som_cost = som_oracle.counts().expert as f64 * 600.0;
+    println!("\nsommeliers only (2-MaxFind):");
+    println!(
+        "  winner true rank {}, {} comparisons, bill ${som_cost:.0}",
+        instance.rank(som.winner),
+        som_oracle.counts().expert
+    );
+
+    println!(
+        "\ncascade saves {:.0}% vs sommeliers-only and {:.0}% vs two-phase",
+        100.0 * (1.0 - cascade_cost / som_cost),
+        100.0 * (1.0 - cascade_cost / two_cost),
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: find (an approximation of) the maximum of 2000 elements
+//! with cheap naïve workers plus a handful of expensive expert judgments.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use crowd_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // ----- 1. A problem instance: 2000 elements with hidden values. -----
+    let mut rng = StdRng::seed_from_u64(42);
+    let values: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1_000_000.0)).collect();
+    let instance = Instance::new(values);
+    println!(
+        "instance: n = {}, true maximum = {}",
+        instance.n(),
+        instance.max_element()
+    );
+
+    // ----- 2. A workforce: naïve workers discern differences above δn =
+    // 10_000; experts discern down to δe = 500. Nobody errs above their
+    // threshold (the paper's analysis model). -----
+    let (delta_n, delta_e) = (10_000.0, 500.0);
+    let model = ExpertModel::exact(delta_n, delta_e, TiePolicy::UniformRandom);
+    let mut oracle = SimulatedOracle::new(instance.clone(), model, StdRng::seed_from_u64(7));
+
+    // The only parameter the algorithm needs: how many elements are
+    // naïve-indistinguishable from the maximum. Here we read it off the
+    // ground truth; `crowd_core::estimation` shows how to estimate it from
+    // gold data when you cannot.
+    let un = instance.indistinguishable_from_max(delta_n);
+    println!("un(n) = {un} elements within δn of the maximum");
+
+    // ----- 3. Run the two-phase algorithm (Algorithm 1). -----
+    let outcome = expert_max_find(
+        &mut oracle,
+        &instance.ids(),
+        &ExpertMaxConfig::new(un),
+        &mut rng,
+    );
+
+    let winner = outcome.winner;
+    println!(
+        "returned element {winner} (true rank {}), gap to maximum: {:.1} (guarantee: <= 2·δe = {})",
+        instance.rank(winner),
+        instance.max_value() - instance.value(winner),
+        2.0 * delta_e,
+    );
+    println!(
+        "phase 1 kept {} of {} elements in {} rounds",
+        outcome.candidates.len(),
+        instance.n(),
+        outcome.phase1.rounds,
+    );
+    println!(
+        "comparisons: {} naive + {} expert",
+        outcome.total_comparisons.naive, outcome.total_comparisons.expert,
+    );
+
+    // ----- 4. Bill the run under the paper's cost model. -----
+    for prices in CostModel::paper_settings() {
+        println!(
+            "  at ce/cn = {:>2}: Alg 1 cost = {:>9.0}  (expert-only 2-MaxFind worst case: {:.0})",
+            prices.ratio(),
+            prices.cost(outcome.total_comparisons),
+            crowd_core::bounds::two_maxfind_expert_cost_upper_bound(instance.n(), &prices),
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! The Section 5.3 application end to end, including parameter estimation:
+//! find the best search result for a query when you do *not* know `un(n)`,
+//! by estimating it from a training query with Algorithm 4, then running
+//! the two-phase algorithm on the platform.
+//!
+//! ```text
+//! cargo run --release --example search_ranking
+//! ```
+
+use crowd_core::algorithms::{filter_candidates, two_max_find, FilterConfig};
+use crowd_core::estimation::{estimate_perr, estimate_un, EstimationConfig, TrainingSet};
+use crowd_core::model::{ThresholdModel, TiePolicy, WorkerClass};
+use crowd_core::oracle::{ComparisonOracle, ModelOracle};
+use crowd_datasets::search::SearchResultSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn naive_oracle(
+    set: &SearchResultSet,
+    seed: u64,
+) -> ModelOracle<ThresholdModel, ThresholdModel, StdRng> {
+    ModelOracle::new(
+        set.to_instance(),
+        ThresholdModel::exact(set.naive_delta(), TiePolicy::UniformRandom),
+        ThresholdModel::exact(set.expert_delta(), TiePolicy::UniformRandom),
+        StdRng::seed_from_u64(seed),
+    )
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(53);
+
+    // ----- 1. A training query with known best result (gold data). -----
+    let training_set =
+        SearchResultSet::synthesize("minimum vertex cover best approximation", 50, 8, &mut rng);
+    let training = TrainingSet::new(training_set.to_instance());
+    println!(
+        "training query: {:?} (true un = {})",
+        training_set.query(),
+        training_set.true_un()
+    );
+
+    // ----- 2. Estimate perr, then un(n), from the training query. -----
+    let mut oracle = naive_oracle(&training_set, 1);
+    let ids = training.instance().ids();
+    let pairs: Vec<_> = ids
+        .iter()
+        .flat_map(|&a| ids.iter().map(move |&b| (a, b)))
+        .filter(|&(a, b)| a < b)
+        .take(120)
+        .collect();
+    let perr = estimate_perr(&mut oracle, &training, &pairs, 9);
+    println!(
+        "estimated perr = {:?} from {} contested / {} consensus pairs",
+        perr.perr.map(|p| (p * 100.0).round() / 100.0),
+        perr.contested_pairs,
+        perr.consensus_pairs
+    );
+
+    let cfg = EstimationConfig::new(perr.perr.unwrap_or(0.4), 1.0);
+    let est = estimate_un(&mut oracle, &training, &cfg, 50);
+    println!(
+        "Algorithm 4: un(50) <= {} ({} errors over {} training comparisons)\n",
+        est.un, est.errors, est.comparisons
+    );
+
+    // ----- 3. Run the two-phase algorithm on the two evaluation queries
+    // with the estimated un. -----
+    let queries = SearchResultSet::paper_queries(&mut rng);
+    for q in &queries {
+        let instance = q.to_instance();
+        let mut oracle = naive_oracle(q, 7);
+        let phase1 = filter_candidates(&mut oracle, &instance.ids(), &FilterConfig::new(est.un));
+        let promoted = phase1.survivors.contains(&instance.max_element());
+        let phase2 = two_max_find(&mut oracle, WorkerClass::Expert, &phase1.survivors);
+        let best = q.result_of(phase2.winner);
+        println!("query: {:?}", q.query());
+        println!(
+            "  promoted the true best: {promoted}; experts picked (rank {}): {:?}",
+            instance.rank(phase2.winner),
+            best.title
+        );
+        println!(
+            "  {} naive + {} expert comparisons\n",
+            oracle.counts().naive,
+            oracle.counts().expert
+        );
+    }
+}

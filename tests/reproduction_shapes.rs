@@ -1,0 +1,147 @@
+//! Shape tests: the qualitative claims of the paper's evaluation section,
+//! asserted against the reproduction harness at quick scale. These are the
+//! "who wins, by roughly what factor, where crossovers fall" checks that a
+//! successful reproduction must satisfy.
+
+use crowd_experiments::harness::{average_rank, Approach};
+use crowd_experiments::{fig2, fig5, phase1_survival, Scale};
+
+fn scale() -> Scale {
+    Scale::quick()
+}
+
+/// Figure 2's headline: DOTS converges with more workers, CARS plateaus.
+#[test]
+fn fig2_shape_dots_converges_cars_plateaus() {
+    let dots = fig2::run_dots(&scale());
+    let cars = fig2::run_cars(&scale());
+
+    // DOTS hardest bucket: accuracy at 21 workers clearly above accuracy
+    // at 1 worker.
+    let d_first: f64 = dots.rows[0][1].parse().unwrap();
+    let d_last: f64 = dots.rows.last().unwrap()[1].parse().unwrap();
+    assert!(
+        d_last >= d_first + 0.1,
+        "DOTS hardest bucket should improve with voting: {d_first} -> {d_last}"
+    );
+
+    // CARS hardest bucket: no such improvement (the plateau).
+    let c_first: f64 = cars.rows[0][1].parse().unwrap();
+    let c_last: f64 = cars.rows.last().unwrap()[1].parse().unwrap();
+    assert!(
+        c_last <= c_first + 0.2 && c_last < 0.9,
+        "CARS hardest bucket should plateau: {c_first} -> {c_last}"
+    );
+    // With the calibrated prior the plateau sits near 0.52-0.6; at quick
+    // scale (8 pairs per bucket) the sampling noise is ±0.2, so only bound
+    // it away from both coin-flipping and convergence.
+    assert!(
+        (0.25..0.9).contains(&c_last),
+        "the CARS plateau is implausible: {c_last}"
+    );
+}
+
+/// Figure 3's headline ordering: expert <= Alg 1 < naive in returned rank,
+/// with naive degrading as un grows.
+#[test]
+fn fig3_shape_accuracy_ordering() {
+    let s = scale();
+    let n = *s.n_grid.last().unwrap();
+    let (expert_small, _) =
+        average_rank(Approach::TwoMaxFindExpert, n, 10, 5, 1.0, s.trials, s.seed);
+    let (alg1_small, _) = average_rank(Approach::Alg1, n, 10, 5, 1.0, s.trials, s.seed);
+    let (naive_small, _) = average_rank(Approach::TwoMaxFindNaive, n, 10, 5, 1.0, s.trials, s.seed);
+    let (naive_large, _) =
+        average_rank(Approach::TwoMaxFindNaive, n, 50, 10, 1.0, s.trials, s.seed);
+
+    assert!(
+        expert_small <= alg1_small + 1.5,
+        "expert {expert_small} vs alg1 {alg1_small}"
+    );
+    assert!(
+        alg1_small < naive_small,
+        "alg1 {alg1_small} vs naive {naive_small}"
+    );
+    assert!(
+        naive_large > naive_small,
+        "naive should degrade with un: un=10 gives {naive_small}, un=50 gives {naive_large}"
+    );
+}
+
+/// Figure 4's headline: Alg 1's expert comparisons are flat in n while the
+/// expert-only baseline's grow.
+#[test]
+fn fig4_shape_expert_comparisons_flat_for_alg1() {
+    let s = scale();
+    let (n_small, n_large) = (s.n_grid[0], *s.n_grid.last().unwrap());
+    let (_, alg1_small) = average_rank(Approach::Alg1, n_small, 10, 5, 1.0, s.trials, s.seed);
+    let (_, alg1_large) = average_rank(Approach::Alg1, n_large, 10, 5, 1.0, s.trials, s.seed);
+    let (_, base_small) = average_rank(
+        Approach::TwoMaxFindExpert,
+        n_small,
+        10,
+        5,
+        1.0,
+        s.trials,
+        s.seed,
+    );
+    let (_, base_large) = average_rank(
+        Approach::TwoMaxFindExpert,
+        n_large,
+        10,
+        5,
+        1.0,
+        s.trials,
+        s.seed,
+    );
+
+    let alg1_growth = alg1_large.expert as f64 / alg1_small.expert.max(1) as f64;
+    let base_growth = base_large.expert as f64 / base_small.expert.max(1) as f64;
+    assert!(
+        alg1_growth < 2.0,
+        "Alg 1 expert comparisons grew {alg1_growth}x with n"
+    );
+    assert!(
+        base_growth > alg1_growth,
+        "baseline expert comparisons should grow faster: {base_growth} vs {alg1_growth}"
+    );
+    // Alg 1's naive comparisons, in contrast, grow with n.
+    assert!(alg1_large.naive > alg1_small.naive);
+}
+
+/// Figure 5's headline: the cost crossover. At ce/cn = 50, Alg 1 beats the
+/// expert-only baseline; the naive baseline is always cheapest.
+#[test]
+fn fig5_shape_cost_crossover() {
+    let s = scale();
+    let counts = fig5::average_counts(&s, 10, 5);
+    let t50 = fig5::panel_from_counts("x", 10, 5, 50.0, &counts);
+    let last = t50.rows.last().unwrap();
+    let expert: f64 = last[1].parse().unwrap();
+    let alg1: f64 = last[2].parse().unwrap();
+    let naive: f64 = last[3].parse().unwrap();
+    assert!(
+        alg1 < expert,
+        "at ce=50, Alg 1 ({alg1}) must undercut expert-only ({expert})"
+    );
+    assert!(
+        naive < alg1,
+        "naive-only ({naive}) is always cheapest (but inaccurate)"
+    );
+}
+
+/// Section 5.2's survival claim: the maximum survives Phase 1 always at
+/// factor 1, usually at 0.8, and substantially less often at 0.2.
+#[test]
+fn phase1_survival_shape() {
+    let trials = 40;
+    let r10 = phase1_survival::survival_rate(600, 40, 8, 1.0, trials, 11);
+    let r08 = phase1_survival::survival_rate(600, 40, 8, 0.8, trials, 11);
+    let r02 = phase1_survival::survival_rate(600, 40, 8, 0.2, trials, 11);
+    assert_eq!(r10, 1.0, "factor 1 is guaranteed");
+    assert!(r08 >= 0.8, "factor 0.8 should be near-reliable: {r08}");
+    assert!(
+        r02 < r08,
+        "factor 0.2 ({r02}) should lose the max more often than 0.8 ({r08})"
+    );
+}
