@@ -24,6 +24,7 @@ use crate::element::ElementId;
 use crate::model::WorkerClass;
 use crate::oracle::{ComparisonCounts, ComparisonOracle};
 use crate::tournament::Tournament;
+use crate::trace::{TraceEvent, TracePhase};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -130,7 +131,9 @@ pub fn expert_max_find<O: ComparisonOracle, R: RngCore>(
     // Phase 1: naïve filtering.
     let mut filter_cfg = FilterConfig::new(config.un);
     filter_cfg.track_global_losses = config.track_global_losses;
+    oracle.observe(TraceEvent::PhaseStart(TracePhase::Filter));
     let phase1 = filter_candidates(oracle, elements, &filter_cfg);
+    oracle.observe(TraceEvent::PhaseEnd(TracePhase::Filter));
     let candidates = phase1.survivors.clone();
     assert!(
         !candidates.is_empty(),
@@ -139,6 +142,7 @@ pub fn expert_max_find<O: ComparisonOracle, R: RngCore>(
 
     // Phase 2: expert selection on S.
     let before_phase2 = oracle.counts();
+    oracle.observe(TraceEvent::PhaseStart(TracePhase::Expert));
     let winner = match config.phase2 {
         Phase2::TwoMaxFind => two_max_find(oracle, WorkerClass::Expert, &candidates).winner,
         Phase2::Randomized(rc) => {
@@ -148,6 +152,7 @@ pub fn expert_max_find<O: ComparisonOracle, R: RngCore>(
             .champion()
             .expect("candidates are non-empty"),
     };
+    oracle.observe(TraceEvent::PhaseEnd(TracePhase::Expert));
     let end = oracle.counts();
 
     ExpertMaxOutcome {

@@ -25,6 +25,7 @@ use crate::element::ElementId;
 use crate::model::WorkerClass;
 use crate::oracle::{ComparisonCounts, ComparisonOracle};
 use crate::tournament::Tournament;
+use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::collections::HashSet;
@@ -118,6 +119,7 @@ pub fn filter_candidates<O: ComparisonOracle>(
     let mut losses: HashMap<ElementId, HashSet<ElementId>> = HashMap::new();
 
     while survivors.len() >= 2 * un {
+        oracle.observe(TraceEvent::RoundStart(rounds as u32));
         let mut next: Vec<ElementId> = Vec::with_capacity(survivors.len() / 2 + un);
         let mut champions: Vec<ElementId> = Vec::new();
         let chunks: Vec<&[ElementId]> = survivors.chunks(g).collect();
@@ -163,6 +165,7 @@ pub fn filter_candidates<O: ComparisonOracle>(
         );
         survivors = next;
         sizes.push(survivors.len());
+        oracle.observe(TraceEvent::RoundEnd(rounds as u32));
         rounds += 1;
     }
 
@@ -338,6 +341,114 @@ mod tests {
             out.survivors,
             vec![ElementId(0)],
             "champion fallback expected"
+        );
+    }
+
+    #[test]
+    fn global_loss_pruning_can_force_the_champion_fallback() {
+        // Appendix A pruning removes elements with more than `un` distinct
+        // cumulative losses; this construction makes it remove *every*
+        // threshold winner of round 2, so the fallback must keep the round
+        // champion rather than return an empty set.
+        //
+        // n = 24, un = 3, g = 12: round 1 plays {0..11} and {12..23} with
+        // threshold 9; exactly {0, 1, 2} and {12, 13, 14} reach 9 wins,
+        // carrying 2 distinct losses each (0: {1,2}, 1: {2,3}, 2: {3,4},
+        // mirrored +12). Round 2 plays the 6 survivors with threshold 3;
+        // the answers below give wins (0,1,12,13) = 3 and (2,14) = (2,1),
+        // and hand each 3-win element exactly 2 *new* distinct losses —
+        // cumulative 4 > un, so pruning empties the winner set.
+        use crate::oracle::FnOracle;
+        use std::collections::HashSet;
+
+        // Round 1, within one group (local ids, a < b): winner of (a, b).
+        fn round1(a: u32, b: u32) -> u32 {
+            match (a, b) {
+                (0, 1) => 1,
+                (0, 2) | (1, 2) => 2,
+                (0, _) => 0,
+                (1, 3) => 3,
+                (1, _) => 1,
+                (2, 3) => 3,
+                (2, 4) => 4,
+                (2, _) => 2,
+                // Among the rest, the higher id wins (so none reaches 9).
+                (_, b) => b,
+            }
+        }
+
+        // Round 2, on the survivor set (global ids, a < b): winner of (a, b).
+        fn round2(a: u32, b: u32) -> u32 {
+            match (a, b) {
+                (0, 1) | (0, 2) | (0, 14) => 0,
+                (0, 12) | (12, 13) | (12, 14) => 12,
+                (0, 13) | (1, 13) | (13, 14) => 13,
+                (1, 2) | (1, 12) | (1, 14) => 1,
+                (2, 12) | (2, 13) => 2,
+                (2, 14) => 14,
+                other => panic!("unexpected round-2 pair {other:?}"),
+            }
+        }
+
+        let survivors_r1 = [0u32, 1, 2, 12, 13, 14];
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut oracle = FnOracle::new(move |_, k: ElementId, j: ElementId| {
+            let (a, b) = (k.0.min(j.0), k.0.max(j.0));
+            let repeat = !seen.insert((a, b));
+            let both_survive = survivors_r1.contains(&a) && survivors_r1.contains(&b);
+            let cross_group = (a < 12) != (b < 12);
+            let winner = if both_survive && (cross_group || repeat) {
+                round2(a, b)
+            } else {
+                let base = if a >= 12 { 12 } else { 0 };
+                base + round1(a - base, b - base)
+            };
+            if winner == k.0 {
+                k
+            } else {
+                j
+            }
+        });
+
+        let ids: Vec<ElementId> = (0..24).map(ElementId).collect();
+        let out = filter_candidates(
+            &mut oracle,
+            &ids,
+            &FilterConfig::new(3).with_global_losses(),
+        );
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.sizes, vec![24, 6, 1]);
+        assert_eq!(
+            out.survivors,
+            vec![ElementId(0)],
+            "pruning emptied round 2; the fallback must keep its champion"
+        );
+
+        // The same answers without pruning keep all four threshold winners
+        // — the fallback never fires on the plain path here.
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut plain_oracle = FnOracle::new(move |_, k: ElementId, j: ElementId| {
+            let (a, b) = (k.0.min(j.0), k.0.max(j.0));
+            let repeat = !seen.insert((a, b));
+            let both_survive = survivors_r1.contains(&a) && survivors_r1.contains(&b);
+            let cross_group = (a < 12) != (b < 12);
+            let winner = if both_survive && (cross_group || repeat) {
+                round2(a, b)
+            } else {
+                let base = if a >= 12 { 12 } else { 0 };
+                base + round1(a - base, b - base)
+            };
+            if winner == k.0 {
+                k
+            } else {
+                j
+            }
+        });
+        let plain = filter_candidates(&mut plain_oracle, &ids, &FilterConfig::new(3));
+        assert_eq!(plain.rounds, 2);
+        assert_eq!(
+            plain.survivors,
+            vec![ElementId(0), ElementId(1), ElementId(12), ElementId(13)]
         );
     }
 

@@ -31,6 +31,8 @@
 //! * [`replay`] — record judgments once, replay them offline across
 //!   algorithm variants.
 //! * [`stats`] — aggregation helpers for experiments.
+//! * [`trace`] — comparison-level tracing: per-round/per-phase tallies and
+//!   wall-clock timings, plus cross-thread tally sinks.
 //!
 //! ## Quick start
 //!
@@ -83,6 +85,7 @@ pub mod oracle;
 pub mod replay;
 pub mod stats;
 pub mod tournament;
+pub mod trace;
 
 /// One-stop imports for typical users of the crate.
 pub mod prelude {
@@ -109,4 +112,7 @@ pub mod prelude {
     };
     pub use crate::replay::{JudgmentLog, RecordingOracle, ReplayOracle};
     pub use crate::tournament::Tournament;
+    pub use crate::trace::{
+        InstrumentedOracle, SpanKind, TallySink, Trace, TraceEvent, TracePhase, TraceSpan,
+    };
 }

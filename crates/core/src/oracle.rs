@@ -50,11 +50,17 @@ impl ComparisonCounts {
     }
 
     /// Records one comparison by `class`.
+    ///
+    /// This is the single chokepoint every worker-performed comparison
+    /// passes through (decorators answering for free never call it), so it
+    /// also feeds any [`TallySink`](crate::trace::TallySink)s installed on
+    /// the current thread.
     pub fn record(&mut self, class: WorkerClass) {
         match class {
             WorkerClass::Naive => self.naive += 1,
             WorkerClass::Expert => self.expert += 1,
         }
+        crate::trace::note_comparison(class);
     }
 
     /// Total comparisons across both classes.
@@ -84,10 +90,24 @@ impl Sub for ComparisonCounts {
     type Output = ComparisonCounts;
     /// Difference of two tallies — used to isolate the comparisons of one
     /// phase by snapshotting before and after.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rhs` exceeds `self` in either class: a snapshot diff
+    /// taken in the wrong order (or across different oracles) would
+    /// otherwise wrap around to a huge bogus tally.
     fn sub(self, rhs: Self) -> Self {
+        let checked = |class: &str, a: u64, b: u64| {
+            a.checked_sub(b).unwrap_or_else(|| {
+                panic!(
+                    "ComparisonCounts subtraction underflow: {a} {class} - {b} {class} \
+                     (snapshots diffed in the wrong order, or across different oracles?)"
+                )
+            })
+        };
         ComparisonCounts {
-            naive: self.naive - rhs.naive,
-            expert: self.expert - rhs.expert,
+            naive: checked("naive", self.naive, rhs.naive),
+            expert: checked("expert", self.expert, rhs.expert),
         }
     }
 }
@@ -107,6 +127,15 @@ pub trait ComparisonOracle {
 
     /// Comparisons performed so far, by class.
     fn counts(&self) -> ComparisonCounts;
+
+    /// Receives round/phase boundary events from the algorithms.
+    ///
+    /// A no-op by default; decorators forward it inward so an
+    /// [`InstrumentedOracle`](crate::trace::InstrumentedOracle) hears the
+    /// events wherever it sits in the stack.
+    fn observe(&mut self, event: crate::trace::TraceEvent) {
+        let _ = event;
+    }
 }
 
 /// Blanket impl so that algorithms taking `&mut O: ComparisonOracle` can be
@@ -117,6 +146,9 @@ impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
     }
     fn counts(&self) -> ComparisonCounts {
         (**self).counts()
+    }
+    fn observe(&mut self, event: crate::trace::TraceEvent) {
+        (**self).observe(event);
     }
 }
 
@@ -228,6 +260,10 @@ impl<O: ComparisonOracle> ComparisonOracle for MemoOracle<O> {
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
     }
+
+    fn observe(&mut self, event: crate::trace::TraceEvent) {
+        self.inner.observe(event);
+    }
 }
 
 /// Decorator that *simulates* experts by majority vote of naïve workers
@@ -289,6 +325,10 @@ impl<O: ComparisonOracle> ComparisonOracle for SimulatedExpertOracle<O> {
 
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
+    }
+
+    fn observe(&mut self, event: crate::trace::TraceEvent) {
+        self.inner.observe(event);
     }
 }
 
@@ -355,6 +395,10 @@ impl<O: ComparisonOracle> ComparisonOracle for MajorityOracle<O> {
 
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
+    }
+
+    fn observe(&mut self, event: crate::trace::TraceEvent) {
+        self.inner.observe(event);
     }
 }
 
@@ -514,6 +558,34 @@ mod tests {
         let mut e = c;
         e += c;
         assert_eq!(e, d);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_phase() {
+        // The before/after snapshot pattern used by filter_candidates and
+        // expert_max_find.
+        let mut o = oracle(30);
+        o.compare(WorkerClass::Naive, ElementId(0), ElementId(1));
+        let before = o.counts();
+        o.compare(WorkerClass::Naive, ElementId(0), ElementId(2));
+        o.compare(WorkerClass::Expert, ElementId(2), ElementId(3));
+        let phase = o.counts() - before;
+        assert_eq!(
+            phase,
+            ComparisonCounts {
+                naive: 1,
+                expert: 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "subtraction underflow")]
+    fn snapshot_diff_in_wrong_order_panics() {
+        let mut o = oracle(31);
+        let before = o.counts();
+        o.compare(WorkerClass::Naive, ElementId(0), ElementId(1));
+        let _ = before - o.counts(); // wrong order: would wrap to u64::MAX
     }
 
     #[test]

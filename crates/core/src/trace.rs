@@ -1,0 +1,416 @@
+//! Comparison-level tracing: attribute worker-performed comparisons to
+//! algorithm phases and filter rounds, and tally them across threads.
+//!
+//! Two cooperating mechanisms live here:
+//!
+//! * [`InstrumentedOracle`] — a [`ComparisonOracle`] decorator that listens
+//!   to the round/phase boundary events emitted by
+//!   [`filter_candidates`](crate::algorithms::filter_candidates) and
+//!   [`expert_max_find`](crate::algorithms::expert_max_find) (via the
+//!   provided [`ComparisonOracle::observe`] hook) and turns them into a
+//!   [`Trace`]: one [`TraceSpan`] per round and per phase, each carrying
+//!   the per-class comparison tally and the wall-clock time spent inside.
+//! * [`TallySink`] — a thread-safe comparison counter that can be
+//!   *installed* on the current thread ([`install_sink`]); while installed,
+//!   every worker-performed comparison recorded anywhere in the process on
+//!   that thread (the single chokepoint is
+//!   [`ComparisonCounts::record`]) is also added to the sink. Sinks nest:
+//!   an experiment-level sink and a trial-level sink both see the same
+//!   comparison. Parallel runners capture the caller's sink stack with
+//!   [`current_sinks`] and re-install it on their worker threads
+//!   ([`install_sinks`]) so fan-out attributes work to the right owner.
+//!
+//! Neither mechanism changes algorithm behaviour or existing signatures:
+//! `observe` has a no-op default, and sinks only add to atomic counters.
+
+use crate::element::ElementId;
+use crate::model::WorkerClass;
+use crate::oracle::{ComparisonCounts, ComparisonOracle};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The two phases of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracePhase {
+    /// Phase 1: the naïve tournament filter (Algorithm 2).
+    Filter,
+    /// Phase 2: expert selection on the candidate set.
+    Expert,
+}
+
+/// Boundary events emitted by the algorithms through
+/// [`ComparisonOracle::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A phase of Algorithm 1 begins.
+    PhaseStart(TracePhase),
+    /// The matching phase ends.
+    PhaseEnd(TracePhase),
+    /// Filter round `r` (0-based) begins.
+    RoundStart(u32),
+    /// Filter round `r` ends.
+    RoundEnd(u32),
+}
+
+/// What a closed [`TraceSpan`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// One phase of Algorithm 1.
+    Phase(TracePhase),
+    /// One filter round (0-based).
+    Round(u32),
+}
+
+/// One closed span: comparisons and wall time between a start event and
+/// its matching end event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// The span's extent.
+    pub kind: SpanKind,
+    /// Worker-performed comparisons inside the span, by class.
+    pub comparisons: ComparisonCounts,
+    /// Wall-clock time inside the span, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// An ordered log of closed spans.
+///
+/// Spans appear in *closing* order, so a phase's rounds precede the phase
+/// span that contains them.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All closed spans.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// The round spans, in round order.
+    pub fn rounds(&self) -> impl Iterator<Item = &TraceSpan> {
+        self.spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Round(_)))
+    }
+
+    /// The span of `phase`, if that phase closed.
+    pub fn phase(&self, phase: TracePhase) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.kind == SpanKind::Phase(phase))
+    }
+}
+
+/// Decorator recording a [`Trace`] from the boundary events the wrapped
+/// algorithms emit.
+///
+/// ```
+/// use crowd_core::prelude::*;
+///
+/// let instance = Instance::new((0..200).map(|i| i as f64).collect());
+/// let mut oracle = InstrumentedOracle::new(PerfectOracle::new(instance.clone()));
+/// let out = filter_candidates(&mut oracle, &instance.ids(), &FilterConfig::new(4));
+/// let trace = oracle.take_trace();
+/// let per_round: u64 = trace.rounds().map(|s| s.comparisons.naive).sum();
+/// assert_eq!(per_round, out.comparisons.naive); // every comparison attributed
+/// ```
+#[derive(Debug)]
+pub struct InstrumentedOracle<O> {
+    inner: O,
+    trace: Trace,
+    open: Vec<(SpanKind, ComparisonCounts, Instant)>,
+}
+
+impl<O: ComparisonOracle> InstrumentedOracle<O> {
+    /// Wraps `inner` with an empty trace.
+    pub fn new(inner: O) -> Self {
+        InstrumentedOracle {
+            inner,
+            trace: Trace::default(),
+            open: Vec::new(),
+        }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes the recorded trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Consumes the decorator, returning the wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    fn open_span(&mut self, kind: SpanKind) {
+        self.open.push((kind, self.inner.counts(), Instant::now()));
+    }
+
+    fn close_span(&mut self, kind: SpanKind) {
+        // Pop the most recent matching span; an end without a start (a
+        // hand-written driver emitting unbalanced events) is ignored.
+        if let Some(pos) = self.open.iter().rposition(|(k, _, _)| *k == kind) {
+            let (_, before, started) = self.open.remove(pos);
+            self.trace.spans.push(TraceSpan {
+                kind,
+                comparisons: self.inner.counts() - before,
+                wall_nanos: started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for InstrumentedOracle<O> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        self.inner.compare(class, k, j)
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.inner.counts()
+    }
+
+    fn observe(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::PhaseStart(p) => self.open_span(SpanKind::Phase(p)),
+            TraceEvent::PhaseEnd(p) => self.close_span(SpanKind::Phase(p)),
+            TraceEvent::RoundStart(r) => self.open_span(SpanKind::Round(r)),
+            TraceEvent::RoundEnd(r) => self.close_span(SpanKind::Round(r)),
+        }
+        self.inner.observe(event);
+    }
+}
+
+/// A thread-safe per-class comparison tally fed by
+/// [`ComparisonCounts::record`] while installed on a thread.
+#[derive(Debug, Default)]
+pub struct TallySink {
+    naive: AtomicU64,
+    expert: AtomicU64,
+}
+
+impl TallySink {
+    /// A fresh zero tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one comparison of `class`.
+    pub fn add(&self, class: WorkerClass) {
+        match class {
+            WorkerClass::Naive => self.naive.fetch_add(1, Ordering::Relaxed),
+            WorkerClass::Expert => self.expert.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// The tally so far.
+    pub fn counts(&self) -> ComparisonCounts {
+        ComparisonCounts {
+            naive: self.naive.load(Ordering::Relaxed),
+            expert: self.expert.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    static SINKS: RefCell<Vec<Arc<TallySink>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Uninstalls the sinks its [`install_sink`]/[`install_sinks`] call pushed,
+/// when dropped. Not `Send`: the guard must drop on the installing thread.
+#[derive(Debug)]
+pub struct SinkGuard {
+    installed: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        SINKS.with(|s| {
+            let mut stack = s.borrow_mut();
+            let keep = stack.len().saturating_sub(self.installed);
+            stack.truncate(keep);
+        });
+    }
+}
+
+/// Installs `sink` on the current thread until the guard drops; every
+/// comparison recorded meanwhile is added to it (and to any sinks already
+/// installed below it).
+#[must_use = "the sink uninstalls when the guard drops"]
+pub fn install_sink(sink: Arc<TallySink>) -> SinkGuard {
+    SINKS.with(|s| s.borrow_mut().push(sink));
+    SinkGuard {
+        installed: 1,
+        _not_send: PhantomData,
+    }
+}
+
+/// Installs a whole stack of sinks at once — how a worker thread inherits
+/// its spawner's attribution context (see [`current_sinks`]).
+#[must_use = "the sinks uninstall when the guard drops"]
+pub fn install_sinks(sinks: &[Arc<TallySink>]) -> SinkGuard {
+    SINKS.with(|s| s.borrow_mut().extend(sinks.iter().cloned()));
+    SinkGuard {
+        installed: sinks.len(),
+        _not_send: PhantomData,
+    }
+}
+
+/// The sinks installed on the current thread, bottom-up — capture before
+/// spawning workers, re-install on each with [`install_sinks`].
+pub fn current_sinks() -> Vec<Arc<TallySink>> {
+    SINKS.with(|s| s.borrow().clone())
+}
+
+/// Feeds one recorded comparison to every installed sink. Called from
+/// [`ComparisonCounts::record`], the chokepoint every worker-performed
+/// comparison passes through.
+pub(crate) fn note_comparison(class: WorkerClass) {
+    SINKS.with(|s| {
+        for sink in s.borrow().iter() {
+            sink.add(class);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{expert_max_find, filter_candidates, ExpertMaxConfig, FilterConfig};
+    use crate::element::Instance;
+    use crate::oracle::PerfectOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(n: usize) -> Instance {
+        Instance::new((0..n).map(|i| ((i * 37) % n) as f64).collect())
+    }
+
+    #[test]
+    fn filter_rounds_partition_the_comparisons() {
+        let inst = instance(300);
+        let mut o = InstrumentedOracle::new(PerfectOracle::new(inst.clone()));
+        let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(4));
+        let trace = o.take_trace();
+        assert_eq!(trace.rounds().count(), out.rounds);
+        let attributed: u64 = trace.rounds().map(|s| s.comparisons.naive).sum();
+        assert_eq!(attributed, out.comparisons.naive);
+        for (r, span) in trace.rounds().enumerate() {
+            assert_eq!(span.kind, SpanKind::Round(r as u32));
+            assert_eq!(span.comparisons.expert, 0);
+        }
+    }
+
+    #[test]
+    fn phases_split_by_worker_class() {
+        let inst = instance(400);
+        let mut o = InstrumentedOracle::new(PerfectOracle::new(inst.clone()));
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = expert_max_find(&mut o, &inst.ids(), &ExpertMaxConfig::new(5), &mut rng);
+        let trace = o.trace();
+        let filter = trace.phase(TracePhase::Filter).expect("filter phase span");
+        let expert = trace.phase(TracePhase::Expert).expect("expert phase span");
+        assert_eq!(filter.comparisons, out.phase1.comparisons);
+        assert_eq!(expert.comparisons, out.phase2_comparisons);
+        assert_eq!(filter.comparisons.expert, 0);
+        assert_eq!(expert.comparisons.naive, 0);
+        // Rounds nest inside the filter phase and close before it.
+        let filter_pos = trace
+            .spans
+            .iter()
+            .position(|s| s.kind == SpanKind::Phase(TracePhase::Filter))
+            .unwrap();
+        assert!(trace.spans[..filter_pos]
+            .iter()
+            .all(|s| matches!(s.kind, SpanKind::Round(_))));
+    }
+
+    #[test]
+    fn unbalanced_end_events_are_ignored() {
+        let inst = instance(10);
+        let mut o = InstrumentedOracle::new(PerfectOracle::new(inst));
+        o.observe(TraceEvent::PhaseEnd(TracePhase::Expert));
+        o.observe(TraceEvent::RoundEnd(7));
+        assert!(o.trace().spans.is_empty());
+    }
+
+    #[test]
+    fn sinks_nest_and_uninstall() {
+        use crate::model::WorkerClass;
+        let outer = Arc::new(TallySink::new());
+        let inner = Arc::new(TallySink::new());
+        let inst = instance(8);
+        let mut o = PerfectOracle::new(inst.clone());
+        {
+            let _g1 = install_sink(outer.clone());
+            {
+                let _g2 = install_sink(inner.clone());
+                o.compare(WorkerClass::Naive, inst.ids()[0], inst.ids()[1]);
+            }
+            o.compare(WorkerClass::Expert, inst.ids()[0], inst.ids()[2]);
+        }
+        // After both guards drop, nothing is attributed any more.
+        o.compare(WorkerClass::Naive, inst.ids()[3], inst.ids()[4]);
+        assert_eq!(
+            inner.counts(),
+            ComparisonCounts {
+                naive: 1,
+                expert: 0
+            }
+        );
+        assert_eq!(
+            outer.counts(),
+            ComparisonCounts {
+                naive: 1,
+                expert: 1
+            }
+        );
+        assert!(current_sinks().is_empty());
+    }
+
+    #[test]
+    fn worker_threads_inherit_the_captured_stack() {
+        use crate::model::WorkerClass;
+        let sink = Arc::new(TallySink::new());
+        let _g = install_sink(sink.clone());
+        let captured = current_sinks();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let captured = captured.clone();
+                s.spawn(move || {
+                    let _g = install_sinks(&captured);
+                    let inst = instance(4);
+                    let mut o = PerfectOracle::new(inst.clone());
+                    o.compare(WorkerClass::Naive, inst.ids()[0], inst.ids()[1]);
+                });
+            }
+        });
+        assert_eq!(sink.counts().naive, 2);
+    }
+
+    #[test]
+    fn trace_serializes() {
+        let trace = Trace {
+            spans: vec![TraceSpan {
+                kind: SpanKind::Round(0),
+                comparisons: ComparisonCounts {
+                    naive: 3,
+                    expert: 0,
+                },
+                wall_nanos: 42,
+            }],
+        };
+        let json = serde_json::to_string(&trace).unwrap();
+        assert!(json.contains("Round"), "{json}");
+        assert!(json.contains("wall_nanos"), "{json}");
+    }
+}

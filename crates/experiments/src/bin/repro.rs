@@ -1,13 +1,17 @@
 //! CLI entry point regenerating the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [all | fig2 fig3 ... table2 search_eval phase1_survival]
+//! repro [--quick] [--out DIR] [--jobs N] [all | fig2 fig3 ... table2 search_eval phase1_survival]
 //! ```
 //!
 //! Results are written as markdown and CSV into `results/` (or `--out`),
-//! and the markdown is echoed to stdout.
+//! alongside a `manifest.json` run record, and the markdown is echoed to
+//! stdout. Experiments and their seed replications run on `--jobs N`
+//! threads (default: all cores; `--jobs 1` is fully serial); every RNG is
+//! seeded per experiment, so the tables and CSVs are byte-identical at any
+//! job count.
 
-use crowd_experiments::{run_experiments, Scale, EXPERIMENT_NAMES, TEXT_EXPERIMENTS};
+use crowd_experiments::{engine, run_experiments, Scale, EXPERIMENT_NAMES, TEXT_EXPERIMENTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -27,9 +31,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => engine::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs requires a worker count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--out DIR] [all | EXPERIMENT...]\n\
+                    "usage: repro [--quick] [--out DIR] [--jobs N] [all | EXPERIMENT...]\n\
                      experiments: {} {}",
                     EXPERIMENT_NAMES.join(" "),
                     TEXT_EXPERIMENTS.join(" ")
@@ -58,7 +69,11 @@ fn main() -> ExitCode {
                 println!("{}", t.to_markdown());
                 println!("{}", crowd_experiments::report::ascii_chart(t));
             }
-            eprintln!("wrote {} tables to {}", tables.len(), out_dir.display());
+            eprintln!(
+                "wrote {} tables + manifest.json to {}",
+                tables.len(),
+                out_dir.display()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,0 +1,158 @@
+//! Deterministic parallel execution of independent work items.
+//!
+//! Everything the experiments fan out — whole experiments in
+//! [`run_experiments`](crate::run_experiments), seed replications in
+//! [`harness::average_rank`](crate::harness::average_rank) — is a list of
+//! items whose results depend only on the item (each carries its own seed),
+//! never on execution order. [`parallel_map`] exploits that: items are
+//! claimed from a shared counter by up to [`jobs`] scoped threads
+//! (`std::thread::scope`, no dependencies) and results land in
+//! per-item slots, so the returned `Vec` is in input order and
+//! **byte-identical** to what a serial run produces, at any job count.
+//!
+//! The job count is a process-wide setting (`--jobs N` on the `repro`
+//! binary): `0` (the default) means one thread per available core,
+//! `1` forces the serial path (no threads are spawned at all).
+//!
+//! Worker threads inherit the spawner's
+//! [`TallySink`](crowd_core::trace::TallySink) stack, so comparison tallies
+//! keep attributing to the experiment that logically owns the work even
+//! when several experiments run concurrently.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `0` = use all available cores.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count; `0` restores the default
+/// (one worker per available core).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker count: the value of [`set_jobs`], or the number of
+/// available cores when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on up to [`jobs`] threads, returning results in
+/// input order.
+///
+/// With one worker (or one item) this runs inline on the calling thread —
+/// exactly the serial loop. With more, items are claimed in order from an
+/// atomic counter; because `f(item)` must not depend on execution order
+/// (every experiment seeds its own RNGs), the output is identical either
+/// way.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller (from the serial path
+/// directly, from the parallel path when the thread scope joins).
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let sinks = crowd_core::trace::current_sinks();
+    let next = AtomicUsize::new(0);
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<U>>> = work.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _guard = crowd_core::trace::install_sinks(&sinks);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    let result = f(item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed index stored a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::model::WorkerClass;
+    use crowd_core::trace::{install_sink, TallySink};
+    use std::sync::Arc;
+
+    /// Serializes tests that touch the process-wide job count.
+    static JOBS_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn results_are_in_input_order() {
+        let _l = JOBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(items.clone(), |x| x * x);
+        set_jobs(4);
+        let parallel = parallel_map(items, |x| x * x);
+        set_jobs(0);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = parallel_map(Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![5], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn jobs_defaults_to_available_cores() {
+        let _l = JOBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_jobs(0);
+        assert!(jobs() >= 1);
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn workers_inherit_the_tally_sink_stack() {
+        use crowd_core::element::Instance;
+        use crowd_core::oracle::{ComparisonOracle, PerfectOracle};
+        let _l = JOBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(TallySink::new());
+        let _g = install_sink(sink.clone());
+        set_jobs(4);
+        let _ = parallel_map((0..8u32).collect(), |_| {
+            let inst = Instance::new(vec![1.0, 2.0, 3.0]);
+            let mut o = PerfectOracle::new(inst.clone());
+            o.compare(WorkerClass::Naive, inst.ids()[0], inst.ids()[1]);
+        });
+        set_jobs(0);
+        assert_eq!(sink.counts().naive, 8);
+    }
+}

@@ -125,16 +125,21 @@ pub fn average_rank(
     trials: u64,
     base_seed: u64,
 ) -> (f64, ComparisonCounts) {
-    let mut rank_sum = 0.0;
-    let mut counts = ComparisonCounts::zero();
-    for t in 0..trials {
+    // Trials are independent (each seeds its own instance and oracle), so
+    // fan them out; accumulation stays in trial order, making the result
+    // identical to the serial loop at any job count.
+    let results = crate::engine::parallel_map((0..trials).collect(), |t| {
         let planted = planted_for(n, un, ue, base_seed, t);
-        let result = run_trial(
+        run_trial(
             approach,
             &planted,
             scaled_un(un, un_factor),
             base_seed ^ (t * 7 + 1),
-        );
+        )
+    });
+    let mut rank_sum = 0.0;
+    let mut counts = ComparisonCounts::zero();
+    for result in results {
         rank_sum += result.rank as f64;
         counts += result.counts;
     }

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod budget_sweep;
+pub mod engine;
 pub mod fig10;
 pub mod fig2;
 pub mod fig3;
@@ -54,5 +55,7 @@ pub mod table1;
 pub mod table2;
 
 pub use report::Table;
-pub use runner::{run_experiment, run_experiments, EXPERIMENT_NAMES, TEXT_EXPERIMENTS};
+pub use runner::{
+    run_experiment, run_experiments, ManifestEntry, RunManifest, EXPERIMENT_NAMES, TEXT_EXPERIMENTS,
+};
 pub use scale::Scale;

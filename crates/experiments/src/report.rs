@@ -183,7 +183,13 @@ pub fn ascii_chart(table: &Table) -> String {
             if log_scale { "  (log scale)" } else { "" }
         );
     }
-    let _ = writeln!(out, "  {:<28}  x: {} .. {}", "", x_labels.first().unwrap_or(&"-"), x_labels.last().unwrap_or(&"-"));
+    let _ = writeln!(
+        out,
+        "  {:<28}  x: {} .. {}",
+        "",
+        x_labels.first().unwrap_or(&"-"),
+        x_labels.last().unwrap_or(&"-")
+    );
     out
 }
 

@@ -3,10 +3,16 @@
 //! Each entry regenerates one table/figure of the paper. The `repro`
 //! binary is a thin CLI over [`run_experiments`].
 
+use crate::engine;
 use crate::report::Table;
 use crate::scale::Scale;
+use crowd_core::oracle::ComparisonCounts;
+use crowd_core::trace::{install_sink, TallySink};
+use serde::Serialize;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Names of all registered experiments, in paper order.
 pub const EXPERIMENT_NAMES: [&str; 11] = [
@@ -66,8 +72,51 @@ pub fn is_known(name: &str) -> bool {
     EXPERIMENT_NAMES.contains(&name) || TEXT_EXPERIMENTS.contains(&name)
 }
 
-/// Runs the named experiments (all of them if `names` is empty), writing
-/// markdown + CSV into `out_dir` and returning the tables.
+/// The nominal worker pool used for the manifest's physical-step estimate:
+/// the middle of the [`crate::latency`] sweep for the plentiful naïve
+/// crowd, a tenth of that for the scarce experts (`δe ≪ δn` workers are
+/// rare — that is the paper's premise).
+pub const NOMINAL_NAIVE_POOL: usize = 50;
+/// Nominal expert-pool size for the physical-step estimate.
+pub const NOMINAL_EXPERT_POOL: usize = 5;
+
+/// One experiment's entry in the run manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct ManifestEntry {
+    /// Experiment name (the registry key).
+    pub name: String,
+    /// Number of tables the experiment produced.
+    pub tables: usize,
+    /// Wall-clock time of the experiment, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Worker-performed comparisons, by class.
+    pub comparisons: ComparisonCounts,
+    /// Physical-step estimate under the paper's `⌈m/w⌉` batch-latency rule
+    /// (Section 3) with the nominal pools: naïve comparisons over
+    /// [`NOMINAL_NAIVE_POOL`] workers plus expert comparisons over
+    /// [`NOMINAL_EXPERT_POOL`].
+    pub physical_steps_estimate: u64,
+}
+
+/// The machine-readable record of one `repro` run, written as
+/// `manifest.json` next to the CSVs.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunManifest {
+    /// Worker threads the run was allowed to use.
+    pub jobs: usize,
+    /// Scale label: `"quick"` or `"full"` (matching [`Scale`]).
+    pub scale: String,
+    /// Per-experiment records, in run order.
+    pub experiments: Vec<ManifestEntry>,
+}
+
+/// Runs the named experiments (all of them if `names` is empty) across
+/// [`engine::jobs`] worker threads, writing markdown + CSV plus a
+/// `manifest.json` run record into `out_dir` and returning the tables.
+///
+/// Each experiment seeds every RNG it uses from [`Scale`], so the tables
+/// and CSVs are byte-identical at any job count; only the manifest's
+/// wall-clock fields vary between runs.
 ///
 /// # Errors
 ///
@@ -82,17 +131,64 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
     } else {
         names.iter().map(String::as_str).collect()
     };
-    let mut all = Vec::new();
-    for name in selected {
+    for name in &selected {
         assert!(is_known(name), "unknown experiment {name:?}");
+    }
+
+    let results = engine::parallel_map(selected, |name| {
         eprintln!("running {name} ...");
-        for table in run_experiment(name, scale) {
+        let sink = Arc::new(TallySink::new());
+        let started = Instant::now();
+        let tables = {
+            let _guard = install_sink(sink.clone());
+            run_experiment(name, scale)
+        };
+        let comparisons = sink.counts();
+        let entry = ManifestEntry {
+            name: name.to_string(),
+            tables: tables.len(),
+            wall_nanos: started.elapsed().as_nanos() as u64,
+            comparisons,
+            physical_steps_estimate: crowd_platform::physical_steps(
+                comparisons.naive,
+                NOMINAL_NAIVE_POOL,
+            ) + crowd_platform::physical_steps(
+                comparisons.expert,
+                NOMINAL_EXPERT_POOL,
+            ),
+        };
+        (tables, entry)
+    });
+
+    // Writes stay sequential and in selection order: output bytes must not
+    // depend on which worker finished first.
+    let mut all = Vec::new();
+    let mut entries = Vec::new();
+    for (tables, entry) in results {
+        for table in tables {
             table.write_to(out_dir)?;
             all.push(table);
         }
+        entries.push(entry);
     }
     write_summary(&all, out_dir)?;
+    write_manifest(
+        &RunManifest {
+            jobs: engine::jobs(),
+            scale: scale.label().to_string(),
+            experiments: entries,
+        },
+        out_dir,
+    )?;
     Ok(all)
+}
+
+/// Writes `<dir>/manifest.json`.
+fn write_manifest(manifest: &RunManifest, out_dir: &Path) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(manifest)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::create_dir_all(out_dir)?;
+    std::fs::write(out_dir.join("manifest.json"), json + "\n")
 }
 
 /// Writes `<dir>/SUMMARY.md`: every produced table in one document, in run
@@ -104,7 +200,7 @@ fn write_summary(tables: &[Table], out_dir: &Path) -> io::Result<()> {
          See EXPERIMENTS.md for the paper-vs-measured analysis.\n\n",
     );
     for t in tables {
-        let _ = write!(doc, "{}\n", t.to_markdown());
+        let _ = writeln!(doc, "{}", t.to_markdown());
     }
     std::fs::create_dir_all(out_dir)?;
     std::fs::write(out_dir.join("SUMMARY.md"), doc)
@@ -129,12 +225,28 @@ mod tests {
     }
 
     #[test]
-    fn run_experiments_writes_files() {
+    fn run_experiments_writes_files_and_manifest() {
         let dir = std::env::temp_dir().join(format!("crowd_runner_test_{}", std::process::id()));
         let tables = run_experiments(&["table1".to_string()], &Scale::quick(), &dir).unwrap();
         assert_eq!(tables.len(), 1);
         assert!(dir.join("table1.md").exists());
         assert!(dir.join("table1.csv").exists());
+
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let parsed = serde_json::from_str_value(&manifest).unwrap();
+        let experiments: Vec<serde::Value> =
+            serde::field(&parsed, "experiments").expect("experiments array");
+        assert_eq!(experiments.len(), 1);
+        let name: String = serde::field(&experiments[0], "name").unwrap();
+        assert_eq!(name, "table1");
+        let comparisons: serde::Value = serde::field(&experiments[0], "comparisons").unwrap();
+        let naive: u64 = serde::field(&comparisons, "naive").unwrap();
+        assert!(naive > 0, "table1 must perform naive comparisons");
+        let steps: u64 = serde::field(&experiments[0], "physical_steps_estimate").unwrap();
+        assert!(steps > 0);
+        let scale: String = serde::field(&parsed, "scale").unwrap();
+        assert_eq!(scale, "quick");
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -44,6 +44,18 @@ impl Scale {
             seed: 0xC0FFEE,
         }
     }
+
+    /// Which preset this is — `"quick"`, `"full"`, or `"custom"` for a
+    /// hand-built scale. Recorded in the run manifest.
+    pub fn label(&self) -> &'static str {
+        if *self == Scale::quick() {
+            "quick"
+        } else if *self == Scale::full() {
+            "full"
+        } else {
+            "custom"
+        }
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +75,14 @@ mod tests {
         assert!(q.trials < f.trials);
         assert!(q.n_grid.len() < f.n_grid.len());
         assert_eq!(q.seed, f.seed, "same base seed for comparability");
+    }
+
+    #[test]
+    fn labels_identify_the_presets() {
+        assert_eq!(Scale::quick().label(), "quick");
+        assert_eq!(Scale::full().label(), "full");
+        let mut custom = Scale::quick();
+        custom.trials = 99;
+        assert_eq!(custom.label(), "custom");
     }
 }

@@ -217,11 +217,18 @@ mod tests {
 
     #[test]
     fn naive_only_mostly_fails() {
-        let instance = cars_instance(400);
-        let ok = naive_only_successes(&instance, 10, 7);
+        // Aggregated over catalogs like the sibling tests: any single
+        // downsample can get lucky (a tail-heavy draw leaves the shared
+        // prior pointing at the true top car), but across catalogs the
+        // paper's negative result must dominate (paper: 0/14 successes).
+        let mut ok = 0;
+        for seed in 0..10 {
+            let instance = cars_instance(400 + seed);
+            ok += naive_only_successes(&instance, 10, 7);
+        }
         assert!(
-            ok <= 4,
-            "naive-only 2-MaxFind should mostly fail on CARS: {ok}/10"
+            ok <= 40,
+            "naive-only 2-MaxFind should mostly fail on CARS: {ok}/100"
         );
     }
 

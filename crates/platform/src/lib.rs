@@ -45,6 +45,6 @@ pub use platform::{JobResult, Platform, PlatformConfig, PlatformOracle};
 pub use pool::WorkerPool;
 pub use quality::{GoldRecord, TrustTracker};
 pub use report::{CampaignReport, WorkerLine};
-pub use scheduler::{schedule, Assignment, Schedule, ScheduleError};
+pub use scheduler::{physical_steps, schedule, Assignment, Schedule, ScheduleError};
 pub use task::{Job, Judgment, Unit, UnitId};
 pub use worker::{Behavior, SpamStrategy, Worker, WorkerId, WorkerProfile};

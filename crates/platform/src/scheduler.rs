@@ -143,6 +143,20 @@ pub fn schedule(
     })
 }
 
+/// The paper's batch-latency rule in closed form: `m` judgments dealt to
+/// `w` parallel workers take `⌈m / w⌉` physical steps (Section 3, Remark —
+/// the same rule [`schedule`] realizes assignment by assignment). Useful
+/// for estimating the wall-clock footprint of a run from its comparison
+/// tally alone, without building a pool and jobs.
+///
+/// # Panics
+///
+/// Panics if `w == 0`.
+pub fn physical_steps(m: u64, w: usize) -> u64 {
+    assert!(w > 0, "a batch needs at least one worker");
+    m.div_ceil(w as u64)
+}
+
 /// Checks the distinct-worker-per-unit invariant of a schedule (used by
 /// tests and debug assertions).
 pub fn distinct_workers_per_unit(schedule: &Schedule) -> bool {
@@ -209,6 +223,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn closed_form_matches_the_planner() {
+        let p = pool(5);
+        let s = schedule(&p, &job(4, 3), WorkerClass::Naive, &HashSet::new(), 0, 0).unwrap();
+        assert_eq!(s.physical_steps, physical_steps(12, 5));
+        assert_eq!(physical_steps(0, 3), 0);
+        assert_eq!(physical_steps(10, 1), 10);
+        assert_eq!(physical_steps(11, 5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn closed_form_rejects_an_empty_pool() {
+        physical_steps(4, 0);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Workspace-local, std-only stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — with single-shot timing instead of statistical
+//! sampling. Each registered closure runs **once** per invocation and its
+//! wall-clock time is printed. This keeps `cargo test` (which executes
+//! `harness = false` bench binaries) and `cargo bench` fast and dependency
+//! free while still exercising every bench code path.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to bench closures; `iter` runs the routine once and times it.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        drop(out);
+        println!("bench {:<40} {:>12.3?}", self.label, elapsed);
+    }
+}
+
+/// Top-level driver handed to each bench function.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    /// Accepted for compatibility; the stand-in always runs one shot.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self._sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            label: name.to_string(),
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions with a shared `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_closures_run_exactly_once() {
+        let mut runs = 0;
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut seen = Vec::new();
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("group");
+            for n in [2usize, 4] {
+                g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                    b.iter(|| seen.push(n))
+                });
+            }
+            g.finish();
+        }
+        assert_eq!(seen, vec![2, 4]);
+    }
+
+    #[test]
+    fn benchmark_ids_format_as_expected() {
+        assert_eq!(BenchmarkId::from_parameter(500).to_string(), "500");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

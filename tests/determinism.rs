@@ -1,0 +1,84 @@
+//! Parallel determinism: the experiment engine must produce byte-identical
+//! tables, CSVs and summaries at any `--jobs` count. Only the manifest's
+//! wall-clock fields may differ between runs.
+
+use crowd_experiments::{engine, run_experiments, Scale};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Reads every deterministic output file (markdown + CSV) under `dir`.
+fn deterministic_outputs(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("output dir exists") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.ends_with(".csv") || name.ends_with(".md") {
+            files.insert(name, std::fs::read(&path).expect("readable output"));
+        }
+    }
+    files
+}
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    // fig3 exercises the nested fan-out (experiments over threads, trials
+    // over threads inside each); table1 adds a platform-driven experiment.
+    let names = vec!["fig3".to_string(), "table1".to_string()];
+    let scale = Scale::quick();
+    let base = std::env::temp_dir().join(format!("crowd_determinism_{}", std::process::id()));
+    let serial_dir = base.join("jobs1");
+    let parallel_dir = base.join("jobs4");
+
+    engine::set_jobs(1);
+    run_experiments(&names, &scale, &serial_dir).expect("serial run succeeds");
+    engine::set_jobs(4);
+    run_experiments(&names, &scale, &parallel_dir).expect("parallel run succeeds");
+    engine::set_jobs(0);
+
+    let serial = deterministic_outputs(&serial_dir);
+    let parallel = deterministic_outputs(&parallel_dir);
+    assert!(
+        serial.keys().any(|k| k.ends_with(".csv")),
+        "the run must produce CSV files"
+    );
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "both runs must produce the same set of files"
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(
+            Some(bytes),
+            parallel.get(name),
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+
+    // The manifest exists in both runs and records the job count; its
+    // deterministic fields (comparisons) must also agree.
+    for (dir, jobs) in [(&serial_dir, 1u64), (&parallel_dir, 4u64)] {
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let parsed = serde_json::from_str_value(&manifest).unwrap();
+        let recorded: u64 = serde::field(&parsed, "jobs").unwrap();
+        assert_eq!(recorded, jobs);
+    }
+    let comparisons = |dir: &Path| -> Vec<(String, u64, u64)> {
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let parsed = serde_json::from_str_value(&manifest).unwrap();
+        let experiments: Vec<serde::Value> = serde::field(&parsed, "experiments").unwrap();
+        experiments
+            .iter()
+            .map(|e| {
+                let c: serde::Value = serde::field(e, "comparisons").unwrap();
+                (
+                    serde::field(e, "name").unwrap(),
+                    serde::field(&c, "naive").unwrap(),
+                    serde::field(&c, "expert").unwrap(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(comparisons(&serial_dir), comparisons(&parallel_dir));
+
+    std::fs::remove_dir_all(&base).unwrap();
+}
