@@ -22,7 +22,7 @@ use super::randomized::{randomized_max_find, RandomizedConfig};
 use super::two_maxfind::two_max_find;
 use crate::element::ElementId;
 use crate::model::WorkerClass;
-use crate::oracle::{ComparisonCounts, ComparisonOracle};
+use crate::oracle::{ComparisonCounts, ComparisonOracle, FuseOracle, OracleError};
 use crate::tournament::Tournament;
 use crate::trace::{TraceEvent, TracePhase};
 use rand::RngCore;
@@ -164,6 +164,31 @@ pub fn expert_max_find<O: ComparisonOracle, R: RngCore>(
     }
 }
 
+/// Fallible twin of [`expert_max_find`]: surfaces the first
+/// [`OracleError`] instead of fabricating answers.
+///
+/// Like [`super::filter::try_filter_candidates`], the run proceeds behind a
+/// [`FuseOracle`] so both phases terminate even after a mid-run outage; the
+/// fabricated outcome is then discarded in favour of the error.
+///
+/// # Errors
+///
+/// Returns the first error the oracle's
+/// [`try_compare`](ComparisonOracle::try_compare) reported, in either phase.
+pub fn try_expert_max_find<O: ComparisonOracle, R: RngCore>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    config: &ExpertMaxConfig,
+    rng: &mut R,
+) -> Result<ExpertMaxOutcome, OracleError> {
+    let mut fuse = FuseOracle::new(oracle);
+    let out = expert_max_find(&mut fuse, elements, config, rng);
+    match fuse.take_error() {
+        Some(err) => Err(err),
+        None => Ok(out),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +324,43 @@ mod tests {
         let mut o = PerfectOracle::new(Instance::new(vec![1.0]));
         let mut rng = StdRng::seed_from_u64(1);
         expert_max_find(&mut o, &[], &ExpertMaxConfig::new(1), &mut rng);
+    }
+
+    #[test]
+    fn try_variant_matches_infallible_run_when_nothing_fails() {
+        let inst = uniform_instance(400, 21);
+        let (dn, de) = (25.0, 5.0);
+        let un = inst.indistinguishable_from_max(dn).max(1);
+        let mut o = threshold_oracle(&inst, dn, de, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        let plain = expert_max_find(&mut o, &inst.ids(), &ExpertMaxConfig::new(un), &mut rng);
+        let mut o2 = threshold_oracle(&inst, dn, de, 22);
+        let mut rng2 = StdRng::seed_from_u64(23);
+        let fallible =
+            try_expert_max_find(&mut o2, &inst.ids(), &ExpertMaxConfig::new(un), &mut rng2)
+                .unwrap();
+        assert_eq!(plain, fallible);
+    }
+
+    #[test]
+    fn try_variant_surfaces_expert_phase_outages() {
+        use crate::oracle::TryFnOracle;
+        // Naïve answers flow; the expert pool is empty from the start. The
+        // error must surface once phase 2 begins.
+        let inst = uniform_instance(300, 24);
+        let mut truth = PerfectOracle::new(inst.clone());
+        let mut flaky = TryFnOracle::new(move |class, k, j| match class {
+            WorkerClass::Naive => Ok(truth.compare(class, k, j)),
+            WorkerClass::Expert => Err(OracleError::WorkforceDepleted { class }),
+        });
+        let mut rng = StdRng::seed_from_u64(25);
+        let err = try_expert_max_find(&mut flaky, &inst.ids(), &ExpertMaxConfig::new(3), &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OracleError::WorkforceDepleted {
+                class: WorkerClass::Expert
+            }
+        );
     }
 }

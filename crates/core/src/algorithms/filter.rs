@@ -23,7 +23,7 @@
 
 use crate::element::ElementId;
 use crate::model::WorkerClass;
-use crate::oracle::{ComparisonCounts, ComparisonOracle};
+use crate::oracle::{ComparisonCounts, ComparisonOracle, FuseOracle, OracleError};
 use crate::tournament::Tournament;
 use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
@@ -174,6 +174,32 @@ pub fn filter_candidates<O: ComparisonOracle>(
         rounds,
         sizes,
         comparisons: oracle.counts() - start,
+    }
+}
+
+/// Fallible twin of [`filter_candidates`]: surfaces the first
+/// [`OracleError`] the oracle reports instead of fabricating answers.
+///
+/// Internally the run proceeds behind a [`FuseOracle`]; once the fuse
+/// blows, remaining comparisons are answered from a consistent fabricated
+/// total order (free of charge), which keeps Lemma 2's termination
+/// argument intact — the filter always finishes, and the fabricated
+/// outcome is then discarded in favour of the error.
+///
+/// # Errors
+///
+/// Returns the first error the oracle's
+/// [`try_compare`](ComparisonOracle::try_compare) reported.
+pub fn try_filter_candidates<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    config: &FilterConfig,
+) -> Result<FilterOutcome, OracleError> {
+    let mut fuse = FuseOracle::new(oracle);
+    let out = filter_candidates(&mut fuse, elements, config);
+    match fuse.take_error() {
+        Some(err) => Err(err),
+        None => Ok(out),
     }
 }
 
@@ -450,6 +476,36 @@ mod tests {
             plain.survivors,
             vec![ElementId(0), ElementId(1), ElementId(12), ElementId(13)]
         );
+    }
+
+    #[test]
+    fn try_filter_matches_infallible_run_when_nothing_fails() {
+        let inst = uniform_instance(200, 11);
+        let mut o = PerfectOracle::new(inst.clone());
+        let plain = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(3));
+        let mut o2 = PerfectOracle::new(inst.clone());
+        let fallible = try_filter_candidates(&mut o2, &inst.ids(), &FilterConfig::new(3)).unwrap();
+        assert_eq!(plain, fallible);
+    }
+
+    #[test]
+    fn try_filter_surfaces_a_mid_run_outage_and_terminates() {
+        use crate::oracle::{OracleError, TryFnOracle};
+        // The oracle dies after 100 honest answers; the run must neither
+        // panic nor livelock, and the error must surface.
+        let inst = uniform_instance(300, 12);
+        let mut inner = PerfectOracle::new(inst.clone());
+        let mut left = 100u32;
+        let mut flaky = TryFnOracle::new(move |class, k, j| {
+            if left == 0 {
+                return Err(OracleError::WorkforceDepleted { class });
+            }
+            left -= 1;
+            Ok(inner.compare(class, k, j))
+        });
+        let err =
+            try_filter_candidates(&mut flaky, &inst.ids(), &FilterConfig::new(3)).unwrap_err();
+        assert!(matches!(err, OracleError::WorkforceDepleted { .. }));
     }
 
     #[test]

@@ -91,9 +91,10 @@ pub mod trace;
 pub mod prelude {
     pub use crate::algorithms::{
         all_play_all_max, expert_max_find, expert_rank, filter_candidates, linear_scan_max,
-        majority_compare, near_sort, randomized_max_find, top_k_find, two_max_find,
-        two_max_find_expert, two_max_find_naive, ExpertMaxConfig, ExpertMaxOutcome, FilterConfig,
-        FilterOutcome, Phase2, RandomizedConfig, TopKConfig,
+        majority_compare, near_sort, randomized_max_find, top_k_find, try_expert_max_find,
+        try_filter_candidates, two_max_find, two_max_find_expert, two_max_find_naive,
+        ExpertMaxConfig, ExpertMaxOutcome, FilterConfig, FilterOutcome, Phase2, RandomizedConfig,
+        TopKConfig,
     };
     pub use crate::budget::{budgeted_max_scan, plan_votes, VotePlan};
     pub use crate::cost::CostModel;
@@ -107,12 +108,14 @@ pub mod prelude {
         MultiClassOracle,
     };
     pub use crate::oracle::{
-        ComparisonCounts, ComparisonOracle, FnOracle, MajorityOracle, MemoOracle, ModelOracle,
-        PerfectOracle, SimulatedExpertOracle, SimulatedOracle,
+        ComparisonCounts, ComparisonOracle, FnOracle, FuseOracle, MajorityOracle, MemoOracle,
+        ModelOracle, OracleError, PerfectOracle, SimulatedExpertOracle, SimulatedOracle,
+        TryFnOracle,
     };
     pub use crate::replay::{JudgmentLog, RecordingOracle, ReplayOracle};
     pub use crate::tournament::Tournament;
     pub use crate::trace::{
-        InstrumentedOracle, SpanKind, TallySink, Trace, TraceEvent, TracePhase, TraceSpan,
+        FaultCounts, FaultKind, FaultTally, InstrumentedOracle, SpanKind, TallySink, Trace,
+        TraceEvent, TracePhase, TraceSpan,
     };
 }

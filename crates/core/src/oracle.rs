@@ -112,6 +112,44 @@ impl Sub for ComparisonCounts {
     }
 }
 
+/// An irrecoverable fault while obtaining a comparison answer.
+///
+/// Simulated oracles never fail, but an oracle backed by a live platform
+/// can: every worker of a class may have dropped out, a unit may exhaust
+/// its retry budget, or the campaign budget may run dry mid-algorithm.
+/// [`ComparisonOracle::try_compare`] surfaces these instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleError {
+    /// No eligible worker of `class` remains to answer the comparison.
+    WorkforceDepleted {
+        /// The class whose pool is empty (or too small for the schedule).
+        class: WorkerClass,
+    },
+    /// The comparison unit exhausted its retries without enough answers.
+    Unanswered {
+        /// Judgment attempts made before giving up (including retries).
+        attempts: u32,
+    },
+    /// The campaign budget cap was reached before the comparison ran.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::WorkforceDepleted { class } => {
+                write!(f, "no eligible {class} workers remain")
+            }
+            OracleError::Unanswered { attempts } => {
+                write!(f, "comparison unanswered after {attempts} attempts")
+            }
+            OracleError::BudgetExhausted => write!(f, "campaign budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
 /// A source of pairwise-comparison answers.
 ///
 /// `compare(class, k, j)` returns the element a worker of `class` declares
@@ -124,6 +162,26 @@ impl Sub for ComparisonCounts {
 pub trait ComparisonOracle {
     /// Ask one worker of `class` to compare distinct elements `k` and `j`.
     fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId;
+
+    /// Fallible variant of [`compare`](Self::compare): oracles backed by a
+    /// fault-prone workforce return an [`OracleError`] instead of
+    /// fabricating an answer or panicking.
+    ///
+    /// The default implementation wraps `compare` and never fails, so
+    /// existing infallible oracles need no changes. Decorators forward it
+    /// inward so errors surface through any stack.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an [`OracleError`] when no worker can answer.
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, OracleError> {
+        Ok(self.compare(class, k, j))
+    }
 
     /// Comparisons performed so far, by class.
     fn counts(&self) -> ComparisonCounts;
@@ -144,11 +202,101 @@ impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
     fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
         (**self).compare(class, k, j)
     }
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, OracleError> {
+        (**self).try_compare(class, k, j)
+    }
     fn counts(&self) -> ComparisonCounts {
         (**self).counts()
     }
     fn observe(&mut self, event: crate::trace::TraceEvent) {
         (**self).observe(event);
+    }
+}
+
+/// Error-fuse decorator: runs an infallible algorithm over a fallible
+/// oracle and captures the first [`OracleError`] instead of panicking.
+///
+/// The paper's algorithms are written against the infallible
+/// [`compare`](ComparisonOracle::compare); rather than threading `Result`
+/// through every tournament loop, the fuse translates faults at the oracle
+/// boundary. Until a fault occurs, queries pass through
+/// [`try_compare`](ComparisonOracle::try_compare) and every answer is
+/// remembered. Once the fuse *blows*, no further query reaches the inner
+/// oracle (no worker is bothered, nothing is tallied): repeats are answered
+/// from memory and fresh pairs by the smaller [`ElementId`] — a consistent
+/// total order, so every tournament-based algorithm still terminates. The
+/// driver then discards the fabricated outcome and reports the captured
+/// error (see `try_filter_candidates` / `try_expert_max_find`).
+#[derive(Debug)]
+pub struct FuseOracle<O> {
+    inner: O,
+    error: Option<OracleError>,
+    answered: HashMap<(WorkerClass, ElementId, ElementId), ElementId>,
+}
+
+impl<O: ComparisonOracle> FuseOracle<O> {
+    /// Wraps `inner` with an intact fuse.
+    pub fn new(inner: O) -> Self {
+        FuseOracle {
+            inner,
+            error: None,
+            answered: HashMap::new(),
+        }
+    }
+
+    /// The first error the inner oracle reported, if any.
+    pub fn error(&self) -> Option<&OracleError> {
+        self.error.as_ref()
+    }
+
+    /// True once a fault has been captured.
+    pub fn blown(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Takes the captured error, resetting the fuse.
+    pub fn take_error(&mut self) -> Option<OracleError> {
+        self.error.take()
+    }
+
+    /// Consumes the decorator, returning the wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for FuseOracle<O> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        let key = if k < j { (class, k, j) } else { (class, j, k) };
+        if self.error.is_none() {
+            match self.inner.try_compare(class, k, j) {
+                Ok(winner) => {
+                    self.answered.insert(key, winner);
+                    return winner;
+                }
+                Err(e) => self.error = Some(e),
+            }
+        }
+        // Blown: answer consistently (past answers win, fresh pairs go to
+        // the smaller id) so the driving algorithm terminates; the caller
+        // discards the outcome and returns the captured error.
+        *self
+            .answered
+            .entry(key)
+            .or_insert_with(|| if k < j { k } else { j })
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.inner.counts()
+    }
+
+    fn observe(&mut self, event: crate::trace::TraceEvent) {
+        self.inner.observe(event);
     }
 }
 
@@ -257,6 +405,22 @@ impl<O: ComparisonOracle> ComparisonOracle for MemoOracle<O> {
         winner
     }
 
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, OracleError> {
+        let key = if k < j { (class, k, j) } else { (class, j, k) };
+        if let Some(&winner) = self.memo.get(&key) {
+            self.hits += 1;
+            return Ok(winner);
+        }
+        let winner = self.inner.try_compare(class, k, j)?;
+        self.memo.insert(key, winner);
+        Ok(winner)
+    }
+
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
     }
@@ -319,6 +483,26 @@ impl<O: ComparisonOracle> ComparisonOracle for SimulatedExpertOracle<O> {
                 } else {
                     j
                 }
+            }
+        }
+    }
+
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, OracleError> {
+        match class {
+            WorkerClass::Naive => self.inner.try_compare(WorkerClass::Naive, k, j),
+            WorkerClass::Expert => {
+                let mut k_wins = 0u32;
+                for _ in 0..self.votes {
+                    if self.inner.try_compare(WorkerClass::Naive, k, j)? == k {
+                        k_wins += 1;
+                    }
+                }
+                Ok(if 2 * k_wins > self.votes { k } else { j })
             }
         }
     }
@@ -391,6 +575,30 @@ impl<O: ComparisonOracle> ComparisonOracle for MajorityOracle<O> {
         } else {
             j
         }
+    }
+
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, OracleError> {
+        let votes = match class {
+            WorkerClass::Naive => self.naive_votes,
+            WorkerClass::Expert => self.expert_votes,
+        };
+        let mut k_wins = 0u32;
+        for _ in 0..votes {
+            if self.inner.try_compare(class, k, j)? == k {
+                k_wins += 1;
+            }
+        }
+        let j_wins = votes - k_wins;
+        Ok(if k_wins > j_wins || (k_wins == j_wins && k < j) {
+            k
+        } else {
+            j
+        })
     }
 
     fn counts(&self) -> ComparisonCounts {
@@ -484,6 +692,57 @@ impl<F: FnMut(WorkerClass, ElementId, ElementId) -> ElementId> ComparisonOracle 
         let winner = (self.f)(class, k, j);
         debug_assert!(winner == k || winner == j, "oracle must answer k or j");
         winner
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.counts
+    }
+}
+
+/// The fallible sibling of [`FnOracle`]: the closure may refuse to answer.
+///
+/// The closure receives `(class, k, j)` and returns `Ok(k)`, `Ok(j)`, or an
+/// [`OracleError`]. Failed attempts are not billed (no count is recorded).
+/// Calling the infallible [`compare`](ComparisonOracle::compare) on a
+/// refusing closure panics — drive it through `try_compare` (directly or
+/// behind a [`FuseOracle`]).
+pub struct TryFnOracle<F> {
+    f: F,
+    counts: ComparisonCounts,
+}
+
+impl<F: FnMut(WorkerClass, ElementId, ElementId) -> Result<ElementId, OracleError>> TryFnOracle<F> {
+    /// Builds an oracle that delegates every comparison to `f`.
+    pub fn new(f: F) -> Self {
+        TryFnOracle {
+            f,
+            counts: ComparisonCounts::zero(),
+        }
+    }
+}
+
+impl<F: FnMut(WorkerClass, ElementId, ElementId) -> Result<ElementId, OracleError>> ComparisonOracle
+    for TryFnOracle<F>
+{
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        self.try_compare(class, k, j)
+            .expect("TryFnOracle refused to answer — use try_compare")
+    }
+
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, OracleError> {
+        assert_ne!(
+            k, j,
+            "a worker is never handed two copies of the same element"
+        );
+        let winner = (self.f)(class, k, j)?;
+        self.counts.record(class);
+        debug_assert!(winner == k || winner == j, "oracle must answer k or j");
+        Ok(winner)
     }
 
     fn counts(&self) -> ComparisonCounts {
@@ -764,5 +1023,154 @@ mod tests {
         let r = &mut o;
         r.compare(WorkerClass::Naive, ElementId(0), ElementId(1));
         assert_eq!(o.counts().naive, 1);
+    }
+
+    /// A test oracle that answers `budget` queries, then fails forever.
+    struct FlakyOracle {
+        budget: u64,
+        counts: ComparisonCounts,
+    }
+
+    impl FlakyOracle {
+        fn new(budget: u64) -> Self {
+            FlakyOracle {
+                budget,
+                counts: ComparisonCounts::zero(),
+            }
+        }
+    }
+
+    impl ComparisonOracle for FlakyOracle {
+        fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+            self.try_compare(class, k, j)
+                .expect("budget exhausted — use try_compare")
+        }
+
+        fn try_compare(
+            &mut self,
+            class: WorkerClass,
+            k: ElementId,
+            j: ElementId,
+        ) -> Result<ElementId, OracleError> {
+            if self.budget == 0 {
+                return Err(OracleError::WorkforceDepleted { class });
+            }
+            self.budget -= 1;
+            self.counts.record(class);
+            Ok(if k > j { k } else { j })
+        }
+
+        fn counts(&self) -> ComparisonCounts {
+            self.counts
+        }
+    }
+
+    #[test]
+    fn try_compare_default_wraps_compare() {
+        let mut o = oracle(40);
+        let w = o
+            .try_compare(WorkerClass::Naive, ElementId(0), ElementId(2))
+            .unwrap();
+        assert_eq!(w, ElementId(2));
+        assert_eq!(o.counts().naive, 1);
+    }
+
+    #[test]
+    fn try_compare_forwards_through_decorators() {
+        // Memo over a flaky oracle: the memoized pair survives the outage.
+        let mut o = MemoOracle::new(FlakyOracle::new(1));
+        let w = o
+            .try_compare(WorkerClass::Naive, ElementId(1), ElementId(2))
+            .unwrap();
+        assert_eq!(w, ElementId(2));
+        // Repeat: memo hit, no worker needed even though the pool is gone.
+        assert_eq!(
+            o.try_compare(WorkerClass::Naive, ElementId(2), ElementId(1)),
+            Ok(ElementId(2))
+        );
+        assert_eq!(o.hits(), 1);
+        // A fresh pair now fails, and the failure is typed.
+        assert_eq!(
+            o.try_compare(WorkerClass::Naive, ElementId(3), ElementId(4)),
+            Err(OracleError::WorkforceDepleted {
+                class: WorkerClass::Naive
+            })
+        );
+    }
+
+    #[test]
+    fn try_compare_surfaces_mid_vote_failures() {
+        // An expert query = 7 naive votes; the pool dies after 3.
+        let mut o = SimulatedExpertOracle::paper_default(FlakyOracle::new(3));
+        let err = o
+            .try_compare(WorkerClass::Expert, ElementId(0), ElementId(1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OracleError::WorkforceDepleted {
+                class: WorkerClass::Naive
+            }
+        );
+        assert_eq!(o.counts().naive, 3, "the three completed votes are paid");
+    }
+
+    #[test]
+    fn fuse_passes_through_until_the_first_error() {
+        let mut fuse = FuseOracle::new(FlakyOracle::new(2));
+        assert_eq!(
+            fuse.compare(WorkerClass::Naive, ElementId(0), ElementId(5)),
+            ElementId(5)
+        );
+        assert_eq!(
+            fuse.compare(WorkerClass::Naive, ElementId(1), ElementId(6)),
+            ElementId(6)
+        );
+        assert!(!fuse.blown());
+        // Third query hits the outage: fabricated answer, fuse blows.
+        assert_eq!(
+            fuse.compare(WorkerClass::Naive, ElementId(9), ElementId(3)),
+            ElementId(3),
+            "fresh pairs go to the smaller id after the fuse blows"
+        );
+        assert!(fuse.blown());
+        assert_eq!(
+            fuse.error(),
+            Some(&OracleError::WorkforceDepleted {
+                class: WorkerClass::Naive
+            })
+        );
+        // Post-blow answers are consistent and free.
+        let before = fuse.counts();
+        assert_eq!(
+            fuse.compare(WorkerClass::Naive, ElementId(0), ElementId(5)),
+            ElementId(5),
+            "pre-blow answers are remembered"
+        );
+        assert_eq!(
+            fuse.compare(WorkerClass::Naive, ElementId(3), ElementId(9)),
+            ElementId(3)
+        );
+        assert_eq!(fuse.counts(), before, "no worker is bothered after a blow");
+        assert_eq!(
+            fuse.take_error(),
+            Some(OracleError::WorkforceDepleted {
+                class: WorkerClass::Naive
+            })
+        );
+        assert!(!fuse.blown());
+        let _ = fuse.into_inner();
+    }
+
+    #[test]
+    fn oracle_error_displays() {
+        assert!(OracleError::WorkforceDepleted {
+            class: WorkerClass::Expert
+        }
+        .to_string()
+        .contains("expert"));
+        assert!(OracleError::Unanswered { attempts: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(OracleError::BudgetExhausted.to_string().contains("budget"));
     }
 }

@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The two phases of Algorithm 1.
@@ -54,6 +54,183 @@ pub enum TraceEvent {
     RoundStart(u32),
     /// Filter round `r` ends.
     RoundEnd(u32),
+    /// A fault was injected or handled somewhere below this oracle.
+    Fault {
+        /// The worker class the faulting judgment was assigned to.
+        class: WorkerClass,
+        /// What went wrong (or what recovery fired).
+        kind: FaultKind,
+    },
+}
+
+/// The kinds of faults and recovery actions the platform layer can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A worker dropped out of the campaign before judging anything.
+    Dropout,
+    /// A worker abandoned an assigned judgment mid-job.
+    Abandon,
+    /// A worker transiently failed to answer one judgment.
+    NoAnswer,
+    /// An assigned judgment exceeded the timeout and was written off.
+    Timeout,
+    /// A judgment was re-assigned to a different worker.
+    Retry,
+    /// A unit exhausted its retries and was dead-lettered.
+    DeadLetter,
+    /// An expert job fell back to boosted naïve majority voting.
+    ExpertFallback,
+}
+
+impl FaultKind {
+    /// All kinds, in declaration order — handy for iteration in reports.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::Dropout,
+        FaultKind::Abandon,
+        FaultKind::NoAnswer,
+        FaultKind::Timeout,
+        FaultKind::Retry,
+        FaultKind::DeadLetter,
+        FaultKind::ExpertFallback,
+    ];
+}
+
+/// Per-kind fault tallies for one worker class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTally {
+    /// Workers that dropped out before judging.
+    pub dropouts: u64,
+    /// Judgments abandoned mid-job.
+    pub abandons: u64,
+    /// Transient no-answer faults.
+    pub no_answers: u64,
+    /// Judgments written off after exceeding the timeout.
+    pub timeouts: u64,
+    /// Judgments re-assigned to a different worker.
+    pub retries: u64,
+    /// Units dead-lettered after exhausting retries.
+    pub dead_letters: u64,
+    /// Jobs degraded to boosted naïve majority voting.
+    pub expert_fallbacks: u64,
+}
+
+impl FaultTally {
+    /// All-zero tally.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter for `kind`.
+    pub fn record(&mut self, kind: FaultKind) {
+        *self.slot(kind) += 1;
+    }
+
+    /// The count for `kind`.
+    pub fn of(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::Dropout => self.dropouts,
+            FaultKind::Abandon => self.abandons,
+            FaultKind::NoAnswer => self.no_answers,
+            FaultKind::Timeout => self.timeouts,
+            FaultKind::Retry => self.retries,
+            FaultKind::DeadLetter => self.dead_letters,
+            FaultKind::ExpertFallback => self.expert_fallbacks,
+        }
+    }
+
+    /// Sum over all kinds.
+    pub fn total(&self) -> u64 {
+        FaultKind::ALL.iter().map(|k| self.of(*k)).sum()
+    }
+
+    fn slot(&mut self, kind: FaultKind) -> &mut u64 {
+        match kind {
+            FaultKind::Dropout => &mut self.dropouts,
+            FaultKind::Abandon => &mut self.abandons,
+            FaultKind::NoAnswer => &mut self.no_answers,
+            FaultKind::Timeout => &mut self.timeouts,
+            FaultKind::Retry => &mut self.retries,
+            FaultKind::DeadLetter => &mut self.dead_letters,
+            FaultKind::ExpertFallback => &mut self.expert_fallbacks,
+        }
+    }
+}
+
+impl std::ops::Add for FaultTally {
+    type Output = FaultTally;
+    fn add(mut self, rhs: FaultTally) -> FaultTally {
+        self += rhs;
+        self
+    }
+}
+
+impl std::ops::AddAssign for FaultTally {
+    fn add_assign(&mut self, rhs: FaultTally) {
+        for kind in FaultKind::ALL {
+            *self.slot(kind) += rhs.of(kind);
+        }
+    }
+}
+
+/// Fault tallies split by worker class — the fault-side twin of
+/// [`ComparisonCounts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Faults on naïve-class judgments and workers.
+    pub naive: FaultTally,
+    /// Faults on expert-class judgments and workers.
+    pub expert: FaultTally,
+}
+
+impl FaultCounts {
+    /// All-zero counts.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Records one fault *and* feeds every installed [`TallySink`] — the
+    /// chokepoint the platform layer calls when it injects or handles a
+    /// fault. The twin of [`ComparisonCounts::record`].
+    pub fn record(&mut self, class: WorkerClass, kind: FaultKind) {
+        self.add(class, kind);
+        note_fault(class, kind);
+    }
+
+    /// Plain increment without sink feeding — for decorators tallying
+    /// faults they merely *observed* (already recorded at the source).
+    pub fn add(&mut self, class: WorkerClass, kind: FaultKind) {
+        self.by_class_mut(class).record(kind);
+    }
+
+    /// The tally for `class`.
+    pub fn by_class(&self, class: WorkerClass) -> &FaultTally {
+        match class {
+            WorkerClass::Naive => &self.naive,
+            WorkerClass::Expert => &self.expert,
+        }
+    }
+
+    /// Sum over both classes and all kinds.
+    pub fn total(&self) -> u64 {
+        self.naive.total() + self.expert.total()
+    }
+
+    fn by_class_mut(&mut self, class: WorkerClass) -> &mut FaultTally {
+        match class {
+            WorkerClass::Naive => &mut self.naive,
+            WorkerClass::Expert => &mut self.expert,
+        }
+    }
+}
+
+impl std::ops::Add for FaultCounts {
+    type Output = FaultCounts;
+    fn add(self, rhs: FaultCounts) -> FaultCounts {
+        FaultCounts {
+            naive: self.naive + rhs.naive,
+            expert: self.expert + rhs.expert,
+        }
+    }
 }
 
 /// What a closed [`TraceSpan`] covers.
@@ -119,6 +296,7 @@ pub struct InstrumentedOracle<O> {
     inner: O,
     trace: Trace,
     open: Vec<(SpanKind, ComparisonCounts, Instant)>,
+    faults: FaultCounts,
 }
 
 impl<O: ComparisonOracle> InstrumentedOracle<O> {
@@ -128,12 +306,19 @@ impl<O: ComparisonOracle> InstrumentedOracle<O> {
             inner,
             trace: Trace::default(),
             open: Vec::new(),
+            faults: FaultCounts::zero(),
         }
     }
 
     /// The trace recorded so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Fault events observed so far (retries, timeouts, dropouts, ...),
+    /// tallied by worker class.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults
     }
 
     /// Takes the recorded trace, leaving an empty one.
@@ -174,6 +359,15 @@ impl<O: ComparisonOracle> ComparisonOracle for InstrumentedOracle<O> {
         self.inner.compare(class, k, j)
     }
 
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, crate::oracle::OracleError> {
+        self.inner.try_compare(class, k, j)
+    }
+
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
     }
@@ -184,17 +378,22 @@ impl<O: ComparisonOracle> ComparisonOracle for InstrumentedOracle<O> {
             TraceEvent::PhaseEnd(p) => self.close_span(SpanKind::Phase(p)),
             TraceEvent::RoundStart(r) => self.open_span(SpanKind::Round(r)),
             TraceEvent::RoundEnd(r) => self.close_span(SpanKind::Round(r)),
+            // Already recorded (and sink-fed) at the source; a plain add
+            // here would otherwise double-count in the manifest.
+            TraceEvent::Fault { class, kind } => self.faults.add(class, kind),
         }
         self.inner.observe(event);
     }
 }
 
-/// A thread-safe per-class comparison tally fed by
-/// [`ComparisonCounts::record`] while installed on a thread.
+/// A thread-safe per-class comparison (and fault) tally fed by
+/// [`ComparisonCounts::record`] / [`FaultCounts::record`] while installed
+/// on a thread.
 #[derive(Debug, Default)]
 pub struct TallySink {
     naive: AtomicU64,
     expert: AtomicU64,
+    faults: Mutex<FaultCounts>,
 }
 
 impl TallySink {
@@ -211,12 +410,25 @@ impl TallySink {
         };
     }
 
-    /// The tally so far.
+    /// Adds one fault of `kind` on a `class` judgment or worker.
+    pub fn add_fault(&self, class: WorkerClass, kind: FaultKind) {
+        self.faults
+            .lock()
+            .expect("fault tally lock poisoned")
+            .add(class, kind);
+    }
+
+    /// The comparison tally so far.
     pub fn counts(&self) -> ComparisonCounts {
         ComparisonCounts {
             naive: self.naive.load(Ordering::Relaxed),
             expert: self.expert.load(Ordering::Relaxed),
         }
+    }
+
+    /// The fault tally so far.
+    pub fn faults(&self) -> FaultCounts {
+        *self.faults.lock().expect("fault tally lock poisoned")
     }
 }
 
@@ -278,6 +490,17 @@ pub(crate) fn note_comparison(class: WorkerClass) {
     SINKS.with(|s| {
         for sink in s.borrow().iter() {
             sink.add(class);
+        }
+    });
+}
+
+/// Feeds one recorded fault to every installed sink. Called from
+/// [`FaultCounts::record`], the chokepoint the platform layer reports
+/// injected and handled faults through.
+pub(crate) fn note_fault(class: WorkerClass, kind: FaultKind) {
+    SINKS.with(|s| {
+        for sink in s.borrow().iter() {
+            sink.add_fault(class, kind);
         }
     });
 }
@@ -395,6 +618,77 @@ mod tests {
             }
         });
         assert_eq!(sink.counts().naive, 2);
+    }
+
+    #[test]
+    fn fault_record_feeds_sinks_and_observe_tallies_without_double_count() {
+        use crate::model::WorkerClass;
+        let sink = Arc::new(TallySink::new());
+        let inst = instance(4);
+        let mut o = InstrumentedOracle::new(PerfectOracle::new(inst));
+        let mut counts = FaultCounts::zero();
+        {
+            let _g = install_sink(sink.clone());
+            // The platform-side pattern: record at the source (feeds the
+            // sink), then notify decorators via observe (plain add).
+            counts.record(WorkerClass::Naive, FaultKind::Timeout);
+            counts.record(WorkerClass::Naive, FaultKind::Retry);
+            counts.record(WorkerClass::Expert, FaultKind::ExpertFallback);
+            for kind in [FaultKind::Timeout, FaultKind::Retry] {
+                o.observe(TraceEvent::Fault {
+                    class: WorkerClass::Naive,
+                    kind,
+                });
+            }
+            o.observe(TraceEvent::Fault {
+                class: WorkerClass::Expert,
+                kind: FaultKind::ExpertFallback,
+            });
+        }
+        // Sink saw each fault exactly once (record feeds it, observe does not).
+        assert_eq!(sink.faults(), counts);
+        assert_eq!(sink.faults().naive.timeouts, 1);
+        assert_eq!(sink.faults().naive.retries, 1);
+        assert_eq!(sink.faults().expert.expert_fallbacks, 1);
+        // The decorator holds the same picture, via observe.
+        assert_eq!(o.fault_counts(), counts);
+        assert_eq!(counts.total(), 3);
+        // After the guard drops, records no longer reach the sink.
+        counts.record(WorkerClass::Naive, FaultKind::Dropout);
+        assert_eq!(sink.faults().total(), 3);
+        assert_eq!(counts.total(), 4);
+    }
+
+    #[test]
+    fn fault_tally_arithmetic_and_iteration() {
+        let mut a = FaultTally::zero();
+        a.record(FaultKind::Dropout);
+        a.record(FaultKind::Dropout);
+        a.record(FaultKind::DeadLetter);
+        let mut b = FaultTally::zero();
+        b.record(FaultKind::NoAnswer);
+        let sum = a + b;
+        assert_eq!(sum.of(FaultKind::Dropout), 2);
+        assert_eq!(sum.of(FaultKind::DeadLetter), 1);
+        assert_eq!(sum.of(FaultKind::NoAnswer), 1);
+        assert_eq!(sum.total(), 4);
+        assert_eq!(FaultKind::ALL.len(), 7);
+
+        let counts = FaultCounts {
+            naive: a,
+            expert: b,
+        } + FaultCounts::zero();
+        assert_eq!(counts.by_class(WorkerClass::Naive).total(), 3);
+        assert_eq!(counts.by_class(WorkerClass::Expert).total(), 1);
+    }
+
+    #[test]
+    fn fault_counts_serialize() {
+        let mut counts = FaultCounts::zero();
+        counts.add(WorkerClass::Naive, FaultKind::Retry);
+        let json = serde_json::to_string(&counts).unwrap();
+        assert!(json.contains("retries"), "{json}");
+        assert!(json.contains("dead_letters"), "{json}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | Budget angle (Mo et al., related work) | [`budget_sweep`] |
 //! | Sorting angle (Ajtai et al., related work) | [`ranking_quality`] |
 //! | §5.3 — search-result evaluation | [`search_eval`] |
+//! | Robustness angle — platform faults and recovery | [`fault_sweep`] |
 //!
 //! Run everything with `cargo run --release -p crowd-experiments --bin
 //! repro -- all` (add `--quick` for a smoke-scale pass).
@@ -34,6 +35,7 @@
 
 pub mod budget_sweep;
 pub mod engine;
+pub mod fault_sweep;
 pub mod fig10;
 pub mod fig2;
 pub mod fig3;

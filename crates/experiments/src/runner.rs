@@ -7,7 +7,7 @@ use crate::engine;
 use crate::report::Table;
 use crate::scale::Scale;
 use crowd_core::oracle::ComparisonCounts;
-use crowd_core::trace::{install_sink, TallySink};
+use crowd_core::trace::{install_sink, FaultCounts, TallySink};
 use serde::Serialize;
 use std::io;
 use std::path::Path;
@@ -30,12 +30,13 @@ pub const EXPERIMENT_NAMES: [&str; 11] = [
 ];
 
 /// Extra experiment backing a claim made in the Section 5.2 text.
-pub const TEXT_EXPERIMENTS: [&str; 5] = [
+pub const TEXT_EXPERIMENTS: [&str; 6] = [
     "phase1_survival",
     "lower_bounds",
     "latency",
     "budget_sweep",
     "ranking_quality",
+    "fault_sweep",
 ];
 
 /// Runs one experiment by name.
@@ -61,6 +62,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Table> {
         "latency" => vec![crate::latency::run(scale)],
         "budget_sweep" => vec![crate::budget_sweep::run(scale)],
         "ranking_quality" => vec![crate::ranking_quality::run(scale)],
+        "fault_sweep" => vec![crate::fault_sweep::run(scale)],
         other => panic!(
             "unknown experiment {other:?}; known: {EXPERIMENT_NAMES:?} + {TEXT_EXPERIMENTS:?}"
         ),
@@ -96,6 +98,10 @@ pub struct ManifestEntry {
     /// [`NOMINAL_NAIVE_POOL`] workers plus expert comparisons over
     /// [`NOMINAL_EXPERT_POOL`].
     pub physical_steps_estimate: u64,
+    /// Platform faults recorded while the experiment ran — dropouts,
+    /// no-answers, timeouts, retries, dead letters — per worker class.
+    /// All-zero for every experiment except the fault-injection sweeps.
+    pub faults: FaultCounts,
 }
 
 /// The machine-readable record of one `repro` run, written as
@@ -156,6 +162,7 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
                 comparisons.expert,
                 NOMINAL_EXPERT_POOL,
             ),
+            faults: sink.faults(),
         };
         (tables, entry)
     });

@@ -15,8 +15,7 @@
 //! entire all-play-all tournament is independent of every other
 //! comparison. [`batched_filter`] exploits exactly that.
 
-use crate::platform::Platform;
-use crate::scheduler::ScheduleError;
+use crate::platform::{Platform, PlatformError};
 use crowd_core::algorithms::FilterConfig;
 use crowd_core::element::ElementId;
 use crowd_core::model::WorkerClass;
@@ -69,12 +68,13 @@ impl BatchedTournament {
 ///
 /// # Errors
 ///
-/// Propagates platform scheduling failures.
+/// Propagates platform failures: scheduling errors, budget exhaustion, or
+/// units left unanswered after the retry budget is spent.
 pub fn batched_all_play_all<R: RngCore>(
     platform: &mut Platform<R>,
     class: WorkerClass,
     players: &[ElementId],
-) -> Result<BatchedTournament, ScheduleError> {
+) -> Result<BatchedTournament, PlatformError> {
     let mut pairs = Vec::with_capacity(players.len() * players.len().saturating_sub(1) / 2);
     for i in 0..players.len() {
         for j in (i + 1)..players.len() {
@@ -107,6 +107,10 @@ pub struct BatchedFilterOutcome {
     pub logical_steps: u64,
     /// Physical steps consumed (wall-clock in the paper's time model).
     pub physical_steps: u64,
+    /// True when the platform degraded service while this filter ran
+    /// (dead-lettered units, expert-depletion fallback, …) — the survivor
+    /// set may then be larger than Lemma 3's `2·un−1` bound.
+    pub degraded: bool,
 }
 
 /// Algorithm 2 with one platform job per round: all groups' tournaments of
@@ -119,7 +123,8 @@ pub struct BatchedFilterOutcome {
 ///
 /// # Errors
 ///
-/// Propagates platform scheduling failures.
+/// Propagates platform failures: scheduling errors, budget exhaustion, or
+/// units left unanswered after the retry budget is spent.
 ///
 /// # Panics
 ///
@@ -129,7 +134,7 @@ pub fn batched_filter<R: RngCore>(
     class: WorkerClass,
     elements: &[ElementId],
     config: &FilterConfig,
-) -> Result<BatchedFilterOutcome, ScheduleError> {
+) -> Result<BatchedFilterOutcome, PlatformError> {
     assert!(
         config.un >= 1,
         "un(n) >= 1: the maximum is indistinguishable from itself"
@@ -138,6 +143,7 @@ pub fn batched_filter<R: RngCore>(
     let g = 4 * un;
     let physical_start = platform.physical_clock();
     let logical_start = platform.logical_steps();
+    let was_degraded = platform.degraded();
 
     let mut survivors: Vec<ElementId> = elements.to_vec();
     while survivors.len() >= 2 * un {
@@ -207,6 +213,7 @@ pub fn batched_filter<R: RngCore>(
         survivors,
         logical_steps: platform.logical_steps() - logical_start,
         physical_steps: platform.physical_clock() - physical_start,
+        degraded: platform.degraded() && !was_degraded,
     })
 }
 
@@ -313,5 +320,74 @@ mod tests {
         let t = batched_all_play_all(&mut p, WorkerClass::Naive, &[]).unwrap();
         assert_eq!(t.champion(), None);
         assert_eq!(p.logical_steps(), 0);
+    }
+
+    /// A platform whose naïve pool mixes honest workers with a whole
+    /// channel of spammers, with gold questions armed so quality control
+    /// can catch them.
+    fn spam_infested_platform(
+        n: usize,
+        honest: usize,
+        spammers: usize,
+        seed: u64,
+    ) -> Platform<StdRng> {
+        use crate::worker::{Behavior, SpamStrategy};
+        use crowd_core::model::WorkerClass;
+
+        let instance = Instance::new((0..n).map(|i| i as f64).collect());
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(honest, 0.0, 0.0);
+        for _ in 0..spammers {
+            pool.hire(
+                WorkerClass::Naive,
+                "spamhaus",
+                Behavior::Spammer(SpamStrategy::AlwaysSecond),
+            );
+        }
+        let mut cfg = PlatformConfig::paper_default();
+        cfg.gold_fraction = 0.25;
+        cfg.min_gold = 2;
+        let mut p = Platform::new(instance, pool, cfg, StdRng::seed_from_u64(seed));
+        p.set_gold_pairs(vec![
+            (ElementId(n as u32 - 1), ElementId(0)),
+            (ElementId(n as u32 - 2), ElementId(1)),
+        ]);
+        p
+    }
+
+    #[test]
+    fn batched_filter_survives_an_all_spammer_channel() {
+        // Half the pool is one big spam channel. Gold questions flag the
+        // spammers; the filter must either still honour Lemma 3's
+        // |S| <= 2·un − 1 bound, or come back flagged degraded.
+        let un = 3;
+        let mut p = spam_infested_platform(120, 12, 12, 6);
+        let ids: Vec<ElementId> = (0..120).map(ElementId).collect();
+        let out = batched_filter(&mut p, WorkerClass::Naive, &ids, &FilterConfig::new(un)).unwrap();
+        // |S| < 2·un is Lemma 3's |S| <= 2·un − 1.
+        assert!(
+            out.survivors.len() < 2 * un || out.degraded,
+            "{} survivors with un = {un}, degraded = {}",
+            out.survivors.len(),
+            out.degraded
+        );
+        // Quality control earned its keep: the spam channel is flagged.
+        let untrusted = p.trust().untrusted();
+        assert!(
+            !untrusted.is_empty(),
+            "gold questions should have caught at least one spammer"
+        );
+    }
+
+    #[test]
+    fn batched_tournament_survives_an_all_spammer_channel() {
+        let mut p = spam_infested_platform(30, 8, 8, 7);
+        let ids: Vec<ElementId> = (0..12).map(ElementId).collect();
+        let t = batched_all_play_all(&mut p, WorkerClass::Naive, &ids).unwrap();
+        // The tournament completes and crowns somebody; with honest
+        // workers outvoting flagged spam, wins stay consistent.
+        assert!(t.champion().is_some());
+        let total_wins: u32 = (0..ids.len()).map(|i| t.wins(i)).sum();
+        assert_eq!(total_wins as usize, ids.len() * (ids.len() - 1) / 2);
     }
 }

@@ -24,6 +24,10 @@
 //!   the `⌈|B_s|/|W|⌉` physical-step parallelism of the paper's time
 //!   model.
 //! * [`report`] — the requester-facing campaign dashboard.
+//! * [`fault`] — seedable fault injection: worker dropout, mid-batch
+//!   abandonment, transient no-answers, and latency distributions.
+//! * [`retry`] — timeout recovery: capped exponential backoff,
+//!   re-assignment to fresh workers, and dead-letter records.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,20 +35,24 @@
 
 pub mod batched;
 pub mod billing;
+pub mod fault;
 pub mod platform;
 pub mod pool;
 pub mod quality;
 pub mod report;
+pub mod retry;
 pub mod scheduler;
 pub mod task;
 pub mod worker;
 
 pub use batched::{batched_all_play_all, batched_filter, BatchedFilterOutcome, BatchedTournament};
 pub use billing::Ledger;
-pub use platform::{JobResult, Platform, PlatformConfig, PlatformOracle};
+pub use fault::{FaultConfig, FaultPlan, JudgeFate, LatencyModel};
+pub use platform::{JobResult, Platform, PlatformConfig, PlatformError, PlatformOracle};
 pub use pool::WorkerPool;
 pub use quality::{GoldRecord, TrustTracker};
 pub use report::{CampaignReport, WorkerLine};
-pub use scheduler::{physical_steps, schedule, Assignment, Schedule, ScheduleError};
+pub use retry::{DeadLetter, RetryPolicy};
+pub use scheduler::{physical_steps, reassign, schedule, Assignment, Schedule, ScheduleError};
 pub use task::{Job, Judgment, Unit, UnitId};
 pub use worker::{Behavior, SpamStrategy, Worker, WorkerId, WorkerProfile};

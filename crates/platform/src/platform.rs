@@ -13,18 +13,99 @@
 //! experiments (Tables 1–2, Section 5.3) are reproduced.
 
 use crate::billing::Ledger;
+use crate::fault::{FaultConfig, FaultPlan, JudgeFate};
 use crate::pool::WorkerPool;
 use crate::quality::TrustTracker;
-use crate::scheduler::{schedule, ScheduleError};
+use crate::retry::{DeadLetter, RetryPolicy};
+use crate::scheduler::{reassign, schedule, ScheduleError};
 use crate::task::{Job, Judgment, Unit, UnitId};
 use crate::worker::WorkerId;
 use crowd_core::cost::CostModel;
 use crowd_core::element::{ElementId, Instance};
 use crowd_core::model::WorkerClass;
-use crowd_core::oracle::{ComparisonCounts, ComparisonOracle};
+use crowd_core::oracle::{ComparisonCounts, ComparisonOracle, OracleError};
+use crowd_core::trace::{FaultCounts, FaultKind};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+
+/// Errors the platform can report to a requester.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The scheduler could not plan the job.
+    Schedule(ScheduleError),
+    /// The campaign budget cap was reached; the campaign state (ledger,
+    /// trust, dead letters) remains valid for a partial
+    /// [`CampaignReport`](crate::report::CampaignReport).
+    BudgetExhausted {
+        /// The configured cap.
+        cap: f64,
+        /// Spending when the cap fired.
+        spent: f64,
+    },
+    /// Regular units collected zero usable judgments despite retries; the
+    /// job's partial results are recorded on the platform.
+    UnitsUnanswered {
+        /// The units that got no answer.
+        units: Vec<UnitId>,
+        /// Attempts made per judgment slot (initial + retries).
+        attempts: u32,
+    },
+}
+
+impl From<ScheduleError> for PlatformError {
+    fn from(err: ScheduleError) -> Self {
+        PlatformError::Schedule(err)
+    }
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Schedule(err) => write!(f, "scheduling failed: {err}"),
+            PlatformError::BudgetExhausted { cap, spent } => {
+                write!(f, "budget cap {cap} reached (spent {spent})")
+            }
+            PlatformError::UnitsUnanswered { units, attempts } => write!(
+                f,
+                "{} unit(s) unanswered after {attempts} attempts each",
+                units.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Schedule(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl PlatformError {
+    /// Maps the platform failure onto the oracle-level error vocabulary,
+    /// for surfacing through [`ComparisonOracle::try_compare`]. `class` is
+    /// the worker class the failing comparison was posted to.
+    pub fn to_oracle_error(&self, class: WorkerClass) -> OracleError {
+        match self {
+            PlatformError::Schedule(err) => match err {
+                ScheduleError::NoEligibleWorkers { class } => {
+                    OracleError::WorkforceDepleted { class: *class }
+                }
+                ScheduleError::NotEnoughWorkersForUnit { .. }
+                | ScheduleError::NoFreshWorkerForUnit { .. } => {
+                    OracleError::WorkforceDepleted { class }
+                }
+            },
+            PlatformError::BudgetExhausted { .. } => OracleError::BudgetExhausted,
+            PlatformError::UnitsUnanswered { attempts, .. } => OracleError::Unanswered {
+                attempts: *attempts,
+            },
+        }
+    }
+}
 
 /// Platform-wide configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +122,24 @@ pub struct PlatformConfig {
     pub trust_threshold: f64,
     /// Gold judgments before the threshold is enforced.
     pub min_gold: u32,
+    /// Fault-injection knobs. [`FaultConfig::none`] (the default) keeps
+    /// the platform byte-identical to a build without the fault layer.
+    pub faults: FaultConfig,
+    /// Seed of the campaign's [`FaultPlan`] — independent of the
+    /// platform RNG so fault decisions never perturb worker behaviour.
+    pub fault_seed: u64,
+    /// Recovery policy for failed judgments.
+    pub retry: RetryPolicy,
+    /// Campaign spending cap. When reached, new jobs are refused (and
+    /// running jobs stop retrying) with
+    /// [`PlatformError::BudgetExhausted`] instead of panicking; the
+    /// partial campaign state remains reportable.
+    pub budget_cap: Option<f64>,
+    /// Expert-depletion fallback: when an expert job cannot be scheduled
+    /// because no eligible expert remains, re-run it as a naïve job with
+    /// this (odd) vote-boost factor on `judgments_per_unit`, flagging the
+    /// campaign degraded. `0` disables the fallback.
+    pub expert_fallback_votes: u32,
 }
 
 impl PlatformConfig {
@@ -53,6 +152,11 @@ impl PlatformConfig {
             payment: CostModel::with_ratio(10.0),
             trust_threshold: 0.7,
             min_gold: 3,
+            faults: FaultConfig::none(),
+            fault_seed: 0,
+            retry: RetryPolicy::paper_default(),
+            budget_cap: None,
+            expert_fallback_votes: 0,
         }
     }
 
@@ -73,6 +177,41 @@ impl PlatformConfig {
         self.gold_fraction = 0.0;
         self
     }
+
+    /// Sets the fault-injection knobs and the fault plan's seed.
+    pub fn with_faults(mut self, faults: FaultConfig, seed: u64) -> Self {
+        self.faults = faults;
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the campaign budget cap.
+    pub fn with_budget_cap(mut self, cap: f64) -> Self {
+        self.budget_cap = Some(cap);
+        self
+    }
+
+    /// Enables the expert-depletion fallback with an odd vote-boost
+    /// factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is even (majority voting needs an odd count) or
+    /// zero.
+    pub fn with_expert_fallback(mut self, votes: u32) -> Self {
+        assert!(
+            votes % 2 == 1,
+            "the vote-boost factor must be odd for clean majorities, got {votes}"
+        );
+        self.expert_fallback_votes = votes;
+        self
+    }
 }
 
 impl Default for PlatformConfig {
@@ -90,10 +229,17 @@ pub struct JobResult {
     /// Every judgment produced, including on gold units and by workers
     /// later flagged as spammers.
     pub judgments: Vec<Judgment>,
-    /// Physical steps the job consumed.
+    /// Physical steps the job consumed (including retry backoff).
     pub physical_steps: u64,
     /// Workers whose responses were ignored during aggregation.
     pub excluded_workers: Vec<WorkerId>,
+    /// Units that ended with fewer usable judgments than requested
+    /// (empty on every fault-free run).
+    pub degraded_units: Vec<UnitId>,
+    /// Judgments re-assigned to fresh workers during this job.
+    pub retries: u64,
+    /// Dead letters recorded during this job.
+    pub dead_letters: u64,
 }
 
 /// The simulated crowdsourcing platform.
@@ -115,6 +261,18 @@ pub struct Platform<R: RngCore> {
     /// Workers retired mid-campaign: they keep their history but receive
     /// no further assignments.
     retired: HashSet<WorkerId>,
+    /// The campaign's fault plan (stateless; decisions are hashes).
+    fault_plan: FaultPlan,
+    /// Monotone per-campaign judgment-attempt counter feeding the plan.
+    fault_seq: u64,
+    /// Faults injected and recovery actions taken, by class.
+    fault_counts: FaultCounts,
+    /// Workers already counted as campaign dropouts.
+    dropped_seen: HashSet<WorkerId>,
+    /// Units the campaign had to give up on.
+    dead_letters: Vec<DeadLetter>,
+    /// True once any result was produced in degraded mode.
+    degraded: bool,
 }
 
 impl<R: RngCore> Platform<R> {
@@ -122,6 +280,7 @@ impl<R: RngCore> Platform<R> {
     /// workforce.
     pub fn new(instance: Instance, pool: WorkerPool, config: PlatformConfig, rng: R) -> Self {
         let trust = TrustTracker::new(config.trust_threshold, config.min_gold);
+        let fault_plan = FaultPlan::new(config.faults, config.fault_seed);
         Platform {
             instance,
             pool,
@@ -136,6 +295,12 @@ impl<R: RngCore> Platform<R> {
             next_unit: 0,
             rotation: 0,
             retired: HashSet::new(),
+            fault_plan,
+            fault_seq: 0,
+            fault_counts: FaultCounts::zero(),
+            dropped_seen: HashSet::new(),
+            dead_letters: Vec::new(),
+            degraded: false,
         }
     }
 
@@ -211,6 +376,27 @@ impl<R: RngCore> Platform<R> {
         self.counts
     }
 
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Faults injected and recovery actions taken so far, by class.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.fault_counts
+    }
+
+    /// Units the campaign gave up on after exhausting retries.
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead_letters
+    }
+
+    /// True once any result was produced in degraded mode (units short of
+    /// judgments, or expert jobs answered by boosted naïve majorities).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     fn fresh_unit_id(&mut self) -> UnitId {
         let id = UnitId(self.next_unit);
         self.next_unit += 1;
@@ -243,7 +429,7 @@ impl<R: RngCore> Platform<R> {
         &mut self,
         pairs: &[(ElementId, ElementId)],
         class: WorkerClass,
-    ) -> Result<Vec<ElementId>, ScheduleError> {
+    ) -> Result<Vec<ElementId>, PlatformError> {
         let mut units: Vec<Unit> = Vec::with_capacity(pairs.len());
         let mut regular_ids = Vec::with_capacity(pairs.len());
         for &(k, j) in pairs {
@@ -263,21 +449,112 @@ impl<R: RngCore> Platform<R> {
             units.push(Unit::gold(id, k, j, answer));
         }
         let job = Job::new(units, self.config.judgments_per_unit);
-        let result = self.run_job(&job, class)?;
+        let result = match self.run_job(&job, class) {
+            Err(PlatformError::Schedule(ScheduleError::NoEligibleWorkers { class: missing }))
+                if missing == WorkerClass::Expert
+                    && class == WorkerClass::Expert
+                    && self.config.expert_fallback_votes > 0 =>
+            {
+                // Graceful degradation: the expert pool is depleted. Fall
+                // back to a boosted naïve majority — the platform's
+                // per-unit majority aggregation realizes the vote boost —
+                // and flag the campaign degraded.
+                self.fault_counts
+                    .record(WorkerClass::Expert, FaultKind::ExpertFallback);
+                self.degraded = true;
+                let boosted = Job::new(
+                    job.units().to_vec(),
+                    self.config
+                        .judgments_per_unit
+                        .saturating_mul(self.config.expert_fallback_votes),
+                );
+                self.run_job(&boosted, WorkerClass::Naive)?
+            }
+            other => other?,
+        };
         Ok(regular_ids.iter().map(|id| result.answers[id]).collect())
     }
 
+    /// The fate of the next judgment attempt handed to `worker`, drawn
+    /// from the campaign's stateless fault plan.
+    fn next_fate(&mut self, worker: WorkerId) -> JudgeFate {
+        let seq = self.fault_seq;
+        self.fault_seq += 1;
+        self.fault_plan.fate(worker, seq)
+    }
+
+    /// Executes one judgment: the worker answers, gets paid, the tally
+    /// advances, and (for usable judgments on gold units) trust is scored.
+    /// Timed-out judgments are real work — paid and counted — but
+    /// `usable = false` keeps them out of trust scoring.
+    fn perform_judgment(
+        &mut self,
+        unit: &Unit,
+        worker: WorkerId,
+        physical_step: u64,
+        class: WorkerClass,
+        usable: bool,
+    ) -> Judgment {
+        let (k, j) = unit.pair;
+        let (vk, vj) = (self.instance.value(k), self.instance.value(j));
+        let answer = self
+            .pool
+            .worker_mut(worker)
+            .judge(k, vk, j, vj, &mut self.rng);
+        self.ledger
+            .pay(worker, class, self.config.payment.price(class));
+        self.counts.record(class);
+        if usable {
+            if let Some(gold) = unit.gold_answer {
+                self.trust.record(worker, answer == gold);
+            }
+        }
+        Judgment {
+            unit: unit.id,
+            worker,
+            answer,
+            physical_step,
+        }
+    }
+
     /// Runs a fully specified job (one logical step): schedules it over the
-    /// currently trusted workers, executes every judgment, pays for it,
-    /// scores gold answers, and aggregates regular units by majority over
-    /// judgments from workers trusted *after* the job's gold scoring.
+    /// currently trusted workers, executes every judgment under the fault
+    /// plan, pays for performed work, scores gold answers, retries failed
+    /// judgments on fresh workers (capped exponential backoff), and
+    /// aggregates regular units by majority over usable judgments from
+    /// workers trusted *after* the job's gold scoring.
     ///
     /// # Errors
     ///
-    /// Fails if the pool cannot satisfy the schedule.
-    pub fn run_job(&mut self, job: &Job, class: WorkerClass) -> Result<JobResult, ScheduleError> {
+    /// Fails if the pool cannot satisfy the schedule, the budget cap is
+    /// reached, or any regular unit ends with zero usable judgments after
+    /// retries (the partial results stay recorded on the platform).
+    pub fn run_job(&mut self, job: &Job, class: WorkerClass) -> Result<JobResult, PlatformError> {
+        if let Some(cap) = self.config.budget_cap {
+            if self.ledger.total() >= cap {
+                return Err(PlatformError::BudgetExhausted {
+                    cap,
+                    spent: self.ledger.total(),
+                });
+            }
+        }
+
         let mut excluded = self.trust.untrusted();
         excluded.extend(self.retired.iter().copied());
+        // Campaign dropouts: decided once per worker by the fault plan and
+        // counted the first time the worker would otherwise be eligible. A
+        // zero-rate plan never excludes anyone (and does no hashing).
+        if self.fault_plan.config().dropout > 0.0 {
+            for w in self.pool.ids_of_class(class) {
+                if !excluded.contains(&w) && self.fault_plan.dropped_out(w) {
+                    if self.dropped_seen.insert(w) {
+                        self.fault_counts.record(class, FaultKind::Dropout);
+                    }
+                    excluded.insert(w);
+                }
+            }
+        }
+
         let plan = schedule(
             &self.pool,
             job,
@@ -289,51 +566,182 @@ impl<R: RngCore> Platform<R> {
         self.rotation = self.rotation.wrapping_add(plan.assignments.len().max(1));
         let units: HashMap<UnitId, &Unit> = job.units().iter().map(|u| (u.id, u)).collect();
 
-        // Execute.
-        let mut judgments = Vec::with_capacity(plan.assignments.len());
+        // The distinct-workers-per-unit ledger, maintained across retries.
+        let mut assigned: HashMap<UnitId, HashSet<WorkerId>> = HashMap::new();
         for a in &plan.assignments {
-            let unit = units[&a.unit];
-            let (k, j) = unit.pair;
-            let (vk, vj) = (self.instance.value(k), self.instance.value(j));
-            let answer = self
-                .pool
-                .worker_mut(a.worker)
-                .judge(k, vk, j, vj, &mut self.rng);
-            self.ledger
-                .pay(a.worker, class, self.config.payment.price(class));
-            self.counts.record(class);
-            if let Some(gold) = unit.gold_answer {
-                self.trust.record(a.worker, answer == gold);
-            }
-            judgments.push(Judgment {
-                unit: a.unit,
-                worker: a.worker,
-                answer,
-                physical_step: a.physical_step,
-            });
+            assigned.entry(a.unit).or_default().insert(a.worker);
+        }
+        // Attempts per unit (initial assignments now, retries later).
+        let mut attempts_by_unit: HashMap<UnitId, u32> = HashMap::new();
+        for a in &plan.assignments {
+            *attempts_by_unit.entry(a.unit).or_default() += 1;
         }
 
-        // Aggregate regular units by majority over trusted judgments.
+        let timeout = self.fault_plan.config().timeout_steps;
+
+        // Execute the planned assignments. `judgments` carries a `usable`
+        // flag: timed-out answers are paid but never aggregated.
+        let mut judgments: Vec<(Judgment, bool)> = Vec::with_capacity(plan.assignments.len());
+        let mut failed_slots: Vec<UnitId> = Vec::new();
+        for a in &plan.assignments {
+            let unit = units[&a.unit];
+            if excluded.contains(&a.worker) {
+                // The worker abandoned an earlier judgment of this very
+                // batch and walked away from the rest of it.
+                self.fault_counts.record(class, FaultKind::Abandon);
+                failed_slots.push(a.unit);
+                continue;
+            }
+            match self.next_fate(a.worker) {
+                JudgeFate::Abandon => {
+                    self.fault_counts.record(class, FaultKind::Abandon);
+                    excluded.insert(a.worker);
+                    failed_slots.push(a.unit);
+                }
+                JudgeFate::NoAnswer => {
+                    self.fault_counts.record(class, FaultKind::NoAnswer);
+                    failed_slots.push(a.unit);
+                }
+                JudgeFate::Answer { latency } => {
+                    let usable = latency <= timeout;
+                    let judgment = self.perform_judgment(
+                        unit,
+                        a.worker,
+                        a.physical_step + latency,
+                        class,
+                        usable,
+                    );
+                    judgments.push((judgment, usable));
+                    if !usable {
+                        self.fault_counts.record(class, FaultKind::Timeout);
+                        failed_slots.push(a.unit);
+                    }
+                }
+            }
+        }
+
+        // Retry failed judgment slots on fresh workers with capped
+        // exponential backoff. Slots retry independently (in parallel, in
+        // the physical-time model), so the job's extra latency is the
+        // slowest slot's, not the sum.
+        let policy = self.config.retry;
+        let base_step = self.physical_clock + plan.physical_steps;
+        let mut retries_used = 0u64;
+        let mut extra_steps = 0u64;
+        for unit_id in failed_slots {
+            let unit = units[&unit_id];
+            let mut slot_delay = 0u64;
+            let mut recovered = false;
+            for attempt in 1..=policy.max_retries {
+                if let Some(cap) = self.config.budget_cap {
+                    if self.ledger.total() >= cap {
+                        // Budget exhausted mid-recovery: stop retrying and
+                        // let the unit dead-letter.
+                        break;
+                    }
+                }
+                let tried = assigned.entry(unit_id).or_default();
+                let Ok(worker) =
+                    reassign(&self.pool, class, &excluded, tried, unit_id, self.rotation)
+                else {
+                    // No fresh worker remains for this unit.
+                    break;
+                };
+                self.rotation = self.rotation.wrapping_add(1);
+                assigned.entry(unit_id).or_default().insert(worker);
+                *attempts_by_unit.entry(unit_id).or_default() += 1;
+                self.fault_counts.record(class, FaultKind::Retry);
+                retries_used += 1;
+                slot_delay += policy.backoff(attempt);
+                match self.next_fate(worker) {
+                    JudgeFate::Abandon => {
+                        self.fault_counts.record(class, FaultKind::Abandon);
+                        excluded.insert(worker);
+                    }
+                    JudgeFate::NoAnswer => {
+                        self.fault_counts.record(class, FaultKind::NoAnswer);
+                    }
+                    JudgeFate::Answer { latency } => {
+                        let usable = latency <= timeout;
+                        let judgment = self.perform_judgment(
+                            unit,
+                            worker,
+                            base_step + slot_delay + latency,
+                            class,
+                            usable,
+                        );
+                        judgments.push((judgment, usable));
+                        if usable {
+                            slot_delay += latency;
+                            recovered = true;
+                            break;
+                        }
+                        self.fault_counts.record(class, FaultKind::Timeout);
+                    }
+                }
+            }
+            if recovered {
+                extra_steps = extra_steps.max(slot_delay);
+            }
+        }
+
+        // Units still short of judgments after retries are degraded and
+        // dead-lettered.
+        let needed = job.judgments_per_unit() as usize;
+        let mut usable_per_unit: HashMap<UnitId, usize> = HashMap::new();
+        for (jd, usable) in &judgments {
+            if *usable {
+                *usable_per_unit.entry(jd.unit).or_default() += 1;
+            }
+        }
+        let mut degraded_units = Vec::new();
+        let mut dead_letters_here = 0u64;
+        for unit in job.units() {
+            let got = usable_per_unit.get(&unit.id).copied().unwrap_or(0);
+            if got < needed {
+                degraded_units.push(unit.id);
+                self.degraded = true;
+                self.fault_counts.record(class, FaultKind::DeadLetter);
+                self.dead_letters.push(DeadLetter {
+                    unit: unit.id,
+                    pair: unit.pair,
+                    class,
+                    attempts: attempts_by_unit.get(&unit.id).copied().unwrap_or(0),
+                    logical_step: self.logical_steps,
+                });
+                dead_letters_here += 1;
+            }
+        }
+
+        // Aggregate regular units by majority over usable judgments.
         let now_untrusted = self.trust.untrusted();
         let mut answers = HashMap::new();
+        let mut unanswered: Vec<UnitId> = Vec::new();
         for unit in job.units().iter().filter(|u| !u.is_gold()) {
             let (k, j) = unit.pair;
             let votes: Vec<ElementId> = judgments
                 .iter()
-                .filter(|jd| jd.unit == unit.id && !now_untrusted.contains(&jd.worker))
-                .map(|jd| jd.answer)
+                .filter(|(jd, usable)| {
+                    *usable && jd.unit == unit.id && !now_untrusted.contains(&jd.worker)
+                })
+                .map(|(jd, _)| jd.answer)
                 .collect();
             // If quality control discarded everything, fall back to all
-            // judgments — the requester still needs an answer.
+            // usable judgments — the requester still needs an answer.
             let votes = if votes.is_empty() {
                 judgments
                     .iter()
-                    .filter(|jd| jd.unit == unit.id)
-                    .map(|jd| jd.answer)
+                    .filter(|(jd, usable)| *usable && jd.unit == unit.id)
+                    .map(|(jd, _)| jd.answer)
                     .collect()
             } else {
                 votes
             };
+            if votes.is_empty() {
+                // Nothing usable at all: never fabricate an answer.
+                unanswered.push(unit.id);
+                continue;
+            }
             let k_votes = votes.iter().filter(|&&a| a == k).count();
             let j_votes = votes.len() - k_votes;
             let winner = if k_votes > j_votes || (k_votes == j_votes && k < j) {
@@ -344,13 +752,25 @@ impl<R: RngCore> Platform<R> {
             answers.insert(unit.id, winner);
         }
 
-        self.physical_clock += plan.physical_steps;
+        let physical_steps = plan.physical_steps + extra_steps;
+        self.physical_clock += physical_steps;
         self.logical_steps += 1;
+        if !unanswered.is_empty() {
+            // The job's partial results (payments, trust, dead letters)
+            // stay recorded; only the answer set is refused.
+            return Err(PlatformError::UnitsUnanswered {
+                units: unanswered,
+                attempts: 1 + policy.max_retries,
+            });
+        }
         Ok(JobResult {
             answers,
-            judgments,
-            physical_steps: plan.physical_steps,
+            judgments: judgments.into_iter().map(|(jd, _)| jd).collect(),
+            physical_steps,
             excluded_workers: now_untrusted.into_iter().collect(),
+            degraded_units,
+            retries: retries_used,
+            dead_letters: dead_letters_here,
         })
     }
 }
@@ -385,9 +805,20 @@ impl<R: RngCore> PlatformOracle<R> {
 
 impl<R: RngCore> ComparisonOracle for PlatformOracle<R> {
     fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        self.try_compare(class, k, j)
+            .expect("the platform pool cannot satisfy a single comparison")
+    }
+
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, OracleError> {
         self.platform
             .submit_comparisons(&[(k, j)], class)
-            .expect("the platform pool cannot satisfy a single comparison")[0]
+            .map(|answers| answers[0])
+            .map_err(|err| err.to_oracle_error(class))
     }
 
     fn counts(&self) -> ComparisonCounts {
@@ -549,7 +980,16 @@ mod tests {
         let err = p
             .submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Expert)
             .unwrap_err();
-        assert!(matches!(err, ScheduleError::NoEligibleWorkers { .. }));
+        assert!(matches!(
+            err,
+            PlatformError::Schedule(ScheduleError::NoEligibleWorkers { .. })
+        ));
+        assert_eq!(
+            err.to_oracle_error(WorkerClass::Expert),
+            OracleError::WorkforceDepleted {
+                class: WorkerClass::Expert
+            }
+        );
     }
 
     #[test]
@@ -597,5 +1037,246 @@ mod tests {
     fn gold_pair_with_duplicate_panics() {
         let mut p = platform(honest_pool(3), PlatformConfig::paper_default(), 9);
         p.set_gold_pairs(vec![(ElementId(0), ElementId(0))]);
+    }
+
+    /// Replays the pre-fault-layer `run_job` execution loop by hand: same
+    /// scheduling, same judge/pay/count/gold order. A zero-fault platform
+    /// must produce byte-identical answers, judgments, clocks, and ledger
+    /// state — the fault layer is a strict superset.
+    #[test]
+    fn zero_fault_plan_is_invisible() {
+        use crate::scheduler::schedule as plan_schedule;
+        let inst = Instance::new((0..12).map(|i| i as f64).collect());
+        let pairs: Vec<(ElementId, ElementId)> = (0..6)
+            .map(|i| (ElementId(2 * i), ElementId(2 * i + 1)))
+            .collect();
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_judgments_per_unit(3);
+
+        // The faulty-capable platform under a zero-rate plan.
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(5, 2.0, 0.1);
+        let mut p = Platform::new(inst.clone(), pool, cfg.clone(), StdRng::seed_from_u64(77));
+        let result = p.submit_comparisons(&pairs, WorkerClass::Naive).unwrap();
+
+        // The same run replayed without any fault machinery.
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(5, 2.0, 0.1);
+        let mut rng = StdRng::seed_from_u64(77);
+        let units: Vec<Unit> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, j))| Unit::regular(UnitId(i as u32), k, j))
+            .collect();
+        let job = Job::new(units, cfg.judgments_per_unit);
+        let plan = plan_schedule(&pool, &job, WorkerClass::Naive, &HashSet::new(), 0, 0).unwrap();
+        let mut expected: HashMap<UnitId, Vec<ElementId>> = HashMap::new();
+        for a in &plan.assignments {
+            let unit = &job.units()[a.unit.0 as usize];
+            let (k, j) = unit.pair;
+            let answer =
+                pool.worker_mut(a.worker)
+                    .judge(k, inst.value(k), j, inst.value(j), &mut rng);
+            expected.entry(a.unit).or_default().push(answer);
+        }
+        let reference: Vec<ElementId> = job
+            .units()
+            .iter()
+            .map(|u| {
+                let votes = &expected[&u.id];
+                let (k, j) = u.pair;
+                let k_votes = votes.iter().filter(|&&a| a == k).count();
+                if k_votes > votes.len() - k_votes || (2 * k_votes == votes.len() && k < j) {
+                    k
+                } else {
+                    j
+                }
+            })
+            .collect();
+
+        assert_eq!(result, reference, "fault layer perturbed a zero-fault run");
+        assert_eq!(p.fault_counts().total(), 0);
+        assert!(p.dead_letters().is_empty());
+        assert!(!p.degraded());
+        assert_eq!(p.physical_clock(), plan.physical_steps);
+    }
+
+    #[test]
+    fn budget_cap_refuses_new_jobs_with_partial_state() {
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_payment(CostModel::new(1.0, 10.0))
+            .with_budget_cap(3.0);
+        let mut p = platform(honest_pool(5), cfg, 21);
+        // Three 1-judgment jobs at price 1 reach the cap.
+        for _ in 0..3 {
+            p.submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Naive)
+                .unwrap();
+        }
+        let err = p
+            .submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Naive)
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::BudgetExhausted { .. }));
+        assert_eq!(
+            err.to_oracle_error(WorkerClass::Naive),
+            OracleError::BudgetExhausted
+        );
+        // The partial campaign state survives for reporting.
+        assert_eq!(p.ledger().total(), 3.0);
+        assert_eq!(p.counts().naive, 3);
+        let report = crate::report::CampaignReport::from_platform(&p);
+        assert_eq!(report.judgments, 3);
+    }
+
+    #[test]
+    fn expert_depletion_falls_back_to_boosted_naive_majority() {
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(5, 0.0, 0.0); // perfect naive workers, no experts
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_expert_fallback(3);
+        let mut p = platform(pool, cfg, 31);
+        let answers = p
+            .submit_comparisons(&[(ElementId(1), ElementId(4))], WorkerClass::Expert)
+            .unwrap();
+        assert_eq!(answers, vec![ElementId(4)]);
+        assert!(p.degraded(), "the fallback must flag the campaign degraded");
+        assert_eq!(p.fault_counts().expert.expert_fallbacks, 1);
+        // The boosted job collected 3 naive judgments (1 × 3 votes).
+        assert_eq!(p.counts().naive, 3);
+        assert_eq!(p.counts().expert, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_fallback_votes_panic() {
+        let _ = PlatformConfig::paper_default().with_expert_fallback(2);
+    }
+
+    #[test]
+    fn transient_no_answer_faults_retry_on_fresh_workers() {
+        use crate::fault::FaultConfig;
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_faults(FaultConfig::none().with_no_answer(0.4), 5);
+        let mut p = platform(honest_pool(8), cfg, 41);
+        let mut retries_seen = 0u64;
+        for i in 0..20 {
+            let pair = (ElementId(i % 4), ElementId(4));
+            let answers = p.submit_comparisons(&[pair], WorkerClass::Naive);
+            // Honest workers: when an answer arrives it is correct.
+            if let Ok(answers) = answers {
+                assert_eq!(answers, vec![ElementId(4)]);
+            }
+            retries_seen = p.fault_counts().naive.retries;
+        }
+        assert!(
+            p.fault_counts().naive.no_answers > 0,
+            "a 40% no-answer rate must fire in 20 jobs"
+        );
+        assert!(retries_seen > 0, "failed judgments must be retried");
+        // Every paid judgment was performed: the billing invariant holds
+        // under faults too.
+        assert_eq!(p.ledger().judgments(), p.counts().total());
+    }
+
+    #[test]
+    fn exhausted_retries_dead_letter_instead_of_fabricating() {
+        use crate::fault::FaultConfig;
+        // Everyone refuses to answer: every unit must dead-letter and the
+        // job must fail with UnitsUnanswered, not fabricate an answer.
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_faults(FaultConfig::none().with_no_answer(1.0), 6);
+        let mut p = platform(honest_pool(6), cfg, 51);
+        let err = p
+            .submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Naive)
+            .unwrap_err();
+        match &err {
+            PlatformError::UnitsUnanswered { units, attempts } => {
+                assert_eq!(units.len(), 1);
+                assert_eq!(*attempts, 1 + p.config().retry.max_retries);
+            }
+            other => panic!("expected UnitsUnanswered, got {other:?}"),
+        }
+        assert!(matches!(
+            err.to_oracle_error(WorkerClass::Naive),
+            OracleError::Unanswered { .. }
+        ));
+        assert_eq!(p.dead_letters().len(), 1);
+        assert_eq!(p.fault_counts().naive.dead_letters, 1);
+        assert!(p.degraded());
+        // Nothing was performed, so nothing was paid.
+        assert_eq!(p.ledger().judgments(), 0);
+    }
+
+    #[test]
+    fn dropped_out_workers_never_receive_assignments() {
+        use crate::fault::FaultConfig;
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(20, 0.0, 0.0);
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_faults(FaultConfig::none().with_dropout(0.4), 9);
+        let mut p = platform(pool, cfg, 61);
+        for _ in 0..10 {
+            p.submit_comparisons(&[(ElementId(0), ElementId(4))], WorkerClass::Naive)
+                .unwrap();
+        }
+        let dropped: Vec<WorkerId> = (0..20)
+            .map(WorkerId)
+            .filter(|w| p.fault_plan.dropped_out(*w))
+            .collect();
+        assert!(!dropped.is_empty(), "a 40% dropout rate must fire");
+        for w in &dropped {
+            assert_eq!(
+                p.ledger().earned_by(*w),
+                0.0,
+                "dropout {w} must never be assigned work"
+            );
+        }
+        assert_eq!(p.fault_counts().naive.dropouts, dropped.len() as u64);
+    }
+
+    #[test]
+    fn retry_reassignment_preserves_distinct_workers_per_unit() {
+        use crate::fault::{FaultConfig, LatencyModel};
+        // High fault pressure: abandonment, no-answers and timeouts all on.
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_judgments_per_unit(2)
+            .with_faults(
+                FaultConfig::none()
+                    .with_abandon(0.15)
+                    .with_no_answer(0.25)
+                    .with_latency(LatencyModel::Geometric { p: 0.6, cap: 10 })
+                    .with_timeout_steps(3),
+                13,
+            );
+        let mut p = platform(honest_pool(10), cfg, 71);
+        for i in 0..15 {
+            let job = Job::from_pairs(&[(ElementId(i % 4), ElementId(4))], 2);
+            if let Ok(result) = p.run_job(&job, WorkerClass::Naive) {
+                // No unit of this job was judged twice by the same worker
+                // — including judgments produced by retry re-assignment.
+                // (Unit ids restart per job, so the check is per job.)
+                let mut seen: HashMap<UnitId, HashSet<WorkerId>> = HashMap::new();
+                for j in &result.judgments {
+                    assert!(
+                        seen.entry(j.unit).or_default().insert(j.worker),
+                        "unit {:?} judged twice by {}",
+                        j.unit,
+                        j.worker
+                    );
+                }
+            }
+        }
+        assert!(
+            p.fault_counts().naive.retries > 0,
+            "fault pressure must trigger retries: {:?}",
+            p.fault_counts().naive
+        );
+        assert_eq!(p.ledger().judgments(), p.counts().total());
     }
 }

@@ -155,6 +155,32 @@ mod tests {
     }
 
     #[test]
+    fn just_below_the_boundary_excludes() {
+        // 69% < 70%: one miss past the boundary flips the flag.
+        let mut t = TrustTracker::new(0.7, 3);
+        for i in 0..100 {
+            t.record(W, i < 69);
+        }
+        assert_eq!(t.record_of(W).accuracy(), Some(0.69));
+        assert!(!t.is_trusted(W));
+    }
+
+    #[test]
+    fn min_gold_zero_enforces_from_the_first_judgment() {
+        let mut t = TrustTracker::new(0.7, 0);
+        // With no gold seen yet there is no accuracy to hold against her.
+        assert!(t.is_trusted(W));
+        assert!(t.untrusted().is_empty());
+        // But the very first miss counts: 0/1 < 0.7 with no grace period.
+        t.record(W, false);
+        assert!(!t.is_trusted(W));
+        // And a single correct answer at min_gold = 0 is already enough.
+        let w2 = WorkerId(1);
+        t.record(w2, true);
+        assert!(t.is_trusted(w2));
+    }
+
+    #[test]
     fn redemption_is_possible() {
         let mut t = TrustTracker::new(0.7, 3);
         for _ in 0..3 {

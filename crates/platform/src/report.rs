@@ -8,6 +8,7 @@
 use crate::platform::Platform;
 use crate::worker::WorkerId;
 use crowd_core::model::WorkerClass;
+use crowd_core::trace::FaultCounts;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -42,6 +43,14 @@ pub struct CampaignReport {
     pub logical_steps: u64,
     /// Physical steps elapsed.
     pub physical_steps: u64,
+    /// Fault tallies (dropouts, timeouts, retries, …) per worker class.
+    pub faults: FaultCounts,
+    /// Units the platform gave up on after exhausting their retries.
+    pub dead_letters: u64,
+    /// True when any job degraded service (dead-lettered units or
+    /// expert-depletion fallback); results may be weaker than the paper's
+    /// guarantees promise.
+    pub degraded: bool,
     /// Per-worker lines, highest earner first.
     pub workers: Vec<WorkerLine>,
 }
@@ -79,6 +88,9 @@ impl CampaignReport {
             judgments: platform.ledger().judgments(),
             logical_steps: platform.logical_steps(),
             physical_steps: platform.physical_clock(),
+            faults: platform.fault_counts(),
+            dead_letters: platform.dead_letters().len() as u64,
+            degraded: platform.degraded(),
             workers,
         }
     }
@@ -110,6 +122,20 @@ impl fmt::Display for CampaignReport {
             self.logical_steps,
             self.physical_steps,
         )?;
+        let faults = self.faults.naive + self.faults.expert;
+        if faults.total() > 0 || self.dead_letters > 0 || self.degraded {
+            writeln!(
+                f,
+                "  faults: {} dropouts, {} abandons, {} no-answers, {} timeouts, {} retries, {} dead-lettered units{}",
+                faults.dropouts,
+                faults.abandons,
+                faults.no_answers,
+                faults.timeouts,
+                faults.retries,
+                self.dead_letters,
+                if self.degraded { "  (DEGRADED)" } else { "" },
+            )?;
+        }
         for w in &self.workers {
             writeln!(
                 f,
@@ -210,6 +236,43 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("campaign: $"));
         assert!(text.contains("(EXCLUDED)"));
+        // A fault-free campaign prints no fault line.
+        assert!(!text.contains("faults:"), "{text}");
         assert_eq!(text.lines().count(), 1 + r.workers.len());
+    }
+
+    #[test]
+    fn fault_free_campaign_reports_clean_bill() {
+        let r = campaign();
+        assert_eq!(r.faults.total(), 0);
+        assert_eq!(r.dead_letters, 0);
+        assert!(!r.degraded);
+    }
+
+    #[test]
+    fn faulty_campaign_surfaces_tallies_and_degradation() {
+        use crate::fault::FaultConfig;
+        use crate::retry::RetryPolicy;
+
+        let instance = Instance::new((0..10).map(|i| i as f64).collect());
+        let mut pool = WorkerPool::new();
+        pool.hire_naive_crowd(3, 0.0, 0.0);
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_faults(FaultConfig::none().with_no_answer(1.0), 9)
+            .with_retry(RetryPolicy::paper_default());
+        let mut platform = Platform::new(instance, pool, cfg, StdRng::seed_from_u64(2));
+        let err = platform
+            .submit_comparisons(&[(ElementId(0), ElementId(9))], WorkerClass::Naive)
+            .unwrap_err();
+        assert!(err.to_string().contains("unanswered"), "{err}");
+        let r = CampaignReport::from_platform(&platform);
+        assert!(r.faults.naive.no_answers > 0);
+        assert!(r.faults.naive.retries > 0);
+        assert_eq!(r.dead_letters, 1);
+        assert!(r.degraded);
+        let text = r.to_string();
+        assert!(text.contains("faults:"), "{text}");
+        assert!(text.contains("(DEGRADED)"), "{text}");
     }
 }

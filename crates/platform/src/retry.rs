@@ -1,0 +1,126 @@
+//! Timeout recovery: capped exponential backoff and dead-letter records.
+//!
+//! When a judgment times out, abandons, or no-answers, the platform
+//! re-assigns the unit to a *different* worker (preserving the
+//! distinct-workers-per-unit invariant, see
+//! [`crate::scheduler::reassign`]) after a backoff delay measured in
+//! physical steps. Units that exhaust their retries land in a
+//! [`DeadLetter`] record on the platform instead of being silently lost.
+
+use crate::task::UnitId;
+use crowd_core::element::ElementId;
+use crowd_core::model::WorkerClass;
+use serde::{Deserialize, Serialize};
+
+/// Retry policy for failed judgments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum re-assignments per unit after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in physical steps.
+    pub base_backoff_steps: u64,
+    /// Cap on the (exponentially growing) backoff.
+    pub max_backoff_steps: u64,
+}
+
+impl RetryPolicy {
+    /// The default recovery posture: three retries with 1-step backoff
+    /// doubling up to 8 steps. At zero fault rates nothing ever fails, so
+    /// this policy is inert and costs nothing.
+    pub fn paper_default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_steps: 1,
+            max_backoff_steps: 8,
+        }
+    }
+
+    /// No retries at all: every failed judgment dead-letters immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff_steps: 0,
+            max_backoff_steps: 0,
+        }
+    }
+
+    /// Sets the maximum number of retries.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// The backoff before retry number `attempt` (1-based), in physical
+    /// steps: `base · 2^(attempt−1)`, capped at `max_backoff_steps`.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        if attempt == 0 || self.base_backoff_steps == 0 {
+            return 0;
+        }
+        let doubled = self
+            .base_backoff_steps
+            .saturating_mul(1u64.checked_shl(attempt - 1).unwrap_or(u64::MAX));
+        doubled.min(self.max_backoff_steps)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::paper_default()
+    }
+}
+
+/// A unit that exhausted its retries without collecting the judgments it
+/// needed — the platform's record of work it had to give up on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadLetter {
+    /// The failed unit.
+    pub unit: UnitId,
+    /// The pair the unit asked about.
+    pub pair: (ElementId, ElementId),
+    /// The worker class the unit was posted to.
+    pub class: WorkerClass,
+    /// Total attempts made (initial assignment plus retries).
+    pub attempts: u32,
+    /// The logical step the unit was posted in.
+    pub logical_step: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_steps: 1,
+            max_backoff_steps: 8,
+        };
+        assert_eq!(p.backoff(0), 0);
+        assert_eq!(p.backoff(1), 1);
+        assert_eq!(p.backoff(2), 2);
+        assert_eq!(p.backoff(3), 4);
+        assert_eq!(p.backoff(4), 8);
+        assert_eq!(p.backoff(5), 8, "capped");
+        assert_eq!(p.backoff(63), 8, "shift overflow saturates at the cap");
+        assert_eq!(p.backoff(100), 8, "shift overflow saturates at the cap");
+    }
+
+    #[test]
+    fn zero_base_means_no_backoff() {
+        assert_eq!(RetryPolicy::none().backoff(5), 0);
+    }
+
+    #[test]
+    fn dead_letter_serializes() {
+        let dl = DeadLetter {
+            unit: UnitId(3),
+            pair: (ElementId(1), ElementId(2)),
+            class: WorkerClass::Naive,
+            attempts: 4,
+            logical_step: 7,
+        };
+        let json = serde_json::to_string(&dl).unwrap();
+        assert!(json.contains("attempts"), "{json}");
+    }
+}

@@ -59,6 +59,13 @@ pub enum ScheduleError {
         /// Eligible workers available.
         available: usize,
     },
+    /// A retry re-assignment found no eligible worker that has not
+    /// already been handed this unit (a worker never judges the same
+    /// unit twice, even across retries).
+    NoFreshWorkerForUnit {
+        /// The unit that cannot be re-assigned.
+        unit: UnitId,
+    },
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -74,6 +81,10 @@ impl std::fmt::Display for ScheduleError {
             } => write!(
                 f,
                 "unit {unit:?} needs {requested} distinct judgments but only {available} eligible workers exist"
+            ),
+            ScheduleError::NoFreshWorkerForUnit { unit } => write!(
+                f,
+                "no eligible worker remains that has not already been assigned unit {unit:?}"
             ),
         }
     }
@@ -141,6 +152,41 @@ pub fn schedule(
         assignments,
         physical_steps,
     })
+}
+
+/// Picks a fresh worker for a retry of `unit`: eligible (right class, not
+/// `excluded`), and not in `already_assigned` — the workers this unit has
+/// already been handed to, which preserves the distinct-workers-per-unit
+/// invariant across retries. The dealing order rotates by `rotation` like
+/// [`schedule`] so retry load also spreads over the pool.
+///
+/// # Errors
+///
+/// [`ScheduleError::NoEligibleWorkers`] if the class has no eligible
+/// workers at all; [`ScheduleError::NoFreshWorkerForUnit`] if every
+/// eligible worker already touched the unit.
+pub fn reassign(
+    pool: &WorkerPool,
+    class: WorkerClass,
+    excluded: &HashSet<WorkerId>,
+    already_assigned: &HashSet<WorkerId>,
+    unit: UnitId,
+    rotation: usize,
+) -> Result<WorkerId, ScheduleError> {
+    let mut eligible: Vec<WorkerId> = pool
+        .ids_of_class(class)
+        .into_iter()
+        .filter(|w| !excluded.contains(w))
+        .collect();
+    if eligible.is_empty() {
+        return Err(ScheduleError::NoEligibleWorkers { class });
+    }
+    let shift = rotation % eligible.len();
+    eligible.rotate_left(shift);
+    eligible
+        .into_iter()
+        .find(|w| !already_assigned.contains(w))
+        .ok_or(ScheduleError::NoFreshWorkerForUnit { unit })
 }
 
 /// The paper's batch-latency rule in closed form: `m` judgments dealt to
@@ -305,6 +351,72 @@ mod tests {
             5,
             "five rotations must reach five distinct workers"
         );
+    }
+
+    #[test]
+    fn reassign_skips_workers_the_unit_already_saw() {
+        let p = pool(3);
+        let tried: HashSet<WorkerId> = [WorkerId(0), WorkerId(2)].into();
+        let w = reassign(
+            &p,
+            WorkerClass::Naive,
+            &HashSet::new(),
+            &tried,
+            UnitId(0),
+            0,
+        )
+        .unwrap();
+        assert_eq!(w, WorkerId(1));
+    }
+
+    #[test]
+    fn reassign_respects_exclusions_and_rotation() {
+        let p = pool(4);
+        let excluded: HashSet<WorkerId> = [WorkerId(1)].into();
+        // Eligible list is [0, 2, 3]; rotation 2 starts the deal at its
+        // third entry, worker 3.
+        let w = reassign(
+            &p,
+            WorkerClass::Naive,
+            &excluded,
+            &HashSet::new(),
+            UnitId(0),
+            2,
+        )
+        .unwrap();
+        assert_eq!(w, WorkerId(3));
+    }
+
+    #[test]
+    fn reassign_errors_when_every_worker_already_touched_the_unit() {
+        let p = pool(2);
+        let tried: HashSet<WorkerId> = [WorkerId(0), WorkerId(1)].into();
+        let err = reassign(
+            &p,
+            WorkerClass::Naive,
+            &HashSet::new(),
+            &tried,
+            UnitId(7),
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::NoFreshWorkerForUnit { unit: UnitId(7) });
+        assert!(err.to_string().contains("not already been assigned"));
+    }
+
+    #[test]
+    fn reassign_errors_on_an_empty_class() {
+        let p = pool(2);
+        let err = reassign(
+            &p,
+            WorkerClass::Expert,
+            &HashSet::new(),
+            &HashSet::new(),
+            UnitId(0),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoEligibleWorkers { .. }));
     }
 
     #[test]

@@ -173,6 +173,64 @@ proptest! {
         prop_assert!(batched.physical_steps <= sp.physical_clock());
     }
 
+    /// Under arbitrary fault pressure, retry re-assignment never hands a
+    /// unit back to a worker who already judged it — the
+    /// distinct-workers-per-unit invariant survives recovery — and every
+    /// performed judgment is billed.
+    #[test]
+    fn retry_reassignment_never_repeats_a_worker(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        abandon in 0.0f64..0.4,
+        no_answer in 0.0f64..0.4,
+        timeout_steps in 1u64..6,
+        judgments in 1u32..3,
+    ) {
+        use crowd_platform::{FaultConfig, LatencyModel, RetryPolicy};
+        use std::collections::HashMap;
+
+        let instance = Instance::new((0..12).map(|i| i as f64 * 5.0).collect());
+        let config = PlatformConfig::paper_default()
+            .without_gold()
+            .with_judgments_per_unit(judgments)
+            .with_faults(
+                FaultConfig::none()
+                    .with_abandon(abandon)
+                    .with_no_answer(no_answer)
+                    .with_latency(LatencyModel::Geometric { p: 0.5, cap: 12 })
+                    .with_timeout_steps(timeout_steps),
+                fault_seed,
+            )
+            .with_retry(RetryPolicy::paper_default());
+        let mut platform = Platform::new(
+            instance,
+            pool_with(10, 0),
+            config,
+            StdRng::seed_from_u64(seed),
+        );
+        for round in 0..8u32 {
+            let job = Job::from_pairs(
+                &[
+                    (ElementId(round % 6), ElementId(6 + round % 6)),
+                    (ElementId((round + 1) % 6), ElementId(11)),
+                ],
+                judgments,
+            );
+            if let Ok(result) = platform.run_job(&job, WorkerClass::Naive) {
+                let mut seen: HashMap<_, HashSet<_>> = HashMap::new();
+                for j in &result.judgments {
+                    prop_assert!(
+                        seen.entry(j.unit).or_default().insert(j.worker),
+                        "unit {:?} judged twice by {} (round {round})",
+                        j.unit,
+                        j.worker
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(platform.ledger().judgments(), platform.counts().total());
+    }
+
     /// A persistent spammer in a gold-rich platform eventually gets
     /// excluded, regardless of seed.
     #[test]
