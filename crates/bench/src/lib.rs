@@ -8,9 +8,15 @@
 //! the same code paths as the `repro` binary at a reduced scale, so their
 //! wall-clock numbers double as a regression guard on the experiment
 //! harness itself.
+//!
+//! The crate also ships the `bench` binary (see [`pipeline`]): a
+//! reproducible benchmark pipeline whose deterministic metadata half is
+//! committed as `BENCH_results.json` and diffed in CI.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod pipeline;
 
 use crowd_core::element::Instance;
 use crowd_core::model::{ExpertModel, TiePolicy};

@@ -1,0 +1,394 @@
+//! The reproducible benchmark pipeline behind the `bench` binary.
+//!
+//! Times the three hot paths of the reproduction — sequential Phase-1
+//! filtering, the [`parallel_filter_candidates`] fan-out, 2-MaxFind on the
+//! Phase-1 survivors, and the full two-phase run — across catalog-size
+//! tiers, and assembles a [`BenchReport`] that the binary writes as
+//! `BENCH_results.json`.
+//!
+//! The report is split in two on purpose:
+//!
+//! * [`BenchMeta`] holds everything deterministic — comparison counts,
+//!   rounds, survivor/peak candidate-set sizes and the `⌈m/w⌉`
+//!   physical-step estimate. Every RNG is seeded from the report seed (per
+//!   group via [`group_seed`] on the parallel path), so this half is
+//!   **byte-identical at any `--jobs` count**; CI diffs it against the
+//!   committed baseline and fails on comparison-count drift.
+//! * [`BenchTimings`] holds wall-clock numbers and throughput. These vary
+//!   run to run and are informational only.
+
+use crowd_core::algorithms::{
+    expert_max_find, filter_candidates, two_max_find, ExpertMaxConfig, FilterConfig, FilterOutcome,
+};
+use crowd_core::element::Instance;
+use crowd_core::model::{ExpertModel, TiePolicy, WorkerClass};
+use crowd_core::oracle::{ComparisonCounts, SimulatedOracle};
+use crowd_experiments::runner::nominal_physical_steps;
+use crowd_experiments::{group_seed, parallel_filter_candidates};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Default report seed (the binary's `--seed` default).
+pub const DEFAULT_SEED: u64 = 0xB0A7;
+
+/// One catalog-size tier of the benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct TierSpec {
+    /// Catalog size `n`.
+    pub n: usize,
+    /// Planted `un(n)`.
+    pub un: usize,
+    /// Planted `ue(n)`.
+    pub ue: usize,
+}
+
+/// The tier for a catalog size `n`, at the pipeline's default worker
+/// parameters: `un = ⌈n^(1/3)⌉` (so Phase 1 has real work at every size)
+/// and `ue = max(2, un/4)`.
+pub fn tier_for(n: usize) -> TierSpec {
+    let un = (n as f64).cbrt().ceil() as usize;
+    TierSpec {
+        n,
+        un,
+        ue: (un / 4).max(2),
+    }
+}
+
+/// The tiers of a named tier set: `small` is n ∈ {10³, 10⁴} (the CI smoke
+/// tier), `full` adds n = 10⁵. Unknown names return `None`.
+pub fn tiers(name: &str) -> Option<Vec<TierSpec>> {
+    match name {
+        "small" => Some(vec![tier_for(1_000), tier_for(10_000)]),
+        "full" => Some(vec![tier_for(1_000), tier_for(10_000), tier_for(100_000)]),
+        _ => None,
+    }
+}
+
+/// Deterministic statistics of one benchmark section.
+#[derive(Debug, Clone, Serialize)]
+pub struct SectionMeta {
+    /// Naïve comparisons performed.
+    pub naive_comparisons: u64,
+    /// Expert comparisons performed.
+    pub expert_comparisons: u64,
+    /// Rounds executed (filter rounds, or 2-MaxFind elimination rounds).
+    pub rounds: usize,
+    /// Peak candidate-set size: the largest working set after the first
+    /// shrink — i.e. the biggest survivor set any later round (or the
+    /// expert phase) had to carry.
+    pub peak_candidates: usize,
+    /// Elements alive when the section finished (1 for a max-find).
+    pub survivors: usize,
+    /// Physical-step estimate under the paper's `⌈m/w⌉` batch-latency rule
+    /// with the nominal pools of [`crowd_experiments::runner`].
+    pub physical_steps: u64,
+}
+
+/// Wall-clock measurements of one section (informational, non-deterministic).
+#[derive(Debug, Clone, Serialize)]
+pub struct SectionTiming {
+    /// Wall-clock time, nanoseconds.
+    pub wall_nanos: u64,
+    /// Comparisons answered per second of wall time.
+    pub comparisons_per_sec: f64,
+}
+
+/// Deterministic half of one tier's results.
+#[derive(Debug, Clone, Serialize)]
+pub struct TierMeta {
+    /// Catalog size.
+    pub n: usize,
+    /// Planted `un(n)`.
+    pub un: usize,
+    /// Planted `ue(n)`.
+    pub ue: usize,
+    /// Sequential arena filter ([`filter_candidates`]).
+    pub filter: SectionMeta,
+    /// Parallel filter ([`parallel_filter_candidates`]).
+    pub filter_parallel: SectionMeta,
+    /// 2-MaxFind (expert class) on the sequential filter's survivors.
+    pub expert: SectionMeta,
+    /// Full two-phase [`expert_max_find`] run.
+    pub full: SectionMeta,
+}
+
+/// Wall-clock half of one tier's results.
+#[derive(Debug, Clone, Serialize)]
+pub struct TierTiming {
+    /// Catalog size (to pair with the matching [`TierMeta`]).
+    pub n: usize,
+    /// Sequential filter timing.
+    pub filter: SectionTiming,
+    /// Parallel filter timing.
+    pub filter_parallel: SectionTiming,
+    /// Expert-phase timing.
+    pub expert: SectionTiming,
+    /// Full two-phase timing.
+    pub full: SectionTiming,
+}
+
+/// The deterministic half of a [`BenchReport`] — the CI baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchMeta {
+    /// Report schema version.
+    pub schema: u32,
+    /// Tier-set label (`"small"` or `"full"`).
+    pub tier: String,
+    /// Seed every section derives its RNG streams from.
+    pub seed: u64,
+    /// Per-tier deterministic statistics.
+    pub tiers: Vec<TierMeta>,
+}
+
+/// The wall-clock half of a [`BenchReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchTimings {
+    /// Worker threads the run was allowed to use.
+    pub jobs: usize,
+    /// Per-tier wall-clock measurements.
+    pub tiers: Vec<TierTiming>,
+}
+
+/// A full benchmark report, as written to `BENCH_results.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Deterministic statistics (byte-identical at any job count).
+    pub meta: BenchMeta,
+    /// Wall-clock measurements (informational).
+    pub timings: BenchTimings,
+}
+
+impl BenchReport {
+    /// The report as pretty-printed JSON, newline-terminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (the report is a plain value tree, so
+    /// it cannot).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes") + "\n"
+    }
+
+    /// Only the deterministic [`BenchMeta`] half as pretty-printed JSON —
+    /// what the determinism test and the CI baseline check compare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot; see [`Self::to_json`]).
+    pub fn metadata_json(&self) -> String {
+        serde_json::to_string_pretty(&self.meta).expect("metadata serializes") + "\n"
+    }
+}
+
+/// Runs every tier and assembles the report. `label` is the tier-set name
+/// recorded in the metadata (use [`tiers`] to resolve the standard sets).
+pub fn run_bench(label: &str, specs: &[TierSpec], seed: u64) -> BenchReport {
+    let mut metas = Vec::with_capacity(specs.len());
+    let mut timings = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let (meta, timing) = run_tier(*spec, seed);
+        metas.push(meta);
+        timings.push(timing);
+    }
+    BenchReport {
+        meta: BenchMeta {
+            schema: 1,
+            tier: label.to_string(),
+            seed,
+            tiers: metas,
+        },
+        timings: BenchTimings {
+            jobs: crowd_experiments::engine::jobs(),
+            tiers: timings,
+        },
+    }
+}
+
+/// Runs one tier: plant the instance, then time each section on a fresh
+/// oracle seeded from `seed` (so sections are independent and the metadata
+/// does not depend on section order or job count).
+pub fn run_tier(spec: TierSpec, seed: u64) -> (TierMeta, TierTiming) {
+    let (instance, model) = setup(spec, seed);
+    let ids = instance.ids();
+    let cfg = FilterConfig::new(spec.un);
+
+    // Sequential arena filter.
+    let mut oracle = fresh_oracle(&instance, &model, seed ^ 1);
+    let started = Instant::now();
+    let seq = filter_candidates(&mut oracle, &ids, &cfg);
+    let filter_timing = timing_of(started, &seq.comparisons);
+    let seq_meta = filter_meta(&seq);
+
+    // Parallel filter: one oracle per (round, group), seeded from the
+    // group coordinates — byte-identical at any job count.
+    let started = Instant::now();
+    let par = parallel_filter_candidates(
+        |round, group| fresh_oracle(&instance, &model, group_seed(seed, round, group)),
+        &ids,
+        &cfg,
+    );
+    let par_timing = timing_of(started, &par.comparisons);
+    let par_meta = filter_meta(&par);
+
+    // Expert phase (2-MaxFind) on the sequential filter's survivors.
+    let mut oracle = fresh_oracle(&instance, &model, seed ^ 2);
+    let started = Instant::now();
+    let expert = two_max_find(&mut oracle, WorkerClass::Expert, &seq.survivors);
+    let expert_timing = timing_of(started, &expert.comparisons);
+    let expert_meta = SectionMeta {
+        naive_comparisons: expert.comparisons.naive,
+        expert_comparisons: expert.comparisons.expert,
+        rounds: expert.rounds,
+        peak_candidates: seq.survivors.len(),
+        survivors: 1,
+        physical_steps: nominal_physical_steps(&expert.comparisons),
+    };
+
+    // Full two-phase run.
+    let mut oracle = fresh_oracle(&instance, &model, seed ^ 3);
+    let mut rng = StdRng::seed_from_u64(seed ^ 4);
+    let started = Instant::now();
+    let full = expert_max_find(&mut oracle, &ids, &ExpertMaxConfig::new(spec.un), &mut rng);
+    let full_timing = timing_of(started, &full.total_comparisons);
+    let full_meta = SectionMeta {
+        naive_comparisons: full.total_comparisons.naive,
+        expert_comparisons: full.total_comparisons.expert,
+        rounds: full.phase1.rounds,
+        peak_candidates: peak_after_first_round(&full.phase1.sizes),
+        survivors: 1,
+        physical_steps: nominal_physical_steps(&full.total_comparisons),
+    };
+
+    (
+        TierMeta {
+            n: spec.n,
+            un: spec.un,
+            ue: spec.ue,
+            filter: seq_meta,
+            filter_parallel: par_meta,
+            expert: expert_meta,
+            full: full_meta,
+        },
+        TierTiming {
+            n: spec.n,
+            filter: filter_timing,
+            filter_parallel: par_timing,
+            expert: expert_timing,
+            full: full_timing,
+        },
+    )
+}
+
+/// Plants the tier's instance and worker model from the report seed.
+fn setup(spec: TierSpec, seed: u64) -> (Instance, ExpertModel) {
+    let mut rng = StdRng::seed_from_u64(seed ^ (spec.n as u64));
+    let planted = crowd_datasets::synthetic::planted_instance(spec.n, spec.un, spec.ue, &mut rng);
+    let model = ExpertModel::exact(planted.delta_n, planted.delta_e, TiePolicy::UniformRandom);
+    (planted.instance, model)
+}
+
+/// A simulated oracle over the planted instance with its own RNG stream.
+fn fresh_oracle(instance: &Instance, model: &ExpertModel, seed: u64) -> SimulatedOracle<StdRng> {
+    SimulatedOracle::new(instance.clone(), model.clone(), StdRng::seed_from_u64(seed))
+}
+
+/// [`SectionMeta`] of a filter outcome.
+fn filter_meta(out: &FilterOutcome) -> SectionMeta {
+    SectionMeta {
+        naive_comparisons: out.comparisons.naive,
+        expert_comparisons: out.comparisons.expert,
+        rounds: out.rounds,
+        peak_candidates: peak_after_first_round(&out.sizes),
+        survivors: out.survivors.len(),
+        physical_steps: nominal_physical_steps(&out.comparisons),
+    }
+}
+
+/// The largest survivor set after any completed round (`sizes[0]` is the
+/// input size `n`; with no rounds that trivial value is the peak).
+fn peak_after_first_round(sizes: &[usize]) -> usize {
+    sizes[1..].iter().copied().max().unwrap_or(sizes[0])
+}
+
+/// Timing of a section that performed `counts` comparisons since `started`.
+fn timing_of(started: Instant, counts: &ComparisonCounts) -> SectionTiming {
+    let nanos = started.elapsed().as_nanos() as u64;
+    let total = counts.naive + counts.expert;
+    let comparisons_per_sec = if nanos == 0 {
+        0.0
+    } else {
+        total as f64 * 1e9 / nanos as f64
+    };
+    SectionTiming {
+        wall_nanos: nanos,
+        comparisons_per_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_experiments::engine;
+
+    fn tiny() -> Vec<TierSpec> {
+        vec![TierSpec {
+            n: 240,
+            un: 6,
+            ue: 2,
+        }]
+    }
+
+    #[test]
+    fn metadata_is_byte_identical_across_job_counts() {
+        engine::set_jobs(1);
+        let serial = run_bench("tiny", &tiny(), 9);
+        engine::set_jobs(4);
+        let parallel = run_bench("tiny", &tiny(), 9);
+        engine::set_jobs(0);
+        assert_eq!(serial.metadata_json(), parallel.metadata_json());
+        // The wall-clock half is allowed to differ; the jobs field must.
+        assert_eq!(serial.timings.jobs, 1);
+        assert_eq!(parallel.timings.jobs, 4);
+    }
+
+    #[test]
+    fn report_json_carries_both_halves() {
+        let report = run_bench("tiny", &tiny(), 5);
+        let parsed = serde_json::from_str_value(&report.to_json()).expect("valid JSON");
+        let meta: serde::Value = serde::field(&parsed, "meta").expect("meta half");
+        let tiers: Vec<serde::Value> = serde::field(&meta, "tiers").expect("tier list");
+        assert_eq!(tiers.len(), 1);
+        let filter: serde::Value = serde::field(&tiers[0], "filter").expect("filter section");
+        let naive: u64 = serde::field(&filter, "naive_comparisons").expect("naive count");
+        assert!(naive > 0, "the filter must do naive work");
+        let steps: u64 = serde::field(&filter, "physical_steps").expect("physical steps");
+        assert!(steps > 0);
+        let timings: serde::Value = serde::field(&parsed, "timings").expect("timings half");
+        let trs: Vec<serde::Value> = serde::field(&timings, "tiers").expect("timing tiers");
+        assert_eq!(trs.len(), 1);
+    }
+
+    #[test]
+    fn sections_agree_on_the_planted_instance() {
+        let (meta, _) = run_tier(tier_for(600), 11);
+        // Both filter paths must shrink below 2·un and keep an expert-phase
+        // workload of at least one element.
+        assert!(meta.filter.survivors < 2 * meta.un);
+        assert!(meta.filter_parallel.survivors < 2 * meta.un);
+        assert!(meta.filter.survivors >= 1);
+        // The full run's totals dominate its phase-1 share.
+        assert!(meta.full.naive_comparisons >= meta.filter.naive_comparisons / 2);
+        assert!(meta.full.expert_comparisons > 0);
+    }
+
+    #[test]
+    fn named_tier_sets_resolve() {
+        assert_eq!(tiers("small").expect("small set").len(), 2);
+        assert_eq!(tiers("full").expect("full set").len(), 3);
+        assert!(tiers("bogus").is_none());
+        let t = tier_for(1_000);
+        assert_eq!((t.un, t.ue), (10, 2));
+    }
+}

@@ -24,10 +24,8 @@
 use crate::element::ElementId;
 use crate::model::WorkerClass;
 use crate::oracle::{ComparisonCounts, ComparisonOracle, FuseOracle, OracleError};
-use crate::tournament::Tournament;
 use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::collections::HashSet;
 
 /// Configuration for the Phase-1 filter.
@@ -110,43 +108,89 @@ pub fn filter_candidates<O: ComparisonOracle>(
     let start = oracle.counts();
     let un = config.un;
     let g = 4 * un;
-    let mut survivors: Vec<ElementId> = elements.to_vec();
+    let n = elements.len();
+
+    // The arena: elements are referred to by their dense position in the
+    // input slice for the rest of the run. `wins` is one flat tally shared
+    // by every group (a group resets only its own slots before playing),
+    // and `losses[i]` is the capped set of distinct opponents slot `i` has
+    // lost to (Appendix A) — capped at `un + 1` entries because the pruning
+    // predicate `|losses| <= un` cannot change after that.
+    let ids = elements;
+    let mut wins: Vec<u32> = vec![0; n];
+    let mut losses: Vec<Vec<u32>> = if config.track_global_losses {
+        vec![Vec::new(); n]
+    } else {
+        Vec::new()
+    };
+
+    let mut survivors: Vec<u32> = (0..n as u32).collect();
     let mut sizes = vec![survivors.len()];
     let mut rounds = 0usize;
-
-    // Appendix A: cumulative distinct losses per element across rounds.
-    // Keyed by element; the set holds distinct opponents lost to.
-    let mut losses: HashMap<ElementId, HashSet<ElementId>> = HashMap::new();
+    let mut next: Vec<u32> = Vec::new();
+    let mut champions: Vec<u32> = Vec::new();
 
     while survivors.len() >= 2 * un {
         oracle.observe(TraceEvent::RoundStart(rounds as u32));
-        let mut next: Vec<ElementId> = Vec::with_capacity(survivors.len() / 2 + un);
-        let mut champions: Vec<ElementId> = Vec::new();
-        let chunks: Vec<&[ElementId]> = survivors.chunks(g).collect();
-        let last = chunks.len() - 1;
+        next.clear();
+        champions.clear();
+        let groups = survivors.len().div_ceil(g);
 
-        for (ci, chunk) in chunks.iter().enumerate() {
-            let is_last = ci == last;
-            if is_last && chunk.len() <= un {
+        for ci in 0..groups {
+            let group = &survivors[ci * g..((ci + 1) * g).min(survivors.len())];
+            let is_last = ci == groups - 1;
+            if is_last && group.len() <= un {
                 // Too small a group to certify losses; keep it whole.
-                next.extend_from_slice(chunk);
-                champions.extend_from_slice(chunk);
+                next.extend_from_slice(group);
+                champions.extend_from_slice(group);
                 continue;
             }
-            let t = Tournament::all_play_all(oracle, WorkerClass::Naive, chunk);
-            let threshold = (chunk.len() - un) as u32;
-            let winners = t.winners_with_at_least(threshold);
-            if config.track_global_losses {
-                record_losses(&t, &mut losses);
+            for &i in group {
+                wins[i as usize] = 0;
             }
-            champions.extend(t.champion());
-            next.extend(winners);
+            for a in 0..group.len() {
+                for b in (a + 1)..group.len() {
+                    let (i, j) = (group[a], group[b]);
+                    let winner =
+                        oracle.compare(WorkerClass::Naive, ids[i as usize], ids[j as usize]);
+                    let (wi, li) = if winner == ids[i as usize] {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    };
+                    wins[wi as usize] += 1;
+                    if config.track_global_losses {
+                        let set = &mut losses[li as usize];
+                        if set.len() <= un && !set.contains(&wi) {
+                            set.push(wi);
+                        }
+                    }
+                }
+            }
+            // A smaller last group is filtered with its own size: Lemma 3
+            // needs "at most un(n) losses within the group", i.e. at least
+            // |G| − un wins, not g − un.
+            let threshold = (group.len() - un) as u32;
+            let before = next.len();
+            next.extend(
+                group
+                    .iter()
+                    .copied()
+                    .filter(|&i| wins[i as usize] >= threshold),
+            );
+            debug_assert!(
+                next.len() - before < 2 * un,
+                "Lemma 2 violated: {} winners with >= {threshold} wins among {}",
+                next.len() - before,
+                group.len()
+            );
+            champions.extend(champion_of(group, &wins));
         }
 
         if config.track_global_losses {
             // Lemma 1: an element with more than `un` distinct losses cannot
             // be the maximum in a global all-play-all tournament.
-            next.retain(|e| losses.get(e).map_or(0, HashSet::len) <= un);
+            next.retain(|&i| losses[i as usize].len() <= un);
         }
 
         if next.is_empty() {
@@ -156,25 +200,40 @@ pub fn filter_candidates<O: ComparisonOracle>(
             // regime, so degrade gracefully — keep each group's champion
             // instead of returning an empty candidate set. Section 5.2
             // studies exactly this regime.
-            next = champions;
+            std::mem::swap(&mut next, &mut champions);
         }
 
         assert!(
             next.len() < survivors.len(),
             "filter round failed to shrink the survivor set (Lemma 2 violated)"
         );
-        survivors = next;
+        std::mem::swap(&mut survivors, &mut next);
         sizes.push(survivors.len());
         oracle.observe(TraceEvent::RoundEnd(rounds as u32));
         rounds += 1;
     }
 
     FilterOutcome {
-        survivors,
+        survivors: survivors.into_iter().map(|i| ids[i as usize]).collect(),
         rounds,
         sizes,
         comparisons: oracle.counts() - start,
     }
+}
+
+/// The group member with the most wins (ties: earliest in group order), or
+/// `None` for an empty group — the arena twin of
+/// [`Tournament::champion`](crate::tournament::Tournament::champion).
+fn champion_of(group: &[u32], wins: &[u32]) -> Option<u32> {
+    let (mut best, mut best_wins) = (None, 0u32);
+    for &i in group {
+        let w = wins[i as usize];
+        if best.is_none() || w > best_wins {
+            best = Some(i);
+            best_wins = w;
+        }
+    }
+    best
 }
 
 /// Fallible twin of [`filter_candidates`]: surfaces the first
@@ -200,14 +259,6 @@ pub fn try_filter_candidates<O: ComparisonOracle>(
     match fuse.take_error() {
         Some(err) => Err(err),
         None => Ok(out),
-    }
-}
-
-/// Records, for every tournament game, the winner into the loser's
-/// distinct-opponent loss set.
-fn record_losses(t: &Tournament, losses: &mut HashMap<ElementId, HashSet<ElementId>>) {
-    for &(winner, loser) in t.results() {
-        losses.entry(loser).or_default().insert(winner);
     }
 }
 
@@ -277,6 +328,27 @@ mod tests {
         assert_eq!(out.survivors, inst.ids());
         assert_eq!(out.rounds, 0);
         assert_eq!(out.comparisons.total(), 0);
+    }
+
+    #[test]
+    fn short_final_group_threshold_scales_to_group_size() {
+        // n = 20, un = 3 → g = 12: the last group holds only 8 elements.
+        // Lemma 3 requires "at most un(n) losses within the group", so the
+        // survival threshold there is |G| − un = 5 wins. A threshold built
+        // from the full group size (g − un = 9) is unreachable in an
+        // 8-element group and would evict the champion planted at id 15.
+        let mut values: Vec<f64> = (0..20).map(f64::from).collect();
+        values[15] = 1000.0;
+        let inst = Instance::new(values);
+        assert_eq!(inst.max_element(), ElementId(15));
+        let mut o = PerfectOracle::new(inst.clone());
+        let out = filter_candidates(&mut o, &inst.ids(), &FilterConfig::new(3));
+        assert!(
+            out.survivors.contains(&ElementId(15)),
+            "champion in the short final group was evicted: {:?}",
+            out.survivors
+        );
+        assert!(out.survivors.len() < 2 * 3);
     }
 
     #[test]

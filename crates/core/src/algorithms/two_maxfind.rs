@@ -24,9 +24,8 @@
 use crate::element::ElementId;
 use crate::model::WorkerClass;
 use crate::oracle::{ComparisonCounts, ComparisonOracle};
-use crate::tournament::Tournament;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Result of a 2-MaxFind run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,41 +41,99 @@ pub struct TwoMaxFindOutcome {
     pub comparisons: ComparisonCounts,
 }
 
-/// A memoizing comparison wrapper local to one algorithm run.
+/// Candidate counts up to this size memoize into a flat `s × s` byte table
+/// (one byte per unordered pair, ≤ 16 MiB); larger runs fall back to a
+/// hash map so memory stays `O(comparisons)` rather than `O(s²)`.
+const DENSE_MEMO_LIMIT: usize = 4096;
+
+/// A memoizing comparison layer local to one algorithm run.
+///
+/// Elements are addressed by their dense index into the input slice, so
+/// the common case is a single flat-table probe per comparison — no
+/// hashing, no per-pair allocation.
 struct RunMemo<'a, O> {
     oracle: &'a mut O,
     class: WorkerClass,
-    memo: HashMap<(ElementId, ElementId), ElementId>,
+    ids: &'a [ElementId],
+    /// Flat memo for small runs: cell `(lo, hi)` (with `lo < hi`) holds
+    /// 0 = unknown, 1 = `lo` won, 2 = `hi` won.
+    dense: Vec<u8>,
+    /// Pair memo for runs past [`DENSE_MEMO_LIMIT`]: unordered index pair
+    /// → winning index.
+    sparse: HashMap<(u32, u32), u32>,
 }
 
 impl<'a, O: ComparisonOracle> RunMemo<'a, O> {
-    fn new(oracle: &'a mut O, class: WorkerClass) -> Self {
+    fn new(oracle: &'a mut O, class: WorkerClass, ids: &'a [ElementId]) -> Self {
+        let dense = if ids.len() <= DENSE_MEMO_LIMIT {
+            vec![0u8; ids.len() * ids.len()]
+        } else {
+            Vec::new()
+        };
         RunMemo {
             oracle,
             class,
-            memo: HashMap::new(),
+            ids,
+            dense,
+            sparse: HashMap::new(),
         }
     }
 
-    fn compare(&mut self, k: ElementId, j: ElementId) -> ElementId {
-        let key = if k < j { (k, j) } else { (j, k) };
-        if let Some(&w) = self.memo.get(&key) {
-            return w;
+    /// Compares the candidates at indices `a` and `b`, returning the
+    /// winning index; asks the oracle only for pairs not seen this run.
+    fn compare(&mut self, a: u32, b: u32) -> u32 {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if self.dense.is_empty() {
+            if let Some(&w) = self.sparse.get(&(lo, hi)) {
+                return w;
+            }
+        } else {
+            match self.dense[lo as usize * self.ids.len() + hi as usize] {
+                1 => return lo,
+                2 => return hi,
+                _ => {}
+            }
         }
-        let w = self.oracle.compare(self.class, k, j);
-        self.memo.insert(key, w);
-        w
+        let w = self
+            .oracle
+            .compare(self.class, self.ids[a as usize], self.ids[b as usize]);
+        let wi = if w == self.ids[a as usize] { a } else { b };
+        if self.dense.is_empty() {
+            self.sparse.insert((lo, hi), wi);
+        } else {
+            self.dense[lo as usize * self.ids.len() + hi as usize] = if wi == lo { 1 } else { 2 };
+        }
+        wi
+    }
+
+    /// All-play-all among `group` (candidate indices), tallying wins into
+    /// `wins` (cleared and resized to the group length).
+    fn play_all(&mut self, group: &[u32], wins: &mut Vec<u32>) {
+        wins.clear();
+        wins.resize(group.len(), 0);
+        for a in 0..group.len() {
+            for b in (a + 1)..group.len() {
+                let w = self.compare(group[a], group[b]);
+                if w == group[a] {
+                    wins[a] += 1;
+                } else {
+                    wins[b] += 1;
+                }
+            }
+        }
     }
 }
 
-impl<O: ComparisonOracle> ComparisonOracle for RunMemo<'_, O> {
-    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
-        debug_assert_eq!(class, self.class, "RunMemo is single-class");
-        RunMemo::compare(self, k, j)
+/// Position of the most-winning entry (ties: the earliest, so "ties broken
+/// arbitrarily" is at least deterministic). `wins` must be non-empty.
+fn champion_position(wins: &[u32]) -> usize {
+    let mut best = 0usize;
+    for (i, &w) in wins.iter().enumerate().skip(1) {
+        if w > wins[best] {
+            best = i;
+        }
     }
-    fn counts(&self) -> ComparisonCounts {
-        self.oracle.counts()
-    }
+    best
 }
 
 /// Runs 2-MaxFind over `elements`, with all comparisons performed by
@@ -100,29 +157,40 @@ pub fn two_max_find<O: ComparisonOracle>(
     elements: &[ElementId],
 ) -> TwoMaxFindOutcome {
     assert!(!elements.is_empty(), "2-MaxFind needs at least one element");
+    assert!(
+        elements.iter().collect::<HashSet<_>>().len() == elements.len(),
+        "duplicate player in tournament"
+    );
     let start = oracle.counts();
     let s = elements.len();
     let t = (s as f64).sqrt().ceil() as usize;
-    let mut memo = RunMemo::new(oracle, class);
+    let mut memo = RunMemo::new(oracle, class, elements);
 
-    let mut candidates: Vec<ElementId> = elements.to_vec();
+    let mut candidates: Vec<u32> = (0..s as u32).collect();
     let mut rounds = 0usize;
+    let mut wins: Vec<u32> = Vec::new();
     while candidates.len() > t {
         // "Pick an arbitrary set of ⌈√s⌉ candidate elements": the first t.
-        let group: Vec<ElementId> = candidates[..t].to_vec();
-        let tour = Tournament::all_play_all(&mut memo, class, &group);
-        let x = tour.champion().expect("group is non-empty");
+        let group: Vec<u32> = candidates[..t].to_vec();
+        memo.play_all(&group, &mut wins);
+        let x = group[champion_position(&wins)];
         // Eliminate every candidate that loses to x (x keeps itself).
         candidates.retain(|&e| e == x || memo.compare(x, e) == e);
         rounds += 1;
     }
 
-    let final_tour = Tournament::all_play_all(&mut memo, class, &candidates);
-    let winner = final_tour.champion().expect("candidates are non-empty");
+    memo.play_all(&candidates, &mut wins);
+    // The "ranking of the last round": decreasing wins, ties by play order.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
+    let final_ranking: Vec<(ElementId, u32)> = order
+        .into_iter()
+        .map(|i| (elements[candidates[i] as usize], wins[i]))
+        .collect();
     TwoMaxFindOutcome {
-        winner,
+        winner: final_ranking[0].0,
         rounds,
-        final_ranking: final_tour.ranking(),
+        final_ranking,
         comparisons: oracle.counts() - start,
     }
 }

@@ -1,0 +1,224 @@
+//! Differential test of the arena-based Phase-1 filter.
+//!
+//! [`filter_candidates`] was rewritten from a clone-heavy
+//! `Tournament`/`HashMap` implementation to an index arena with flat win
+//! tallies. The pre-refactor implementation is retained *verbatim* below
+//! as [`reference_filter_candidates`], and the property test drives both
+//! through recording oracles: for random instances, thresholds, tie
+//! policies and seeds — with and without the Appendix A global-loss
+//! optimization — the rewrite must issue the **same comparison sequence**
+//! (same pairs, same order, same argument order) and produce the same
+//! survivor set, round count, size trace and comparison tally.
+
+use crowd_core::algorithms::{filter_candidates, FilterConfig, FilterOutcome};
+use crowd_core::element::{ElementId, Instance};
+use crowd_core::model::{ExpertModel, TiePolicy, WorkerClass};
+use crowd_core::oracle::{
+    ComparisonCounts, ComparisonOracle, OracleError, PerfectOracle, SimulatedOracle,
+};
+use crowd_core::tournament::Tournament;
+use crowd_core::trace::TraceEvent;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// Decorator recording every query (class and arguments, in caller order)
+/// on its way to the inner oracle.
+struct RecordingOracle<O> {
+    inner: O,
+    queries: Vec<(WorkerClass, ElementId, ElementId)>,
+}
+
+impl<O> RecordingOracle<O> {
+    fn new(inner: O) -> Self {
+        RecordingOracle {
+            inner,
+            queries: Vec::new(),
+        }
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for RecordingOracle<O> {
+    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+        self.queries.push((class, k, j));
+        self.inner.compare(class, k, j)
+    }
+
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, OracleError> {
+        self.queries.push((class, k, j));
+        self.inner.try_compare(class, k, j)
+    }
+
+    fn counts(&self) -> ComparisonCounts {
+        self.inner.counts()
+    }
+
+    fn observe(&mut self, event: TraceEvent) {
+        self.inner.observe(event);
+    }
+}
+
+/// The pre-refactor Algorithm 2, verbatim (commit `15e561a`), as the
+/// reference the arena rewrite is diffed against.
+fn reference_filter_candidates<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    config: &FilterConfig,
+) -> FilterOutcome {
+    assert!(
+        config.un >= 1,
+        "un(n) >= 1: the maximum is indistinguishable from itself"
+    );
+
+    let start = oracle.counts();
+    let un = config.un;
+    let g = 4 * un;
+    let mut survivors: Vec<ElementId> = elements.to_vec();
+    let mut sizes = vec![survivors.len()];
+    let mut rounds = 0usize;
+
+    // Appendix A: cumulative distinct losses per element across rounds.
+    let mut losses: HashMap<ElementId, HashSet<ElementId>> = HashMap::new();
+
+    while survivors.len() >= 2 * un {
+        oracle.observe(TraceEvent::RoundStart(rounds as u32));
+        let mut next: Vec<ElementId> = Vec::with_capacity(survivors.len() / 2 + un);
+        let mut champions: Vec<ElementId> = Vec::new();
+        let chunks: Vec<&[ElementId]> = survivors.chunks(g).collect();
+        let last = chunks.len() - 1;
+
+        for (ci, chunk) in chunks.iter().enumerate() {
+            let is_last = ci == last;
+            if is_last && chunk.len() <= un {
+                next.extend_from_slice(chunk);
+                champions.extend_from_slice(chunk);
+                continue;
+            }
+            let t = Tournament::all_play_all(oracle, WorkerClass::Naive, chunk);
+            let threshold = (chunk.len() - un) as u32;
+            let winners = t.winners_with_at_least(threshold);
+            if config.track_global_losses {
+                record_losses(&t, &mut losses);
+            }
+            champions.extend(t.champion());
+            next.extend(winners);
+        }
+
+        if config.track_global_losses {
+            next.retain(|e| losses.get(e).map_or(0, HashSet::len) <= un);
+        }
+
+        if next.is_empty() {
+            next = champions;
+        }
+
+        assert!(
+            next.len() < survivors.len(),
+            "filter round failed to shrink the survivor set (Lemma 2 violated)"
+        );
+        survivors = next;
+        sizes.push(survivors.len());
+        oracle.observe(TraceEvent::RoundEnd(rounds as u32));
+        rounds += 1;
+    }
+
+    FilterOutcome {
+        survivors,
+        rounds,
+        sizes,
+        comparisons: oracle.counts() - start,
+    }
+}
+
+/// Pre-refactor loss recording, verbatim.
+fn record_losses(t: &Tournament, losses: &mut HashMap<ElementId, HashSet<ElementId>>) {
+    for &(winner, loser) in t.results() {
+        losses.entry(loser).or_default().insert(winner);
+    }
+}
+
+/// Runs both implementations over identically built oracles and asserts
+/// full observational equality: query-for-query and field-for-field.
+fn assert_identical<O, F>(make_oracle: F, inst: &Instance, cfg: &FilterConfig)
+where
+    O: ComparisonOracle,
+    F: Fn() -> O,
+{
+    let mut new_oracle = RecordingOracle::new(make_oracle());
+    let new_out = filter_candidates(&mut new_oracle, &inst.ids(), cfg);
+    let mut ref_oracle = RecordingOracle::new(make_oracle());
+    let ref_out = reference_filter_candidates(&mut ref_oracle, &inst.ids(), cfg);
+
+    assert_eq!(
+        new_oracle.queries,
+        ref_oracle.queries,
+        "comparison sequences diverged (n = {}, cfg = {cfg:?})",
+        inst.n()
+    );
+    assert_eq!(new_out, ref_out, "outcomes diverged (n = {})", inst.n());
+}
+
+fn tie_policies() -> impl Strategy<Value = TiePolicy> {
+    prop_oneof![
+        Just(TiePolicy::UniformRandom),
+        Just(TiePolicy::Persistent),
+        Just(TiePolicy::FavorLower),
+        Just(TiePolicy::FavorSmallerId),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: same queries, same order, same outcome — for
+    /// random instances, un values, error thresholds, tie policies and
+    /// seeds, with and without global-loss tracking.
+    #[test]
+    fn arena_filter_is_comparison_identical_to_the_reference(
+        values in prop::collection::vec(0.0f64..1000.0, 4..=160),
+        un in 1usize..6,
+        delta_frac in 0.0f64..0.25,
+        policy in tie_policies(),
+        seed in any::<u64>(),
+        track in any::<bool>(),
+    ) {
+        let inst = Instance::new(values);
+        let mut cfg = FilterConfig::new(un);
+        if track {
+            cfg = cfg.with_global_losses();
+        }
+        let delta_n = delta_frac * 1000.0;
+        let model = ExpertModel::exact(delta_n, delta_n / 2.0, policy);
+        assert_identical(
+            || SimulatedOracle::new(inst.clone(), model.clone(), StdRng::seed_from_u64(seed)),
+            &inst,
+            &cfg,
+        );
+    }
+}
+
+/// The same identity under a deterministic oracle at a size large enough
+/// for several rounds and a remainder group.
+#[test]
+fn identical_under_a_perfect_oracle_with_remainder_groups() {
+    for (n, un) in [(500usize, 3usize), (203, 5), (64, 2)] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = Instance::new(
+            (0..n)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0.0..1000.0))
+                .collect(),
+        );
+        for cfg in [
+            FilterConfig::new(un),
+            FilterConfig::new(un).with_global_losses(),
+        ] {
+            assert_identical(|| PerfectOracle::new(inst.clone()), &inst, &cfg);
+        }
+    }
+}

@@ -31,6 +31,12 @@ fn uniform_instance(n: usize, seed: u64) -> Instance {
 
 /// Average true rank of the budgeted scan under the probabilistic model
 /// with per-vote error `p`.
+///
+/// # Panics
+///
+/// Panics if `p >= 0.5`: majority amplification has no plan at or above a
+/// fair coin. The sweep grids stay strictly below that, so this is a
+/// caller precondition, not a runtime fault path.
 pub fn probabilistic_rank(n: usize, p: f64, budget: u64, trials: u64, seed: u64) -> f64 {
     let mut stats = RunningStats::new();
     for t in 0..trials {
@@ -47,6 +53,10 @@ pub fn probabilistic_rank(n: usize, p: f64, budget: u64, trials: u64, seed: u64)
 /// Average true rank of the budgeted scan under the threshold model with
 /// discernment `delta` (the scan plans as if the residual sub-threshold
 /// error were `p_planning`).
+///
+/// # Panics
+///
+/// Panics if `p_planning >= 0.5` (see [`probabilistic_rank`]).
 pub fn threshold_rank(
     n: usize,
     delta: f64,

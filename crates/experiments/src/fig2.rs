@@ -203,13 +203,13 @@ pub fn run_cars(scale: &Scale) -> Table {
 }
 
 /// Parses the final-row accuracies back out of a Figure 2 table (used by
-/// tests and the experiment summary).
+/// tests and the experiment summary). Non-numeric cells and empty tables
+/// yield an empty or shorter vector rather than a panic — the caller is
+/// reading back a table it may not have produced itself.
 pub fn final_accuracies(table: &Table) -> Vec<f64> {
-    let last = table.rows.last().expect("table has rows");
-    last[1..]
-        .iter()
-        .map(|c| c.parse().expect("numeric cell"))
-        .collect()
+    table.rows.last().map_or_else(Vec::new, |last| {
+        last[1..].iter().filter_map(|c| c.parse().ok()).collect()
+    })
 }
 
 #[cfg(test)]

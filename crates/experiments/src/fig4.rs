@@ -125,15 +125,32 @@ pub fn run(scale: &Scale) -> Vec<Table> {
 mod tests {
     use super::*;
 
+    /// Numeric cell of a produced table, with a failure message that names
+    /// the cell instead of a bare `unwrap` backtrace.
+    fn cell(t: &Table, row: usize, col: usize) -> u64 {
+        t.rows[row][col].parse().unwrap_or_else(|e| {
+            panic!(
+                "row {row} col {col} ({:?}) not numeric: {e:?}",
+                t.rows[row][col]
+            )
+        })
+    }
+
     #[test]
     fn alg1_expert_counts_are_flat_in_n() {
         let scale = Scale::quick();
         let t = run_panel(&scale, 10, 5, 'a');
-        let experts: Vec<u64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
-        let (min, max) = (
-            *experts.iter().min().unwrap(),
-            *experts.iter().max().unwrap(),
-        );
+        let experts: Vec<u64> = (0..t.rows.len()).map(|r| cell(&t, r, 3)).collect();
+        let min = experts
+            .iter()
+            .min()
+            .copied()
+            .expect("at least one sweep row");
+        let max = experts
+            .iter()
+            .max()
+            .copied()
+            .expect("at least one sweep row");
         // Flat means "bounded by a constant independent of n": the spread
         // should be far below the growth of the naive counts.
         assert!(max <= 3 * min.max(1), "expert counts not flat: {experts:?}");
@@ -143,17 +160,15 @@ mod tests {
     fn alg1_naive_counts_grow_and_respect_bound() {
         let scale = Scale::quick();
         let t = run_panel(&scale, 10, 5, 'a');
-        for row in &t.rows {
-            let n: usize = row[0].parse().unwrap();
-            let avg: u64 = row[1].parse().unwrap();
-            let wc: u64 = row[2].parse().unwrap();
+        for r in 0..t.rows.len() {
+            let (n, avg, wc) = (cell(&t, r, 0), cell(&t, r, 1), cell(&t, r, 2));
             assert!(
                 avg <= wc,
                 "avg {avg} exceeds the theory bound {wc} at n={n}"
             );
         }
-        let first: u64 = t.rows[0][1].parse().unwrap();
-        let last: u64 = t.rows.last().unwrap()[1].parse().unwrap();
+        let first = cell(&t, 0, 1);
+        let last = cell(&t, t.rows.len() - 1, 1);
         assert!(last > first, "naive counts should grow with n");
     }
 
@@ -161,9 +176,8 @@ mod tests {
     fn adversarial_worst_case_dominates_average() {
         let scale = Scale::quick();
         let t = run_panel(&scale, 10, 5, 'a');
-        for row in &t.rows {
-            let avg: u64 = row[7].parse().unwrap();
-            let wc: u64 = row[8].parse().unwrap();
+        for r in 0..t.rows.len() {
+            let (avg, wc) = (cell(&t, r, 7), cell(&t, r, 8));
             // The adversary can only make things worse (with slack: the avg
             // is over different random instances).
             assert!(wc * 2 >= avg, "wc {wc} implausibly below avg {avg}");

@@ -59,7 +59,18 @@ pub struct LatencyRow {
 }
 
 /// Measures one pool size.
-pub fn measure(n: usize, un: usize, workers: usize, seed: u64) -> LatencyRow {
+///
+/// # Errors
+///
+/// Propagates the [`PlatformError`](crowd_platform::PlatformError) of a batched run that the platform
+/// could not schedule (an empty or depleted pool) — the caller decides
+/// whether that pool size is skipped or fatal.
+pub fn measure(
+    n: usize,
+    un: usize,
+    workers: usize,
+    seed: u64,
+) -> Result<LatencyRow, crowd_platform::PlatformError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let planted = crowd_datasets::synthetic::planted_instance(n, un, un.div_ceil(2), &mut rng);
     let instance = &planted.instance;
@@ -75,16 +86,15 @@ pub fn measure(n: usize, un: usize, workers: usize, seed: u64) -> LatencyRow {
         WorkerClass::Naive,
         &instance.ids(),
         &FilterConfig::new(un),
-    )
-    .expect("the pool satisfies single-judgment units");
+    )?;
 
-    LatencyRow {
+    Ok(LatencyRow {
         workers,
         comparisons: batched_platform.counts().naive,
         sequential_steps: sequential_platform.physical_clock(),
         batched_steps: batched.physical_steps,
         batched_rounds: batched.logical_steps,
-    }
+    })
 }
 
 /// Runs the sweep.
@@ -113,7 +123,15 @@ pub fn run(scale: &Scale) -> Table {
          comparison counts.",
     );
     for &w in &POOL_SIZES {
-        let row = measure(n, un, w, scale.seed ^ 0x1a7);
+        // A pool the platform cannot schedule is a dead letter for that
+        // sweep point, not a reason to abort the whole table.
+        let row = match measure(n, un, w, scale.seed ^ 0x1a7) {
+            Ok(row) => row,
+            Err(e) => {
+                eprintln!("latency: skipping pool of {w}: {e}");
+                continue;
+            }
+        };
         t.push_row(vec![
             row.workers.to_string(),
             row.comparisons.to_string(),
@@ -135,8 +153,8 @@ mod tests {
 
     #[test]
     fn batched_is_faster_and_scales_with_pool() {
-        let small = measure(300, 5, 10, 1);
-        let large = measure(300, 5, 100, 1);
+        let small = measure(300, 5, 10, 1).expect("healthy pool of 10");
+        let large = measure(300, 5, 100, 1).expect("healthy pool of 100");
         // Same workload either way.
         assert!(small.sequential_steps >= small.comparisons);
         // Batched beats sequential at any pool size.
@@ -147,7 +165,7 @@ mod tests {
 
     #[test]
     fn rounds_match_filter_rounds() {
-        let row = measure(400, 5, 50, 2);
+        let row = measure(400, 5, 50, 2).expect("healthy pool of 50");
         // A handful of logical rounds, as in Lemma 3's log-style shrink.
         assert!(row.batched_rounds >= 1 && row.batched_rounds <= 10);
     }

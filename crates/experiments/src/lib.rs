@@ -47,6 +47,7 @@ pub mod fig9;
 pub mod harness;
 pub mod latency;
 pub mod lower_bounds;
+pub mod par_filter;
 pub mod phase1_survival;
 pub mod ranking_quality;
 pub mod report;
@@ -56,6 +57,7 @@ pub mod search_eval;
 pub mod table1;
 pub mod table2;
 
+pub use par_filter::{group_seed, parallel_filter_candidates};
 pub use report::Table;
 pub use runner::{
     run_experiment, run_experiments, ManifestEntry, RunManifest, EXPERIMENT_NAMES, TEXT_EXPERIMENTS,

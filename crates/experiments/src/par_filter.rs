@@ -1,0 +1,315 @@
+//! Parallel Phase-1 filtering: independent tournament groups fan out
+//! across [`engine::parallel_map`].
+//!
+//! Algorithm 2's rounds are embarrassingly parallel *within* a round: the
+//! groups share no state, so each group's all-play-all tournament can run
+//! on its own worker thread. What a shared sequential oracle *does* share
+//! is its RNG stream — so this entry point takes an oracle **factory**
+//! instead of an oracle: every `(round, group)` pair gets a fresh oracle,
+//! deterministically derived from those coordinates alone. Seeding once
+//! per group batches the shim-RNG work (one stream set-up per group
+//! instead of a lock-stepped global stream) and makes the round's outcome
+//! independent of scheduling: results are joined in group order, so the
+//! output is **byte-identical at any `--jobs` count**.
+//!
+//! The price is a different (but equally valid) random realization than
+//! [`filter_candidates`](crowd_core::algorithms::filter_candidates) would produce with one sequential oracle — the
+//! two agree exactly whenever the oracle is deterministic (e.g.
+//! [`PerfectOracle`](crowd_core::oracle::PerfectOracle), or a threshold
+//! model that never reaches a tie-break), which the tests pin down.
+//!
+//! Comparison tallies still flow to the installed
+//! [`TallySink`](crowd_core::trace::TallySink) stack: worker threads
+//! inherit the spawner's sinks through [`engine::parallel_map`].
+
+use crate::engine;
+use crowd_core::algorithms::{FilterConfig, FilterOutcome};
+use crowd_core::element::ElementId;
+use crowd_core::model::WorkerClass;
+use crowd_core::oracle::{ComparisonCounts, ComparisonOracle};
+
+/// Derives the seed for one filter group from a base seed and the group's
+/// `(round, group)` coordinates, via two rounds of SplitMix64 avalanching.
+/// Benches and tests share this so parallel runs are reproducible from a
+/// single base seed.
+pub fn group_seed(base: u64, round: u32, group: u32) -> u64 {
+    mix(mix(base ^ (u64::from(round) << 32)) ^ u64::from(group))
+}
+
+/// SplitMix64 finalizer: avalanche a 64-bit word.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One group's tournament result, joined back in group order.
+struct GroupResult {
+    /// Positions (into the round's survivor list) that met the threshold.
+    winners: Vec<u32>,
+    /// The group champion (earliest most-winning member).
+    champion: Option<u32>,
+    /// `(winner, loser)` index pairs, recorded only under
+    /// [`FilterConfig::track_global_losses`].
+    games: Vec<(u32, u32)>,
+    /// Comparisons this group's oracle answered.
+    comparisons: ComparisonCounts,
+}
+
+/// Runs Algorithm 2 with every tournament group on its own worker thread.
+///
+/// `make_oracle(round, group)` must build the oracle for that group from
+/// its coordinates alone (typically: seed an RNG with [`group_seed`]) —
+/// that is what makes the outcome independent of the job count. Groups,
+/// thresholds, the kept-whole small last group, global-loss pruning and
+/// the champion fallback all match [`filter_candidates`]; see the module
+/// docs for when the two produce identical output.
+///
+/// [`filter_candidates`]: crowd_core::algorithms::filter_candidates
+///
+/// # Panics
+///
+/// Panics if `config.un == 0`, like the sequential filter.
+pub fn parallel_filter_candidates<O, F>(
+    make_oracle: F,
+    elements: &[ElementId],
+    config: &FilterConfig,
+) -> FilterOutcome
+where
+    O: ComparisonOracle,
+    F: Fn(u32, u32) -> O + Sync,
+{
+    assert!(
+        config.un >= 1,
+        "un(n) >= 1: the maximum is indistinguishable from itself"
+    );
+    let un = config.un;
+    let g = 4 * un;
+    let n = elements.len();
+
+    let mut losses: Vec<Vec<u32>> = if config.track_global_losses {
+        vec![Vec::new(); n]
+    } else {
+        Vec::new()
+    };
+
+    let mut survivors: Vec<u32> = (0..n as u32).collect();
+    let mut sizes = vec![survivors.len()];
+    let mut rounds = 0usize;
+    let mut comparisons = ComparisonCounts::zero();
+
+    while survivors.len() >= 2 * un {
+        let round = rounds as u32;
+        let groups = survivors.len().div_ceil(g);
+
+        // The kept-whole small last group plays no games; everything else
+        // is an independent work item.
+        let mut inline_tail: &[u32] = &[];
+        let mut items: Vec<(u32, Vec<u32>)> = Vec::with_capacity(groups);
+        for ci in 0..groups {
+            let group = &survivors[ci * g..((ci + 1) * g).min(survivors.len())];
+            if ci == groups - 1 && group.len() <= un {
+                inline_tail = group;
+            } else {
+                items.push((ci as u32, group.to_vec()));
+            }
+        }
+
+        let results = engine::parallel_map(items, |(ci, group)| {
+            let mut oracle = make_oracle(round, ci);
+            let start = oracle.counts();
+            play_group(
+                &mut oracle,
+                elements,
+                &group,
+                un,
+                config.track_global_losses,
+            )
+            .with_comparisons(oracle.counts() - start)
+        });
+
+        let mut next: Vec<u32> = Vec::with_capacity(survivors.len() / 2 + un);
+        let mut champions: Vec<u32> = Vec::new();
+        for r in &results {
+            next.extend_from_slice(&r.winners);
+            champions.extend(r.champion);
+            comparisons += r.comparisons;
+            for &(winner, loser) in &r.games {
+                let set = &mut losses[loser as usize];
+                if set.len() <= un && !set.contains(&winner) {
+                    set.push(winner);
+                }
+            }
+        }
+        next.extend_from_slice(inline_tail);
+        champions.extend_from_slice(inline_tail);
+
+        if config.track_global_losses {
+            next.retain(|&i| losses[i as usize].len() <= un);
+        }
+        if next.is_empty() {
+            next = champions;
+        }
+        assert!(
+            next.len() < survivors.len(),
+            "filter round failed to shrink the survivor set (Lemma 2 violated)"
+        );
+        survivors = next;
+        sizes.push(survivors.len());
+        rounds += 1;
+    }
+
+    FilterOutcome {
+        survivors: survivors
+            .into_iter()
+            .map(|i| elements[i as usize])
+            .collect(),
+        rounds,
+        sizes,
+        comparisons,
+    }
+}
+
+impl GroupResult {
+    fn with_comparisons(mut self, comparisons: ComparisonCounts) -> Self {
+        self.comparisons = comparisons;
+        self
+    }
+}
+
+/// Plays one group's all-play-all tournament: flat win tallies, the
+/// `|G| − un` survival threshold, winners in group order.
+fn play_group<O: ComparisonOracle>(
+    oracle: &mut O,
+    ids: &[ElementId],
+    group: &[u32],
+    un: usize,
+    record_games: bool,
+) -> GroupResult {
+    let mut wins = vec![0u32; group.len()];
+    let mut games = Vec::new();
+    for a in 0..group.len() {
+        for b in (a + 1)..group.len() {
+            let (i, j) = (group[a], group[b]);
+            let winner = oracle.compare(WorkerClass::Naive, ids[i as usize], ids[j as usize]);
+            let (wa, wi, li) = if winner == ids[i as usize] {
+                (a, i, j)
+            } else {
+                (b, j, i)
+            };
+            wins[wa] += 1;
+            if record_games {
+                games.push((wi, li));
+            }
+        }
+    }
+    let threshold = (group.len() - un) as u32;
+    let winners: Vec<u32> = group
+        .iter()
+        .zip(&wins)
+        .filter(|&(_, &w)| w >= threshold)
+        .map(|(&i, _)| i)
+        .collect();
+    // Earliest most-winning member, matching `Tournament::champion`.
+    let mut champion: Option<u32> = None;
+    let mut best_wins = 0u32;
+    for (&i, &w) in group.iter().zip(&wins) {
+        if champion.is_none() || w > best_wins {
+            champion = Some(i);
+            best_wins = w;
+        }
+    }
+    GroupResult {
+        winners,
+        champion,
+        games,
+        comparisons: ComparisonCounts::zero(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::element::Instance;
+    use crowd_core::model::{ExpertModel, TiePolicy};
+    use crowd_core::oracle::{PerfectOracle, SimulatedOracle};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::new((0..n).map(|_| rng.gen_range(0.0..1000.0)).collect())
+    }
+
+    #[test]
+    fn matches_sequential_filter_under_a_deterministic_oracle() {
+        for un in [2usize, 3, 7] {
+            let inst = uniform_instance(500, un as u64);
+            let cfg = FilterConfig::new(un);
+            let mut o = PerfectOracle::new(inst.clone());
+            let seq = crowd_core::algorithms::filter_candidates(&mut o, &inst.ids(), &cfg);
+            let par = parallel_filter_candidates(
+                |_, _| PerfectOracle::new(inst.clone()),
+                &inst.ids(),
+                &cfg,
+            );
+            assert_eq!(seq, par, "un = {un}");
+        }
+    }
+
+    #[test]
+    fn byte_identical_at_any_job_count() {
+        let inst = uniform_instance(600, 42);
+        let delta_n = 25.0;
+        let un = inst.indistinguishable_from_max(delta_n).max(1);
+        let model = ExpertModel::exact(delta_n, 1.0, TiePolicy::UniformRandom);
+        let run = |cfg: FilterConfig| {
+            parallel_filter_candidates(
+                |round, group| {
+                    SimulatedOracle::new(
+                        inst.clone(),
+                        model.clone(),
+                        StdRng::seed_from_u64(group_seed(7, round, group)),
+                    )
+                },
+                &inst.ids(),
+                &cfg,
+            )
+        };
+        for cfg in [
+            FilterConfig::new(un),
+            FilterConfig::new(un).with_global_losses(),
+        ] {
+            engine::set_jobs(1);
+            let serial = run(cfg);
+            engine::set_jobs(4);
+            let parallel = run(cfg);
+            engine::set_jobs(0);
+            assert_eq!(serial, parallel);
+            assert!(serial.survivors.contains(&inst.max_element()));
+        }
+    }
+
+    #[test]
+    fn short_final_group_threshold_scales_in_the_parallel_path_too() {
+        let mut values: Vec<f64> = (0..20).map(f64::from).collect();
+        values[15] = 1000.0;
+        let inst = Instance::new(values);
+        let out = parallel_filter_candidates(
+            |_, _| PerfectOracle::new(inst.clone()),
+            &inst.ids(),
+            &FilterConfig::new(3),
+        );
+        assert!(out.survivors.contains(&inst.max_element()));
+    }
+
+    #[test]
+    fn group_seed_is_sensitive_to_both_coordinates() {
+        let a = group_seed(1, 0, 0);
+        assert_ne!(a, group_seed(1, 0, 1));
+        assert_ne!(a, group_seed(1, 1, 0));
+        assert_ne!(a, group_seed(2, 0, 0));
+        assert_eq!(a, group_seed(1, 0, 0));
+    }
+}

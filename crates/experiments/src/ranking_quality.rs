@@ -37,6 +37,11 @@ fn uniform_instance(n: usize, seed: u64) -> Instance {
 }
 
 /// Displacement of the top `prefix` positions of an order.
+///
+/// # Panics
+///
+/// Panics if `order` contains an element that is not part of `instance` —
+/// displacement is only defined for (prefixes of) permutations of it.
 pub fn prefix_displacement(instance: &Instance, order: &[ElementId], prefix: usize) -> usize {
     let true_order = instance.ids_by_rank();
     order[..prefix.min(order.len())]

@@ -82,6 +82,19 @@ pub const NOMINAL_NAIVE_POOL: usize = 50;
 /// Nominal expert-pool size for the physical-step estimate.
 pub const NOMINAL_EXPERT_POOL: usize = 5;
 
+/// Physical-step estimate for a comparison tally under the nominal pools:
+/// `⌈naive/50⌉ + ⌈expert/5⌉`. Infallible because both pools are nonzero
+/// constants — an [`EmptyPool`](crowd_platform::ScheduleError) here would
+/// be a bug in this module, not a runtime condition.
+pub fn nominal_physical_steps(comparisons: &ComparisonCounts) -> u64 {
+    let naive = crowd_platform::physical_steps(comparisons.naive, NOMINAL_NAIVE_POOL);
+    let expert = crowd_platform::physical_steps(comparisons.expert, NOMINAL_EXPERT_POOL);
+    match (naive, expert) {
+        (Ok(n), Ok(e)) => n + e,
+        _ => unreachable!("nominal pools are nonzero constants"),
+    }
+}
+
 /// One experiment's entry in the run manifest.
 #[derive(Debug, Clone, Serialize)]
 pub struct ManifestEntry {
@@ -126,7 +139,9 @@ pub struct RunManifest {
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors from report writing.
+/// Rejects unknown experiment names with [`io::ErrorKind::InvalidInput`]
+/// (before any experiment runs) and propagates filesystem errors from
+/// report writing.
 pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::Result<Vec<Table>> {
     let selected: Vec<&str> = if names.is_empty() {
         EXPERIMENT_NAMES
@@ -137,8 +152,13 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
     } else {
         names.iter().map(String::as_str).collect()
     };
-    for name in &selected {
-        assert!(is_known(name), "unknown experiment {name:?}");
+    if let Some(unknown) = selected.iter().find(|name| !is_known(name)) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "unknown experiment {unknown:?}; known: {EXPERIMENT_NAMES:?} + {TEXT_EXPERIMENTS:?}"
+            ),
+        ));
     }
 
     let results = engine::parallel_map(selected, |name| {
@@ -155,13 +175,7 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
             tables: tables.len(),
             wall_nanos: started.elapsed().as_nanos() as u64,
             comparisons,
-            physical_steps_estimate: crowd_platform::physical_steps(
-                comparisons.naive,
-                NOMINAL_NAIVE_POOL,
-            ) + crowd_platform::physical_steps(
-                comparisons.expert,
-                NOMINAL_EXPERT_POOL,
-            ),
+            physical_steps_estimate: nominal_physical_steps(&comparisons),
             faults: sink.faults(),
         };
         (tables, entry)
@@ -234,26 +248,51 @@ mod tests {
     #[test]
     fn run_experiments_writes_files_and_manifest() {
         let dir = std::env::temp_dir().join(format!("crowd_runner_test_{}", std::process::id()));
-        let tables = run_experiments(&["table1".to_string()], &Scale::quick(), &dir).unwrap();
+        let tables = run_experiments(&["table1".to_string()], &Scale::quick(), &dir)
+            .expect("table1 runs and writes");
         assert_eq!(tables.len(), 1);
         assert!(dir.join("table1.md").exists());
         assert!(dir.join("table1.csv").exists());
 
-        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
-        let parsed = serde_json::from_str_value(&manifest).unwrap();
+        let manifest =
+            std::fs::read_to_string(dir.join("manifest.json")).expect("manifest written");
+        let parsed = serde_json::from_str_value(&manifest).expect("manifest is valid JSON");
         let experiments: Vec<serde::Value> =
             serde::field(&parsed, "experiments").expect("experiments array");
         assert_eq!(experiments.len(), 1);
-        let name: String = serde::field(&experiments[0], "name").unwrap();
+        let name: String = serde::field(&experiments[0], "name").expect("name field");
         assert_eq!(name, "table1");
-        let comparisons: serde::Value = serde::field(&experiments[0], "comparisons").unwrap();
-        let naive: u64 = serde::field(&comparisons, "naive").unwrap();
+        let comparisons: serde::Value =
+            serde::field(&experiments[0], "comparisons").expect("comparisons field");
+        let naive: u64 = serde::field(&comparisons, "naive").expect("naive field");
         assert!(naive > 0, "table1 must perform naive comparisons");
-        let steps: u64 = serde::field(&experiments[0], "physical_steps_estimate").unwrap();
+        let steps: u64 = serde::field(&experiments[0], "physical_steps_estimate")
+            .expect("physical_steps_estimate field");
         assert!(steps > 0);
-        let scale: String = serde::field(&parsed, "scale").unwrap();
+        let scale: String = serde::field(&parsed, "scale").expect("scale field");
         assert_eq!(scale, "quick");
 
-        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).expect("test dir removable");
+    }
+
+    #[test]
+    fn unknown_name_is_an_error_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!("crowd_runner_unknown_{}", std::process::id()));
+        let err = run_experiments(&["fig42".to_string()], &Scale::quick(), &dir)
+            .expect_err("unknown names must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("fig42"), "{err}");
+        assert!(!dir.exists(), "nothing may be written for a rejected run");
+    }
+
+    #[test]
+    fn nominal_physical_steps_follows_the_ceil_rule() {
+        let counts = ComparisonCounts {
+            naive: 101,
+            expert: 11,
+        };
+        // ⌈101/50⌉ + ⌈11/5⌉ = 3 + 3.
+        assert_eq!(nominal_physical_steps(&counts), 6);
+        assert_eq!(nominal_physical_steps(&ComparisonCounts::default()), 0);
     }
 }

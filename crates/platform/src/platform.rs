@@ -95,9 +95,8 @@ impl PlatformError {
                     OracleError::WorkforceDepleted { class: *class }
                 }
                 ScheduleError::NotEnoughWorkersForUnit { .. }
-                | ScheduleError::NoFreshWorkerForUnit { .. } => {
-                    OracleError::WorkforceDepleted { class }
-                }
+                | ScheduleError::NoFreshWorkerForUnit { .. }
+                | ScheduleError::EmptyPool => OracleError::WorkforceDepleted { class },
             },
             PlatformError::BudgetExhausted { .. } => OracleError::BudgetExhausted,
             PlatformError::UnitsUnanswered { attempts, .. } => OracleError::Unanswered {

@@ -59,6 +59,9 @@ pub enum ScheduleError {
         /// Eligible workers available.
         available: usize,
     },
+    /// A batch-latency figure was requested for an empty worker pool
+    /// (`w == 0`): no number of physical steps completes the batch.
+    EmptyPool,
     /// A retry re-assignment found no eligible worker that has not
     /// already been handed this unit (a worker never judges the same
     /// unit twice, even across retries).
@@ -82,6 +85,7 @@ impl std::fmt::Display for ScheduleError {
                 f,
                 "unit {unit:?} needs {requested} distinct judgments but only {available} eligible workers exist"
             ),
+            ScheduleError::EmptyPool => write!(f, "a batch needs at least one worker"),
             ScheduleError::NoFreshWorkerForUnit { unit } => write!(
                 f,
                 "no eligible worker remains that has not already been assigned unit {unit:?}"
@@ -195,12 +199,16 @@ pub fn reassign(
 /// for estimating the wall-clock footprint of a run from its comparison
 /// tally alone, without building a pool and jobs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `w == 0`.
-pub fn physical_steps(m: u64, w: usize) -> u64 {
-    assert!(w > 0, "a batch needs at least one worker");
-    m.div_ceil(w as u64)
+/// Returns [`ScheduleError::EmptyPool`] when `w == 0`: a depleted pool is
+/// a schedule failure for the caller to surface (like every other fault
+/// path), not an abort mid-experiment.
+pub fn physical_steps(m: u64, w: usize) -> Result<u64, ScheduleError> {
+    if w == 0 {
+        return Err(ScheduleError::EmptyPool);
+    }
+    Ok(m.div_ceil(w as u64))
 }
 
 /// Checks the distinct-worker-per-unit invariant of a schedule (used by
@@ -275,16 +283,19 @@ mod tests {
     fn closed_form_matches_the_planner() {
         let p = pool(5);
         let s = schedule(&p, &job(4, 3), WorkerClass::Naive, &HashSet::new(), 0, 0).unwrap();
-        assert_eq!(s.physical_steps, physical_steps(12, 5));
-        assert_eq!(physical_steps(0, 3), 0);
-        assert_eq!(physical_steps(10, 1), 10);
-        assert_eq!(physical_steps(11, 5), 3);
+        assert_eq!(Ok(s.physical_steps), physical_steps(12, 5));
+        assert_eq!(physical_steps(0, 3), Ok(0));
+        assert_eq!(physical_steps(10, 1), Ok(10));
+        assert_eq!(physical_steps(11, 5), Ok(3));
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
     fn closed_form_rejects_an_empty_pool() {
-        physical_steps(4, 0);
+        assert_eq!(physical_steps(4, 0), Err(ScheduleError::EmptyPool));
+        assert_eq!(
+            ScheduleError::EmptyPool.to_string(),
+            "a batch needs at least one worker"
+        );
     }
 
     #[test]
