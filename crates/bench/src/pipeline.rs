@@ -25,9 +25,11 @@ use crowd_core::model::{ExpertModel, TiePolicy, WorkerClass};
 use crowd_core::oracle::{ComparisonCounts, SimulatedOracle};
 use crowd_experiments::runner::nominal_physical_steps;
 use crowd_experiments::{group_seed, parallel_filter_candidates};
+use crowd_obs::{names as metric_names, MetricSample, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default report seed (the binary's `--seed` default).
@@ -140,6 +142,13 @@ pub struct BenchMeta {
     pub seed: u64,
     /// Per-tier deterministic statistics.
     pub tiers: Vec<TierMeta>,
+    /// Aggregated `crowd-obs` metrics of the whole run: per-tier histograms
+    /// of round survivor-set sizes ([`crowd_obs::names::ROUND_SURVIVORS`])
+    /// and section comparison totals
+    /// ([`crowd_obs::names::ROUND_COMPARISONS`]), labelled by catalog size
+    /// and section. Derived from the deterministic counts, so this section
+    /// is part of the CI baseline.
+    pub metrics: Vec<MetricSample>,
 }
 
 /// The wall-clock half of a [`BenchReport`].
@@ -187,17 +196,25 @@ impl BenchReport {
 pub fn run_bench(label: &str, specs: &[TierSpec], seed: u64) -> BenchReport {
     let mut metas = Vec::with_capacity(specs.len());
     let mut timings = Vec::with_capacity(specs.len());
-    for spec in specs {
-        let (meta, timing) = run_tier(*spec, seed);
-        metas.push(meta);
-        timings.push(timing);
+    // A scoped recorder collects each tier's histograms; the snapshot lands
+    // in the report's deterministic half (the values are derived from the
+    // section counts, never from wall time).
+    let recorder = Arc::new(Recorder::new());
+    {
+        let _guard = crowd_obs::install_recorder(recorder.clone());
+        for spec in specs {
+            let (meta, timing) = run_tier(*spec, seed);
+            metas.push(meta);
+            timings.push(timing);
+        }
     }
     BenchReport {
         meta: BenchMeta {
-            schema: 1,
+            schema: 2,
             tier: label.to_string(),
             seed,
             tiers: metas,
+            metrics: recorder.metrics().snapshot(),
         },
         timings: BenchTimings {
             jobs: crowd_experiments::engine::jobs(),
@@ -261,6 +278,21 @@ pub fn run_tier(spec: TierSpec, seed: u64) -> (TierMeta, TierTiming) {
         physical_steps: nominal_physical_steps(&full.total_comparisons),
     };
 
+    record_tier_metrics(
+        spec,
+        &[
+            ("filter", &seq_meta),
+            ("filter_parallel", &par_meta),
+            ("expert", &expert_meta),
+            ("full", &full_meta),
+        ],
+        &[
+            ("filter", &seq.sizes),
+            ("filter_parallel", &par.sizes),
+            ("full", &full.phase1.sizes),
+        ],
+    );
+
     (
         TierMeta {
             n: spec.n,
@@ -279,6 +311,39 @@ pub fn run_tier(spec: TierSpec, seed: u64) -> (TierMeta, TierTiming) {
             full: full_timing,
         },
     )
+}
+
+/// Feeds one tier's deterministic statistics into any installed `crowd-obs`
+/// recorder: a histogram observation per section comparison total (by
+/// class) and one per round survivor-set size. A no-op when the tier runs
+/// outside [`run_bench`]'s recorder scope.
+fn record_tier_metrics(
+    spec: TierSpec,
+    sections: &[(&str, &SectionMeta)],
+    round_sizes: &[(&str, &Vec<usize>)],
+) {
+    let n = spec.n.to_string();
+    for (section, meta) in sections {
+        for (class, performed) in [
+            ("naive", meta.naive_comparisons),
+            ("expert", meta.expert_comparisons),
+        ] {
+            crowd_obs::observe(
+                metric_names::ROUND_COMPARISONS,
+                &[("class", class), ("n", &n), ("section", section)],
+                performed,
+            );
+        }
+    }
+    for (section, sizes) in round_sizes {
+        for &size in sizes.iter() {
+            crowd_obs::observe(
+                metric_names::ROUND_SURVIVORS,
+                &[("n", &n), ("section", section)],
+                size as u64,
+            );
+        }
+    }
 }
 
 /// Plants the tier's instance and worker model from the report seed.
@@ -368,6 +433,16 @@ mod tests {
         let timings: serde::Value = serde::field(&parsed, "timings").expect("timings half");
         let trs: Vec<serde::Value> = serde::field(&timings, "tiers").expect("timing tiers");
         assert_eq!(trs.len(), 1);
+        // The deterministic half carries the metrics section: survivor-size
+        // and comparison histograms recorded through crowd-obs.
+        let metrics: Vec<serde::Value> = serde::field(&meta, "metrics").expect("metrics section");
+        assert!(!metrics.is_empty(), "metrics section must not be empty");
+        let names: Vec<String> = metrics
+            .iter()
+            .map(|m| serde::field(m, "name").expect("metric name"))
+            .collect();
+        assert!(names.iter().any(|n| n == metric_names::ROUND_SURVIVORS));
+        assert!(names.iter().any(|n| n == metric_names::ROUND_COMPARISONS));
     }
 
     #[test]

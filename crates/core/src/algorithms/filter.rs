@@ -209,6 +209,11 @@ pub fn filter_candidates<O: ComparisonOracle>(
         );
         std::mem::swap(&mut survivors, &mut next);
         sizes.push(survivors.len());
+        oracle.observe(TraceEvent::RoundStats {
+            round: rounds as u32,
+            groups: groups as u32,
+            survivors: survivors.len() as u64,
+        });
         oracle.observe(TraceEvent::RoundEnd(rounds as u32));
         rounds += 1;
     }

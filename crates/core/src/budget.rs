@@ -134,7 +134,9 @@ pub fn budgeted_max_scan<O: ComparisonOracle>(
     Some(BudgetedOutcome {
         winner: champion,
         plan,
-        comparisons: oracle.counts() - start,
+        // Saturating: callers hand in arbitrary oracle stacks, and a
+        // decorator with a non-monotone tally must not panic the scan.
+        comparisons: oracle.counts().saturating_sub(start),
     })
 }
 

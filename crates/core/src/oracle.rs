@@ -67,6 +67,29 @@ impl ComparisonCounts {
     pub fn total(&self) -> u64 {
         self.naive + self.expert
     }
+
+    /// Per-class difference `self - rhs`, or `None` if `rhs` exceeds
+    /// `self` in either class (the snapshots were diffed in the wrong
+    /// order, or across different oracles).
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        Some(ComparisonCounts {
+            naive: self.naive.checked_sub(rhs.naive)?,
+            expert: self.expert.checked_sub(rhs.expert)?,
+        })
+    }
+
+    /// Per-class difference `self - rhs`, clamping each class at zero.
+    ///
+    /// Prefer this (or [`checked_sub`](Self::checked_sub)) over the `-`
+    /// operator outside tests: production snapshot diffs over
+    /// user-composed oracle stacks should degrade to a zero tally, not
+    /// panic.
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        ComparisonCounts {
+            naive: self.naive.saturating_sub(rhs.naive),
+            expert: self.expert.saturating_sub(rhs.expert),
+        }
+    }
 }
 
 impl Add for ComparisonCounts {
@@ -90,6 +113,14 @@ impl Sub for ComparisonCounts {
     type Output = ComparisonCounts;
     /// Difference of two tallies — used to isolate the comparisons of one
     /// phase by snapshotting before and after.
+    ///
+    /// This is the *loud* variant: algorithm internals use it where a
+    /// snapshot pair is monotone by construction (same oracle, later minus
+    /// earlier) and an underflow would mean a bug worth crashing on, and
+    /// tests use it to pin that contract. Code diffing snapshots across
+    /// user-composed oracle stacks should use
+    /// [`ComparisonCounts::saturating_sub`] or
+    /// [`ComparisonCounts::checked_sub`] instead.
     ///
     /// # Panics
     ///
@@ -817,6 +848,40 @@ mod tests {
         let mut e = c;
         e += c;
         assert_eq!(e, d);
+    }
+
+    #[test]
+    fn checked_and_saturating_sub_handle_underflow() {
+        let small = ComparisonCounts {
+            naive: 1,
+            expert: 5,
+        };
+        let big = ComparisonCounts {
+            naive: 3,
+            expert: 7,
+        };
+        assert_eq!(
+            big.checked_sub(small),
+            Some(ComparisonCounts {
+                naive: 2,
+                expert: 2
+            })
+        );
+        assert_eq!(small.checked_sub(big), None);
+        // Mixed direction: naive underflows, expert does not.
+        let mixed = ComparisonCounts {
+            naive: 4,
+            expert: 6,
+        };
+        assert_eq!(mixed.checked_sub(big), None);
+        assert_eq!(
+            mixed.saturating_sub(big),
+            ComparisonCounts {
+                naive: 1,
+                expert: 0
+            }
+        );
+        assert_eq!(big.saturating_sub(small), big.checked_sub(small).unwrap());
     }
 
     #[test]

@@ -54,6 +54,20 @@ pub enum TraceEvent {
     RoundStart(u32),
     /// Filter round `r` ends.
     RoundEnd(u32),
+    /// Summary of a finished filter round, emitted between the round's
+    /// work and its [`RoundEnd`](TraceEvent::RoundEnd): how many tournament
+    /// groups it played and how many elements survived. Listeners that
+    /// snapshotted [`ComparisonOracle::counts`] at
+    /// [`RoundStart`](TraceEvent::RoundStart) can attribute the round's
+    /// comparison cost by diffing here.
+    RoundStats {
+        /// Round index (0-based), matching the bracketing start/end events.
+        round: u32,
+        /// Tournament groups the round played.
+        groups: u32,
+        /// Elements surviving the round.
+        survivors: u64,
+    },
     /// A fault was injected or handled somewhere below this oracle.
     Fault {
         /// The worker class the faulting judgment was assigned to.
@@ -345,9 +359,11 @@ impl<O: ComparisonOracle> InstrumentedOracle<O> {
         // hand-written driver emitting unbalanced events) is ignored.
         if let Some(pos) = self.open.iter().rposition(|(k, _, _)| *k == kind) {
             let (_, before, started) = self.open.remove(pos);
+            // Saturating: a hand-written driver pairing events across two
+            // different oracles must not bring the whole run down.
             self.trace.spans.push(TraceSpan {
                 kind,
-                comparisons: self.inner.counts() - before,
+                comparisons: self.inner.counts().saturating_sub(before),
                 wall_nanos: started.elapsed().as_nanos() as u64,
             });
         }
@@ -378,6 +394,9 @@ impl<O: ComparisonOracle> ComparisonOracle for InstrumentedOracle<O> {
             TraceEvent::PhaseEnd(p) => self.close_span(SpanKind::Phase(p)),
             TraceEvent::RoundStart(r) => self.open_span(SpanKind::Round(r)),
             TraceEvent::RoundEnd(r) => self.close_span(SpanKind::Round(r)),
+            // Span bookkeeping already covers rounds; the summary is for
+            // listeners that want per-round structure (e.g. `crowd-obs`).
+            TraceEvent::RoundStats { .. } => {}
             // Already recorded (and sink-fed) at the source; a plain add
             // here would otherwise double-count in the manifest.
             TraceEvent::Fault { class, kind } => self.faults.add(class, kind),

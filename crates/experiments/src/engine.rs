@@ -18,6 +18,14 @@
 //! [`TallySink`](crowd_core::trace::TallySink) stack, so comparison tallies
 //! keep attributing to the experiment that logically owns the work even
 //! when several experiments run concurrently.
+//!
+//! [`Recorder`](crowd_obs::Recorder) stacks are handled differently: a
+//! sink only accumulates commutative totals, but an event log is ordered.
+//! When the caller has recorders installed, each item runs inside
+//! [`crowd_obs::record_segment`] on its worker thread and the captured
+//! segments are [`crowd_obs::replay`]ed in input order after the join —
+//! so the caller's event log (and metrics) are byte-identical to the
+//! serial run's, at any job count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -65,9 +73,17 @@ where
     }
 
     let sinks = crowd_core::trace::current_sinks();
+    // Observability capture: when the caller has recorders installed, each
+    // item's events and metrics are buffered in a per-item segment on the
+    // worker thread and replayed below in input order, so the caller's
+    // event log is byte-identical to a serial run. With no recorder
+    // installed (the common case) nothing is captured at all.
+    let capture = !crowd_obs::current_recorders().is_empty();
     let next = AtomicUsize::new(0);
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<U>>> = work.iter().map(|_| Mutex::new(None)).collect();
+    let segments: Vec<Mutex<Option<crowd_obs::Segment>>> =
+        work.iter().map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -83,12 +99,26 @@ where
                         .expect("work slot poisoned")
                         .take()
                         .expect("each index is claimed exactly once");
-                    let result = f(item);
+                    let result = if capture {
+                        let (result, segment) = crowd_obs::record_segment(|| f(item));
+                        *segments[i].lock().expect("segment slot poisoned") = Some(segment);
+                        result
+                    } else {
+                        f(item)
+                    };
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                 }
             });
         }
     });
+
+    if capture {
+        for segment in segments {
+            if let Some(segment) = segment.into_inner().expect("segment slot poisoned") {
+                crowd_obs::replay(segment);
+            }
+        }
+    }
 
     slots
         .into_iter()
@@ -137,6 +167,42 @@ mod tests {
         set_jobs(3);
         assert_eq!(jobs(), 3);
         set_jobs(0);
+    }
+
+    #[test]
+    fn recorder_capture_is_byte_identical_across_job_counts() {
+        use crowd_obs::{install_recorder, Event, Recorder, SampleValue};
+        let _l = JOBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        let work = |i: u32| {
+            crowd_obs::emit(Event::RunStarted {
+                name: format!("item-{i}"),
+            });
+            crowd_obs::counter_add("engine_items_total", &[], 1);
+            crowd_obs::observe("engine_item_value", &[], u64::from(i));
+            i * 3
+        };
+
+        let run_with = |jobs: usize| {
+            set_jobs(jobs);
+            let rec = Arc::new(Recorder::new());
+            let out = {
+                let _g = install_recorder(rec.clone());
+                parallel_map((0..16u32).collect(), work)
+            };
+            set_jobs(0);
+            (out, rec)
+        };
+
+        let (out1, rec1) = run_with(1);
+        let (out4, rec4) = run_with(4);
+        assert_eq!(out1, out4);
+        assert_eq!(rec1.log().to_jsonl(), rec4.log().to_jsonl());
+        assert_eq!(rec1.metrics().snapshot(), rec4.metrics().snapshot());
+        assert_eq!(
+            rec4.metrics().snapshot()[1].value,
+            SampleValue::Counter { value: 16 }
+        );
     }
 
     #[test]

@@ -75,7 +75,15 @@ pub fn run_trial(
 ) -> TrialResult {
     let instance = &planted.instance;
     let model = ExpertModel::exact(planted.delta_n, planted.delta_e, TiePolicy::UniformRandom);
-    let mut oracle = SimulatedOracle::new(instance.clone(), model, StdRng::seed_from_u64(seed));
+    // The `ObservedOracle` wrapper turns the algorithms' trace events into
+    // structured `crowd-obs` events (phase transitions, per-round survivor
+    // and comparison counts). With no recorder installed — every direct
+    // library use — it is a pass-through.
+    let mut oracle = crowd_obs::ObservedOracle::new(SimulatedOracle::new(
+        instance.clone(),
+        model,
+        StdRng::seed_from_u64(seed),
+    ));
     let winner = match approach {
         Approach::Alg1 => {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);

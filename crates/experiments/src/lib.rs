@@ -60,6 +60,7 @@ pub mod table2;
 pub use par_filter::{group_seed, parallel_filter_candidates};
 pub use report::Table;
 pub use runner::{
-    run_experiment, run_experiments, ManifestEntry, RunManifest, EXPERIMENT_NAMES, TEXT_EXPERIMENTS,
+    run_experiment, run_experiments, ManifestEntry, RunManifest, EXPERIMENT_NAMES,
+    MANIFEST_VERSION, TEXT_EXPERIMENTS,
 };
 pub use scale::Scale;

@@ -6,8 +6,10 @@
 use crate::engine;
 use crate::report::Table;
 use crate::scale::Scale;
+use crowd_core::model::WorkerClass;
 use crowd_core::oracle::ComparisonCounts;
 use crowd_core::trace::{install_sink, FaultCounts, TallySink};
+use crowd_obs::{class_label, names as metric_names, Event, Recorder};
 use serde::Serialize;
 use std::io;
 use std::path::Path;
@@ -117,10 +119,19 @@ pub struct ManifestEntry {
     pub faults: FaultCounts,
 }
 
+/// Schema version of [`RunManifest`]. Bump when the manifest layout
+/// changes shape; [`run_experiments`] refuses to overwrite a manifest
+/// written by a *newer* schema (see `write_manifest`), so an old binary
+/// cannot silently clobber results it does not understand.
+pub const MANIFEST_VERSION: u64 = 2;
+
 /// The machine-readable record of one `repro` run, written as
 /// `manifest.json` next to the CSVs.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunManifest {
+    /// Manifest schema version ([`MANIFEST_VERSION`]). Manifests predating
+    /// the field are treated as version 1.
+    pub version: u64,
     /// Worker threads the run was allowed to use.
     pub jobs: usize,
     /// Scale label: `"quick"` or `"full"` (matching [`Scale`]).
@@ -161,25 +172,56 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
         ));
     }
 
-    let results = engine::parallel_map(selected, |name| {
-        eprintln!("running {name} ...");
-        let sink = Arc::new(TallySink::new());
-        let started = Instant::now();
-        let tables = {
-            let _guard = install_sink(sink.clone());
-            run_experiment(name, scale)
-        };
-        let comparisons = sink.counts();
-        let entry = ManifestEntry {
-            name: name.to_string(),
-            tables: tables.len(),
-            wall_nanos: started.elapsed().as_nanos() as u64,
-            comparisons,
-            physical_steps_estimate: nominal_physical_steps(&comparisons),
-            faults: sink.faults(),
-        };
-        (tables, entry)
-    });
+    // One run-level recorder scopes the whole selection: each experiment's
+    // events and metrics funnel into it (via `parallel_map`'s ordered
+    // segment replay when running threaded), and the aggregate is written
+    // out below next to `manifest.json`. Wall-clock never enters the
+    // recorder — it lives only in the manifest's informational fields — so
+    // the observability files stay byte-identical at any job count.
+    let recorder = Arc::new(Recorder::new());
+    let results = {
+        let _obs_guard = crowd_obs::install_recorder(recorder.clone());
+        engine::parallel_map(selected, |name| {
+            eprintln!("running {name} ...");
+            crowd_obs::emit(Event::RunStarted {
+                name: name.to_string(),
+            });
+            let sink = Arc::new(TallySink::new());
+            let started = Instant::now();
+            let tables = {
+                let _guard = install_sink(sink.clone());
+                run_experiment(name, scale)
+            };
+            let comparisons = sink.counts();
+            let faults = sink.faults();
+            for (class, performed) in [
+                (WorkerClass::Naive, comparisons.naive),
+                (WorkerClass::Expert, comparisons.expert),
+            ] {
+                if performed > 0 {
+                    crowd_obs::counter_add(
+                        metric_names::COMPARISONS_TOTAL,
+                        &[("class", class_label(class)), ("experiment", name)],
+                        performed,
+                    );
+                }
+            }
+            crowd_obs::emit(Event::RunFinished {
+                name: name.to_string(),
+                comparisons_by_class: comparisons,
+                faults: faults.total(),
+            });
+            let entry = ManifestEntry {
+                name: name.to_string(),
+                tables: tables.len(),
+                wall_nanos: started.elapsed().as_nanos() as u64,
+                comparisons,
+                physical_steps_estimate: nominal_physical_steps(&comparisons),
+                faults,
+            };
+            (tables, entry)
+        })
+    };
 
     // Writes stay sequential and in selection order: output bytes must not
     // depend on which worker finished first.
@@ -195,21 +237,66 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
     write_summary(&all, out_dir)?;
     write_manifest(
         &RunManifest {
+            version: MANIFEST_VERSION,
             jobs: engine::jobs(),
             scale: scale.label().to_string(),
             experiments: entries,
         },
         out_dir,
     )?;
+    write_observability(&recorder, out_dir)?;
     Ok(all)
 }
 
 /// Writes `<dir>/manifest.json`.
+///
+/// Refuses ([`io::ErrorKind::InvalidData`]) to overwrite an existing
+/// manifest whose `version` field exceeds [`MANIFEST_VERSION`]: a newer
+/// schema may record things this writer would silently drop. A manifest
+/// without a `version` field predates the field and counts as version 1;
+/// an unparsable file is not a manifest and is overwritten.
 fn write_manifest(manifest: &RunManifest, out_dir: &Path) -> io::Result<()> {
+    let path = out_dir.join("manifest.json");
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        let existing_version = serde_json::from_str_value(&existing)
+            .ok()
+            .map_or(1, |value| {
+                serde::field::<u64>(&value, "version").unwrap_or(1)
+            });
+        if existing_version > manifest.version {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "refusing to overwrite {}: it has manifest version \
+                     {existing_version}, newer than this writer's {}",
+                    path.display(),
+                    manifest.version,
+                ),
+            ));
+        }
+    }
     let json = serde_json::to_string_pretty(manifest)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     std::fs::create_dir_all(out_dir)?;
-    std::fs::write(out_dir.join("manifest.json"), json + "\n")
+    std::fs::write(path, json + "\n")
+}
+
+/// Writes the run's observability artifacts next to the manifest:
+/// `events.jsonl` (the structured event log), `metrics.prom` (Prometheus
+/// text exposition), and `metrics.json` (its JSON twin). All three are
+/// wall-clock-free and byte-identical at any `--jobs` count.
+fn write_observability(recorder: &Recorder, out_dir: &Path) -> io::Result<()> {
+    let snapshot = recorder.metrics().snapshot();
+    std::fs::create_dir_all(out_dir)?;
+    std::fs::write(out_dir.join("events.jsonl"), recorder.log().to_jsonl())?;
+    std::fs::write(
+        out_dir.join("metrics.prom"),
+        crowd_obs::render_prometheus(&snapshot),
+    )?;
+    std::fs::write(
+        out_dir.join("metrics.json"),
+        crowd_obs::render_json(&snapshot),
+    )
 }
 
 /// Writes `<dir>/SUMMARY.md`: every produced table in one document, in run
@@ -271,6 +358,48 @@ mod tests {
         assert!(steps > 0);
         let scale: String = serde::field(&parsed, "scale").expect("scale field");
         assert_eq!(scale, "quick");
+        let version: u64 = serde::field(&parsed, "version").expect("version field");
+        assert_eq!(version, MANIFEST_VERSION);
+
+        // The observability artifacts land next to the manifest, and the
+        // event log brackets the run with RunStarted/RunFinished.
+        let events =
+            std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
+        assert!(events.contains("RunStarted"), "{events}");
+        assert!(events.contains("RunFinished"), "{events}");
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom written");
+        assert!(
+            prom.contains(metric_names::COMPARISONS_TOTAL),
+            "comparisons counter expected in exposition: {prom}"
+        );
+        assert!(dir.join("metrics.json").exists());
+
+        std::fs::remove_dir_all(&dir).expect("test dir removable");
+    }
+
+    #[test]
+    fn manifest_with_newer_version_is_not_overwritten() {
+        let dir = std::env::temp_dir().join(format!("crowd_runner_newer_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("test dir creatable");
+        let newer = format!("{{\"version\": {}}}\n", MANIFEST_VERSION + 1);
+        std::fs::write(dir.join("manifest.json"), &newer).expect("seed manifest written");
+
+        let err = run_experiments(&["table1".to_string()], &Scale::quick(), &dir)
+            .expect_err("a newer manifest must not be clobbered");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("newer"), "{err}");
+        let untouched =
+            std::fs::read_to_string(dir.join("manifest.json")).expect("manifest still present");
+        assert_eq!(untouched, newer, "the newer manifest must be untouched");
+
+        // A same-or-older manifest (including the pre-version schema, which
+        // counts as version 1) is overwritten normally.
+        std::fs::write(dir.join("manifest.json"), "{\"jobs\": 1}\n").expect("seed v1 manifest");
+        run_experiments(&["table1".to_string()], &Scale::quick(), &dir)
+            .expect("version-1 manifests are fair game");
+        let rewritten =
+            std::fs::read_to_string(dir.join("manifest.json")).expect("manifest rewritten");
+        assert!(rewritten.contains("\"version\""), "{rewritten}");
 
         std::fs::remove_dir_all(&dir).expect("test dir removable");
     }

@@ -1,0 +1,176 @@
+//! Text exposition of a metrics snapshot: a Prometheus-style text format
+//! and a JSON twin. Both render a sorted [`MetricSample`] snapshot, so two
+//! equal registries produce byte-identical files — which is what the CI
+//! `obs-smoke` diff relies on.
+
+use crate::metrics::{MetricSample, SampleValue};
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format:
+///
+/// ```text
+/// # TYPE crowd_comparisons_total counter
+/// crowd_comparisons_total{class="naive"} 96
+/// # TYPE crowd_round_survivors histogram
+/// crowd_round_survivors_bucket{le="1"} 0
+/// ...
+/// crowd_round_survivors_bucket{le="+Inf"} 4
+/// crowd_round_survivors_sum 33
+/// crowd_round_survivors_count 4
+/// ```
+///
+/// One `# TYPE` line per metric name (samples arrive sorted by name, so
+/// label sets of the same metric group under one header). Label values are
+/// escaped per the format: backslash, double quote and newline.
+pub fn render_prometheus(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for sample in samples {
+        if last_name != Some(sample.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} {}", sample.name, sample.type_name());
+            last_name = Some(sample.name.as_str());
+        }
+        match &sample.value {
+            SampleValue::Counter { value } => {
+                let _ = writeln!(out, "{}{} {value}", sample.name, label_block(sample, &[]));
+            }
+            SampleValue::Gauge { value } => {
+                let _ = writeln!(out, "{}{} {value}", sample.name, label_block(sample, &[]));
+            }
+            SampleValue::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                for bucket in buckets {
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        sample.name,
+                        label_block(sample, &[("le", &bucket.le)]),
+                        bucket.count
+                    );
+                }
+                let _ = writeln!(out, "{}_sum{} {sum}", sample.name, label_block(sample, &[]));
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {count}",
+                    sample.name,
+                    label_block(sample, &[])
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as pretty-printed JSON (trailing newline) — the
+/// machine-readable twin of [`render_prometheus`], written next to it as
+/// `metrics.json`.
+pub fn render_json(samples: &[MetricSample]) -> String {
+    let mut out =
+        serde_json::to_string_pretty(&samples.to_vec()).expect("metric snapshot serializes");
+    out.push('\n');
+    out
+}
+
+/// Formats `{a="1",b="2"}` from the sample's labels plus any extra pairs
+/// (the histogram `le`), or the empty string when there are none.
+fn label_block(sample: &MetricSample, extra: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = sample
+        .labels
+        .iter()
+        .map(|l| (l.name.as_str(), l.value.as_str()))
+        .collect();
+    pairs.extend_from_slice(extra);
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Escapes a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter_add("crowd_comparisons_total", &[("class", "naive")], 96);
+        r.counter_add("crowd_comparisons_total", &[("class", "expert")], 3);
+        r.gauge_set("crowd_retry_depth_max", &[], 2);
+        r.observe_with("crowd_round_survivors", &[], &[1, 10, 100], 33);
+        r
+    }
+
+    #[test]
+    fn prometheus_output_has_one_type_line_per_name() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert_eq!(
+            text.matches("# TYPE crowd_comparisons_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("crowd_comparisons_total{class=\"expert\"} 3\n"));
+        assert!(text.contains("crowd_comparisons_total{class=\"naive\"} 96\n"));
+        assert!(text.contains("# TYPE crowd_retry_depth_max gauge"));
+        assert!(text.contains("crowd_retry_depth_max 2\n"));
+    }
+
+    #[test]
+    fn histograms_render_buckets_sum_and_count() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE crowd_round_survivors histogram"));
+        assert!(text.contains("crowd_round_survivors_bucket{le=\"1\"} 0\n"));
+        assert!(text.contains("crowd_round_survivors_bucket{le=\"100\"} 1\n"));
+        assert!(text.contains("crowd_round_survivors_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("crowd_round_survivors_sum 33\n"));
+        assert!(text.contains("crowd_round_survivors_count 1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter_add("m", &[("k", "a\"b\\c\nd")], 1);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("m{k=\"a\\\"b\\\\c\\nd\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn json_twin_parses_back_to_the_same_snapshot() {
+        let snap = sample_registry().snapshot();
+        let json = render_json(&snap);
+        let parsed: Vec<MetricSample> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn equal_registries_render_byte_identically() {
+        let a = render_prometheus(&sample_registry().snapshot());
+        let b = render_prometheus(&sample_registry().snapshot());
+        assert_eq!(a, b);
+        assert_eq!(
+            render_json(&sample_registry().snapshot()),
+            render_json(&sample_registry().snapshot())
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Observability for the max-finding reproduction: one subsystem replacing
+//! the three partial tallying paths (`ComparisonCounts` snapshots,
+//! `TallySink` totals, ad-hoc manifest fields) that grew alongside it.
+//!
+//! Three cooperating pieces live here:
+//!
+//! * [`MetricsRegistry`] — monotonic counters, high-watermark gauges and
+//!   fixed-bucket histograms keyed by metric name plus a small label set.
+//!   Registries merge deterministically (counters and histogram buckets by
+//!   sum, gauges by maximum), which is what lets per-worker registries
+//!   aggregate across `parallel_map` fan-out without ordering artifacts.
+//! * [`Event`] / [`EventLog`] — a structured, append-only event stream
+//!   (`RunStarted`, `RoundCompleted`, `PhaseTransition`, fault and
+//!   recovery events, `RunFinished`) serialized as JSONL. Records carry a
+//!   **logical-clock sequence number** instead of wall time, so a run's
+//!   log is byte-identical at any `--jobs` count.
+//! * [`Recorder`] — the thread-local collection point, mirroring
+//!   `crowd_core::trace`'s `TallySink` stack: [`install_recorder`] scopes
+//!   a recorder to the current thread, [`emit`]/[`counter_add`]/
+//!   [`observe`]/[`gauge_set`] feed every installed recorder, and
+//!   [`record_segment`]/[`replay`] let a parallel runner buffer one work
+//!   item's output on a worker thread and splice it back in input order.
+//!
+//! Wall-clock time never enters any of these: timings stay segregated in
+//! the informational blocks the manifest and bench report already have,
+//! so the determinism checks (CI diffs of event logs and metric
+//! expositions across job counts) keep passing.
+//!
+//! The bridge from the existing `crowd-core` seams is [`ObservedOracle`]:
+//! it listens to the same [`TraceEvent`](crowd_core::trace::TraceEvent)
+//! boundary events `InstrumentedOracle` consumes and turns them into
+//! [`Event`]s and round-level histograms. Stack the two freely —
+//! `ObservedOracle<InstrumentedOracle<O>>` forwards every event inward.
+
+mod bridge;
+mod event;
+mod expo;
+mod metrics;
+mod recorder;
+
+pub use bridge::ObservedOracle;
+pub use event::{Event, EventLog, LogRecord};
+pub use expo::{render_json, render_prometheus};
+pub use metrics::{
+    BucketCount, Histogram, LabelPair, MetricSample, MetricsRegistry, SampleValue, DEFAULT_BUCKETS,
+};
+pub use recorder::{
+    counter_add, current_recorders, emit, gauge_set, install_recorder, install_recorders, observe,
+    record_segment, replay, Recorder, RecorderGuard, Segment,
+};
+
+use crowd_core::model::WorkerClass;
+use crowd_core::trace::FaultKind;
+
+/// Canonical metric names emitted by this workspace's instrumentation.
+/// Everything is a `&'static str` constant so call sites cannot drift and
+/// docs/tests can reference one authoritative list.
+pub mod names {
+    /// Counter, labels `{class}`: comparisons performed, from the
+    /// per-experiment `TallySink` totals.
+    pub const COMPARISONS_TOTAL: &str = "crowd_comparisons_total";
+    /// Counter, labels `{class, kind}`: faults recorded by the platform.
+    pub const FAULTS_TOTAL: &str = "crowd_faults_total";
+    /// Histogram, labels `{class}`: judgment latency in physical steps
+    /// (usable answers only).
+    pub const LATENCY_STEPS: &str = "crowd_latency_steps";
+    /// Histogram, labels `{class}`: attempts consumed per completed unit
+    /// (1 = first try).
+    pub const RETRY_DEPTH: &str = "crowd_retry_depth";
+    /// Counter, labels `{class}`: units dead-lettered after exhausting
+    /// retries.
+    pub const DEAD_LETTERS_TOTAL: &str = "crowd_dead_letters_total";
+    /// Histogram, no labels: survivor-set size after each filter round.
+    pub const ROUND_SURVIVORS: &str = "crowd_round_survivors";
+    /// Histogram, labels `{class}`: comparisons consumed per filter round.
+    pub const ROUND_COMPARISONS: &str = "crowd_round_comparisons";
+    /// Gauge (high watermark), no labels: deepest retry attempt seen.
+    pub const RETRY_DEPTH_MAX: &str = "crowd_retry_depth_max";
+}
+
+/// The label value used for a worker class (`"naive"` / `"expert"`).
+pub fn class_label(class: WorkerClass) -> &'static str {
+    match class {
+        WorkerClass::Naive => "naive",
+        WorkerClass::Expert => "expert",
+    }
+}
+
+/// The label value used for a fault kind (snake_case, stable).
+pub fn kind_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Dropout => "dropout",
+        FaultKind::Abandon => "abandon",
+        FaultKind::NoAnswer => "no_answer",
+        FaultKind::Timeout => "timeout",
+        FaultKind::Retry => "retry",
+        FaultKind::DeadLetter => "dead_letter",
+        FaultKind::ExpertFallback => "expert_fallback",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        assert_eq!(class_label(WorkerClass::Naive), "naive");
+        assert_eq!(class_label(WorkerClass::Expert), "expert");
+        let labels: Vec<&str> = FaultKind::ALL.iter().map(|k| kind_label(*k)).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "kind labels must be distinct");
+    }
+}

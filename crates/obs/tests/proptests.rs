@@ -1,0 +1,85 @@
+//! Property tests of the metrics registry's merge algebra.
+//!
+//! `parallel_map` merges per-worker registries into the caller's in input
+//! order, but nothing about the *math* may depend on that order: merge must
+//! be associative and commutative (counters and histogram buckets sum,
+//! gauges take the max), or the aggregate would vary with scheduling.
+
+use crowd_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["naive", "expert", "gold"];
+
+/// Decodes one opaque case value into a registry operation. The operation
+/// kind picks the metric name, so a name never changes type mid-stream.
+fn apply(reg: &MetricsRegistry, code: u64) {
+    let label = LABELS[(code % 3) as usize];
+    let value = (code / 3) % 100_000;
+    match (code / 300_000) % 3 {
+        0 => reg.counter_add("ops_counter", &[("class", label)], value),
+        1 => reg.gauge_set("ops_gauge", &[("class", label)], value as i64 - 50_000),
+        _ => reg.observe("ops_hist", &[("class", label)], value),
+    }
+}
+
+fn registry_from(codes: &[u64]) -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    for &code in codes {
+        apply(&reg, code);
+    }
+    reg
+}
+
+fn merged(parts: &[&MetricsRegistry]) -> MetricsRegistry {
+    let out = MetricsRegistry::new();
+    for part in parts {
+        out.merge_from(part);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging two per-worker registries commutes: A⊕B == B⊕A.
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..40),
+        b in prop::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (ra, rb) = (registry_from(&a), registry_from(&b));
+        prop_assert_eq!(
+            merged(&[&ra, &rb]).snapshot(),
+            merged(&[&rb, &ra]).snapshot()
+        );
+    }
+
+    /// Merging is associative: (A⊕B)⊕C == A⊕(B⊕C).
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..30),
+        b in prop::collection::vec(any::<u64>(), 0..30),
+        c in prop::collection::vec(any::<u64>(), 0..30),
+    ) {
+        let (ra, rb, rc) = (registry_from(&a), registry_from(&b), registry_from(&c));
+        let left = merged(&[&merged(&[&ra, &rb]), &rc]);
+        let right = merged(&[&ra, &merged(&[&rb, &rc])]);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    /// Merging per-worker registries equals applying every operation to one
+    /// registry directly — the property `parallel_map` relies on: splitting
+    /// work across workers must not change the aggregate.
+    #[test]
+    fn merge_equals_direct_application(
+        a in prop::collection::vec(any::<u64>(), 0..40),
+        b in prop::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let split = merged(&[&registry_from(&a), &registry_from(&b)]);
+        let direct = MetricsRegistry::new();
+        for &code in a.iter().chain(b.iter()) {
+            apply(&direct, code);
+        }
+        prop_assert_eq!(split.snapshot(), direct.snapshot());
+    }
+}

@@ -25,6 +25,7 @@ use crowd_core::element::{ElementId, Instance};
 use crowd_core::model::WorkerClass;
 use crowd_core::oracle::{ComparisonCounts, ComparisonOracle, OracleError};
 use crowd_core::trace::{FaultCounts, FaultKind};
+use crowd_obs::{class_label, kind_label, names as metric_names, Event};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -458,8 +459,7 @@ impl<R: RngCore> Platform<R> {
                 // back to a boosted naïve majority — the platform's
                 // per-unit majority aggregation realizes the vote boost —
                 // and flag the campaign degraded.
-                self.fault_counts
-                    .record(WorkerClass::Expert, FaultKind::ExpertFallback);
+                self.record_fault(WorkerClass::Expert, FaultKind::ExpertFallback);
                 self.degraded = true;
                 let boosted = Job::new(
                     job.units().to_vec(),
@@ -472,6 +472,26 @@ impl<R: RngCore> Platform<R> {
             other => other?,
         };
         Ok(regular_ids.iter().map(|id| result.answers[id]).collect())
+    }
+
+    /// Records a fault in the campaign tally and mirrors it into the
+    /// observability layer: every kind bumps the
+    /// [`crowd_faults_total`](metric_names::FAULTS_TOTAL) counter, and the
+    /// plain kinds emit an [`Event::FaultObserved`]. Retries and dead
+    /// letters skip the generic event — their call sites emit the richer
+    /// [`Event::RetryScheduled`] / [`Event::DeadLettered`] instead, so a
+    /// log never reports the same incident twice.
+    fn record_fault(&mut self, class: WorkerClass, kind: FaultKind) {
+        self.fault_counts.record(class, kind);
+        crowd_obs::counter_add(
+            metric_names::FAULTS_TOTAL,
+            &[("class", class_label(class)), ("kind", kind_label(kind))],
+            1,
+        );
+        match kind {
+            FaultKind::Retry | FaultKind::DeadLetter => {}
+            _ => crowd_obs::emit(Event::FaultObserved { class, kind }),
+        }
     }
 
     /// The fate of the next judgment attempt handed to `worker`, drawn
@@ -531,10 +551,9 @@ impl<R: RngCore> Platform<R> {
     pub fn run_job(&mut self, job: &Job, class: WorkerClass) -> Result<JobResult, PlatformError> {
         if let Some(cap) = self.config.budget_cap {
             if self.ledger.total() >= cap {
-                return Err(PlatformError::BudgetExhausted {
-                    cap,
-                    spent: self.ledger.total(),
-                });
+                let spent = self.ledger.total();
+                crowd_obs::emit(Event::BudgetExhausted { cap, spent });
+                return Err(PlatformError::BudgetExhausted { cap, spent });
             }
         }
 
@@ -547,7 +566,7 @@ impl<R: RngCore> Platform<R> {
             for w in self.pool.ids_of_class(class) {
                 if !excluded.contains(&w) && self.fault_plan.dropped_out(w) {
                     if self.dropped_seen.insert(w) {
-                        self.fault_counts.record(class, FaultKind::Dropout);
+                        self.record_fault(class, FaultKind::Dropout);
                     }
                     excluded.insert(w);
                 }
@@ -587,18 +606,18 @@ impl<R: RngCore> Platform<R> {
             if excluded.contains(&a.worker) {
                 // The worker abandoned an earlier judgment of this very
                 // batch and walked away from the rest of it.
-                self.fault_counts.record(class, FaultKind::Abandon);
+                self.record_fault(class, FaultKind::Abandon);
                 failed_slots.push(a.unit);
                 continue;
             }
             match self.next_fate(a.worker) {
                 JudgeFate::Abandon => {
-                    self.fault_counts.record(class, FaultKind::Abandon);
+                    self.record_fault(class, FaultKind::Abandon);
                     excluded.insert(a.worker);
                     failed_slots.push(a.unit);
                 }
                 JudgeFate::NoAnswer => {
-                    self.fault_counts.record(class, FaultKind::NoAnswer);
+                    self.record_fault(class, FaultKind::NoAnswer);
                     failed_slots.push(a.unit);
                 }
                 JudgeFate::Answer { latency } => {
@@ -611,8 +630,14 @@ impl<R: RngCore> Platform<R> {
                         usable,
                     );
                     judgments.push((judgment, usable));
-                    if !usable {
-                        self.fault_counts.record(class, FaultKind::Timeout);
+                    if usable {
+                        crowd_obs::observe(
+                            metric_names::LATENCY_STEPS,
+                            &[("class", class_label(class))],
+                            latency,
+                        );
+                    } else {
+                        self.record_fault(class, FaultKind::Timeout);
                         failed_slots.push(a.unit);
                     }
                 }
@@ -649,16 +674,22 @@ impl<R: RngCore> Platform<R> {
                 self.rotation = self.rotation.wrapping_add(1);
                 assigned.entry(unit_id).or_default().insert(worker);
                 *attempts_by_unit.entry(unit_id).or_default() += 1;
-                self.fault_counts.record(class, FaultKind::Retry);
+                self.record_fault(class, FaultKind::Retry);
+                crowd_obs::emit(Event::RetryScheduled {
+                    class,
+                    attempt,
+                    backoff_steps: policy.backoff(attempt),
+                });
+                crowd_obs::gauge_set(metric_names::RETRY_DEPTH_MAX, &[], i64::from(attempt));
                 retries_used += 1;
                 slot_delay += policy.backoff(attempt);
                 match self.next_fate(worker) {
                     JudgeFate::Abandon => {
-                        self.fault_counts.record(class, FaultKind::Abandon);
+                        self.record_fault(class, FaultKind::Abandon);
                         excluded.insert(worker);
                     }
                     JudgeFate::NoAnswer => {
-                        self.fault_counts.record(class, FaultKind::NoAnswer);
+                        self.record_fault(class, FaultKind::NoAnswer);
                     }
                     JudgeFate::Answer { latency } => {
                         let usable = latency <= timeout;
@@ -671,11 +702,16 @@ impl<R: RngCore> Platform<R> {
                         );
                         judgments.push((judgment, usable));
                         if usable {
+                            crowd_obs::observe(
+                                metric_names::LATENCY_STEPS,
+                                &[("class", class_label(class))],
+                                latency,
+                            );
                             slot_delay += latency;
                             recovered = true;
                             break;
                         }
-                        self.fault_counts.record(class, FaultKind::Timeout);
+                        self.record_fault(class, FaultKind::Timeout);
                     }
                 }
             }
@@ -697,15 +733,27 @@ impl<R: RngCore> Platform<R> {
         let mut dead_letters_here = 0u64;
         for unit in job.units() {
             let got = usable_per_unit.get(&unit.id).copied().unwrap_or(0);
+            let attempts = attempts_by_unit.get(&unit.id).copied().unwrap_or(0);
+            crowd_obs::observe(
+                metric_names::RETRY_DEPTH,
+                &[("class", class_label(class))],
+                u64::from(attempts),
+            );
             if got < needed {
                 degraded_units.push(unit.id);
                 self.degraded = true;
-                self.fault_counts.record(class, FaultKind::DeadLetter);
+                self.record_fault(class, FaultKind::DeadLetter);
+                crowd_obs::emit(Event::DeadLettered { class, attempts });
+                crowd_obs::counter_add(
+                    metric_names::DEAD_LETTERS_TOTAL,
+                    &[("class", class_label(class))],
+                    1,
+                );
                 self.dead_letters.push(DeadLetter {
                     unit: unit.id,
                     pair: unit.pair,
                     class,
-                    attempts: attempts_by_unit.get(&unit.id).copied().unwrap_or(0),
+                    attempts,
                     logical_step: self.logical_steps,
                 });
                 dead_letters_here += 1;

@@ -1,0 +1,105 @@
+//! Replay a structured event log: read an `events.jsonl` produced by a
+//! `repro` run (or record one in-process when no path is given) and print a
+//! per-round cost/survivor table — post-hoc run analysis from the log
+//! alone, no re-execution.
+//!
+//! ```text
+//! cargo run --release --example obs_replay [-- results/events.jsonl]
+//! ```
+
+use crowd_core::algorithms::{expert_max_find, ExpertMaxConfig};
+use crowd_core::element::Instance;
+use crowd_core::oracle::{ComparisonOracle, PerfectOracle};
+use crowd_obs::{Event, EventLog, ObservedOracle, Recorder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Records a small in-process run so the example works standalone.
+fn record_demo_log() -> String {
+    let instance = Instance::new((0..240).map(|i| (i * 83 % 997) as f64).collect());
+    let rec = Arc::new(Recorder::new());
+    {
+        let _guard = crowd_obs::install_recorder(rec.clone());
+        crowd_obs::emit(Event::RunStarted {
+            name: "obs_replay_demo".to_string(),
+        });
+        let mut oracle = ObservedOracle::new(PerfectOracle::new(instance.clone()));
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = expert_max_find(
+            &mut oracle,
+            &instance.ids(),
+            &ExpertMaxConfig::new(6),
+            &mut rng,
+        );
+        let counts = oracle.counts();
+        println!(
+            "recorded demo run: winner {} (true rank {})",
+            out.winner,
+            instance.rank(out.winner)
+        );
+        crowd_obs::emit(Event::RunFinished {
+            name: "obs_replay_demo".to_string(),
+            comparisons_by_class: counts,
+            faults: 0,
+        });
+    }
+    rec.log().to_jsonl()
+}
+
+fn main() {
+    let jsonl = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => record_demo_log(),
+    };
+
+    let log = EventLog::from_jsonl(&jsonl).expect("well-formed event log");
+    println!("{} records in the log\n", log.len());
+
+    // ----- Per-round cost/survivor table, straight from the log. -----
+    println!("| seq | round | groups | survivors | naive cmp | expert cmp |");
+    println!("|----:|------:|-------:|----------:|----------:|-----------:|");
+    let mut rounds = 0u64;
+    for record in &log.records {
+        if let Event::RoundCompleted {
+            round,
+            groups,
+            survivors,
+            comparisons_by_class,
+        } = &record.event
+        {
+            rounds += 1;
+            println!(
+                "| {} | {round} | {groups} | {survivors} | {} | {} |",
+                record.seq, comparisons_by_class.naive, comparisons_by_class.expert
+            );
+        }
+    }
+
+    // ----- Run-level summary from the bracketing events. -----
+    for event in log.events() {
+        match event {
+            Event::RunStarted { name } => println!("\nrun started: {name}"),
+            Event::RunFinished {
+                name,
+                comparisons_by_class,
+                faults,
+            } => println!(
+                "run finished: {name} — {} naive + {} expert comparisons, {faults} faults",
+                comparisons_by_class.naive, comparisons_by_class.expert
+            ),
+            Event::BudgetExhausted { cap, spent } => {
+                println!("budget exhausted: spent {spent:.2} against cap {cap:.2}");
+            }
+            _ => {}
+        }
+    }
+    let faults = log
+        .events()
+        .filter(|e| matches!(e, Event::FaultObserved { .. }))
+        .count();
+    println!("\n{rounds} filter rounds, {faults} fault events");
+}
