@@ -1,14 +1,16 @@
 //! Benchmark runner writing `BENCH_results.json`.
 //!
 //! ```text
-//! bench [--tier small|full] [--jobs N] [--seed S] [--out FILE]
+//! bench [--tier small|full|large] [--jobs N] [--seed S] [--out FILE]
 //! ```
 //!
 //! Times sequential Phase-1 filtering, the parallel filter, 2-MaxFind on
 //! the survivors, and the full two-phase run across catalog-size tiers
-//! (`small`: n ∈ {10³, 10⁴}; `full` adds 10⁵). The report's `meta` half is
+//! (`small`: n ∈ {10³, 10⁴}; `full` adds 10⁵; `large` adds 10⁶). The
+//! report's `meta` half is
 //! deterministic — byte-identical at any `--jobs` count — so CI can diff
-//! it against the committed baseline; only `timings` varies between runs.
+//! it against the committed baseline; only the `run` and `timings` halves
+//! vary between machines and runs.
 
 use crowd_bench::pipeline::{self, BenchReport};
 use crowd_experiments::engine;
@@ -26,7 +28,7 @@ fn main() -> ExitCode {
             "--tier" => match args.next() {
                 Some(name) if pipeline::tiers(&name).is_some() => tier = name,
                 _ => {
-                    eprintln!("--tier requires one of: small full");
+                    eprintln!("--tier requires one of: small full large");
                     return ExitCode::FAILURE;
                 }
             },
@@ -52,7 +54,9 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: bench [--tier small|full] [--jobs N] [--seed S] [--out FILE]");
+                println!(
+                    "usage: bench [--tier small|full|large] [--jobs N] [--seed S] [--out FILE]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -81,7 +85,7 @@ fn main() -> ExitCode {
 fn print_summary(report: &BenchReport) {
     println!(
         "tier set {:?}, seed {}, jobs {}",
-        report.meta.tier, report.meta.seed, report.timings.jobs
+        report.meta.tier, report.meta.seed, report.run.jobs
     );
     for (meta, timing) in report.meta.tiers.iter().zip(&report.timings.tiers) {
         println!("n = {} (un = {}, ue = {}):", meta.n, meta.un, meta.ue);

@@ -6,7 +6,7 @@
 //! tiers, and assembles a [`BenchReport`] that the binary writes as
 //! `BENCH_results.json`.
 //!
-//! The report is split in two on purpose:
+//! The report is split in three on purpose (schema 3):
 //!
 //! * [`BenchMeta`] holds everything deterministic — comparison counts,
 //!   rounds, survivor/peak candidate-set sizes and the `⌈m/w⌉`
@@ -14,8 +14,17 @@
 //!   group via [`group_seed`] on the parallel path), so this half is
 //!   **byte-identical at any `--jobs` count**; CI diffs it against the
 //!   committed baseline and fails on comparison-count drift.
-//! * [`BenchTimings`] holds wall-clock numbers and throughput. These vary
-//!   run to run and are informational only.
+//! * [`RunInfo`] describes how the run was configured on this machine
+//!   (the `--jobs` worker count). It is neither part of the deterministic
+//!   baseline nor a measurement.
+//! * [`BenchTimings`] holds wall-clock numbers and throughput — nothing
+//!   else. These vary run to run and are informational only.
+//!
+//! The split is load-bearing: [`BenchReport::metadata_json`] serializes
+//! *only* [`BenchMeta`], so no machine-dependent field (`jobs`,
+//! `wall_nanos`, `comparisons_per_sec`) can ever poison the CI drift
+//! diff. Schema 2 kept `jobs` inside the timings block; schema 3 moved it
+//! to [`RunInfo`] so the timings half is measurements only.
 
 use crowd_core::algorithms::{
     expert_max_find, filter_candidates, two_max_find, ExpertMaxConfig, FilterConfig, FilterOutcome,
@@ -58,12 +67,20 @@ pub fn tier_for(n: usize) -> TierSpec {
     }
 }
 
-/// The tiers of a named tier set: `small` is n ∈ {10³, 10⁴} (the CI smoke
-/// tier), `full` adds n = 10⁵. Unknown names return `None`.
+/// The tiers of a named tier set: `small` is n ∈ {10³, 10⁴}, `full` adds
+/// n = 10⁵ (the CI smoke tier, where the parallel filter must win), and
+/// `large` adds n = 10⁶ for offline scaling runs. Unknown names return
+/// `None`.
 pub fn tiers(name: &str) -> Option<Vec<TierSpec>> {
     match name {
         "small" => Some(vec![tier_for(1_000), tier_for(10_000)]),
         "full" => Some(vec![tier_for(1_000), tier_for(10_000), tier_for(100_000)]),
+        "large" => Some(vec![
+            tier_for(1_000),
+            tier_for(10_000),
+            tier_for(100_000),
+            tier_for(1_000_000),
+        ]),
         _ => None,
     }
 }
@@ -151,11 +168,17 @@ pub struct BenchMeta {
     pub metrics: Vec<MetricSample>,
 }
 
-/// The wall-clock half of a [`BenchReport`].
+/// Machine-local run configuration — how the benchmark was invoked, not
+/// what it measured and not part of the deterministic baseline.
 #[derive(Debug, Clone, Serialize)]
-pub struct BenchTimings {
+pub struct RunInfo {
     /// Worker threads the run was allowed to use.
     pub jobs: usize,
+}
+
+/// The wall-clock half of a [`BenchReport`]: measurements only.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchTimings {
     /// Per-tier wall-clock measurements.
     pub tiers: Vec<TierTiming>,
 }
@@ -165,6 +188,8 @@ pub struct BenchTimings {
 pub struct BenchReport {
     /// Deterministic statistics (byte-identical at any job count).
     pub meta: BenchMeta,
+    /// Run configuration (machine-local, informational).
+    pub run: RunInfo,
     /// Wall-clock measurements (informational).
     pub timings: BenchTimings,
 }
@@ -210,16 +235,16 @@ pub fn run_bench(label: &str, specs: &[TierSpec], seed: u64) -> BenchReport {
     }
     BenchReport {
         meta: BenchMeta {
-            schema: 2,
+            schema: 3,
             tier: label.to_string(),
             seed,
             tiers: metas,
             metrics: recorder.metrics().snapshot(),
         },
-        timings: BenchTimings {
+        run: RunInfo {
             jobs: crowd_experiments::engine::jobs(),
-            tiers: timings,
         },
+        timings: BenchTimings { tiers: timings },
     }
 }
 
@@ -354,9 +379,16 @@ fn setup(spec: TierSpec, seed: u64) -> (Instance, ExpertModel) {
     (planted.instance, model)
 }
 
-/// A simulated oracle over the planted instance with its own RNG stream.
-fn fresh_oracle(instance: &Instance, model: &ExpertModel, seed: u64) -> SimulatedOracle<StdRng> {
-    SimulatedOracle::new(instance.clone(), model.clone(), StdRng::seed_from_u64(seed))
+/// A simulated oracle borrowing the planted instance, with its own RNG
+/// stream. Borrowing matters on the parallel path: one oracle is built per
+/// (round, group), and cloning the instance there used to dominate the
+/// runtime at large `n`.
+fn fresh_oracle<'a>(
+    instance: &'a Instance,
+    model: &ExpertModel,
+    seed: u64,
+) -> SimulatedOracle<StdRng, &'a Instance> {
+    SimulatedOracle::new(instance, model.clone(), StdRng::seed_from_u64(seed))
 }
 
 /// [`SectionMeta`] of a filter outcome.
@@ -371,10 +403,14 @@ fn filter_meta(out: &FilterOutcome) -> SectionMeta {
     }
 }
 
-/// The largest survivor set after any completed round (`sizes[0]` is the
-/// input size `n`; with no rounds that trivial value is the peak).
+/// The largest survivor set after any completed round (the first entry is
+/// the input size `n`; with no rounds that trivial value is the peak, and
+/// an empty trace has none).
 fn peak_after_first_round(sizes: &[usize]) -> usize {
-    sizes[1..].iter().copied().max().unwrap_or(sizes[0])
+    match sizes.split_first() {
+        Some((first, rest)) => rest.iter().copied().max().unwrap_or(*first),
+        None => 0,
+    }
 }
 
 /// Timing of a section that performed `counts` comparisons since `started`.
@@ -413,9 +449,30 @@ mod tests {
         let parallel = run_bench("tiny", &tiny(), 9);
         engine::set_jobs(0);
         assert_eq!(serial.metadata_json(), parallel.metadata_json());
-        // The wall-clock half is allowed to differ; the jobs field must.
-        assert_eq!(serial.timings.jobs, 1);
-        assert_eq!(parallel.timings.jobs, 4);
+        // The run-info half is allowed to differ; the jobs field must.
+        assert_eq!(serial.run.jobs, 1);
+        assert_eq!(parallel.run.jobs, 4);
+    }
+
+    /// The schema-3 guarantee: the CI-diffed half contains no
+    /// machine-dependent field — not the job count and not a single
+    /// wall-clock or throughput number.
+    #[test]
+    fn metadata_carries_no_machine_dependent_fields() {
+        let report = run_bench("tiny", &tiny(), 3);
+        assert_eq!(report.meta.schema, 3);
+        let meta = report.metadata_json();
+        for forbidden in ["\"jobs\"", "\"wall_nanos\"", "\"comparisons_per_sec\""] {
+            assert!(
+                !meta.contains(forbidden),
+                "metadata_json leaked the machine-dependent field {forbidden}"
+            );
+        }
+        // The full report still carries all three halves.
+        let full = report.to_json();
+        for required in ["\"jobs\"", "\"wall_nanos\"", "\"comparisons_per_sec\""] {
+            assert!(full.contains(required));
+        }
     }
 
     #[test]
@@ -462,8 +519,16 @@ mod tests {
     fn named_tier_sets_resolve() {
         assert_eq!(tiers("small").expect("small set").len(), 2);
         assert_eq!(tiers("full").expect("full set").len(), 3);
+        assert_eq!(tiers("large").expect("large set").len(), 4);
         assert!(tiers("bogus").is_none());
         let t = tier_for(1_000);
         assert_eq!((t.un, t.ue), (10, 2));
+    }
+
+    #[test]
+    fn peak_handles_degenerate_size_traces() {
+        assert_eq!(peak_after_first_round(&[]), 0);
+        assert_eq!(peak_after_first_round(&[7]), 7);
+        assert_eq!(peak_after_first_round(&[100, 40, 60, 12]), 60);
     }
 }

@@ -28,6 +28,8 @@
 //! * [`bounds`] — the paper's closed-form upper/lower bounds.
 //! * [`budget`] — budget-optimal majority voting (the Mo et al. problem
 //!   from the related work).
+//! * [`equiv`] — the differential-equivalence harness: prove two oracle
+//!   drives issue the byte-identical comparison sequence.
 //! * [`replay`] — record judgments once, replay them offline across
 //!   algorithm variants.
 //! * [`stats`] — aggregation helpers for experiments.
@@ -78,6 +80,7 @@ pub mod bounds;
 pub mod budget;
 pub mod cost;
 pub mod element;
+pub mod equiv;
 pub mod estimation;
 pub mod model;
 pub mod multiclass;
@@ -99,6 +102,7 @@ pub mod prelude {
     pub use crate::budget::{budgeted_max_scan, plan_votes, VotePlan};
     pub use crate::cost::CostModel;
     pub use crate::element::{ElementId, Instance, Value};
+    pub use crate::equiv::{assert_oracles_equal, drive_batched, drive_scalar};
     pub use crate::estimation::{estimate_perr, estimate_un, EstimationConfig, TrainingSet};
     pub use crate::model::{
         ErrorModel, ExpertModel, ProbabilisticModel, ThresholdModel, TiePolicy, WorkerClass,

@@ -94,6 +94,25 @@ impl ExpertModel {
         self.model(class).epsilon()
     }
 
+    /// Answers a whole run of comparisons as workers of `class` — the
+    /// class dispatch happens once per batch instead of once per pair.
+    /// Observationally identical to calling [`Self::compare`] per pair;
+    /// see [`ThresholdModel::compare_many`] for the contract.
+    pub fn compare_many<F, R>(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        value_of: F,
+        winners: &mut Vec<ElementId>,
+        rng: &mut R,
+    ) where
+        F: Fn(ElementId) -> Value,
+        R: RngCore,
+    {
+        self.model_mut(class)
+            .compare_many(pairs, value_of, winners, rng);
+    }
+
     /// Runs one comparison as a worker of `class`.
     pub fn compare(
         &mut self,

@@ -96,6 +96,87 @@ impl ThresholdModel {
         self.tie_policy
     }
 
+    /// Answers a whole run of comparisons, pushing one winner per pair.
+    ///
+    /// Observationally identical to calling
+    /// [`compare`](ErrorModel::compare) once per pair with the same `rng`:
+    /// the same answers, in order, consuming the same random draws. What
+    /// changes is the cost profile, not the behaviour: the generator is
+    /// monomorphic (no per-draw virtual dispatch) and the winner of a
+    /// decided pair is picked with branchless selects, so the
+    /// data-dependent 50/50 outcome no longer costs a branch
+    /// misprediction per comparison. This is the engine under
+    /// [`SimulatedOracle::compare_batch`](crate::oracle::SimulatedOracle).
+    pub fn compare_many<F, R>(
+        &mut self,
+        pairs: &[(ElementId, ElementId)],
+        value_of: F,
+        winners: &mut Vec<ElementId>,
+        rng: &mut R,
+    ) where
+        F: Fn(ElementId) -> Value,
+        R: RngCore,
+    {
+        let delta = self.delta;
+        let epsilon = self.epsilon;
+        if epsilon == 0.0 && self.tie_policy == TiePolicy::UniformRandom {
+            // Exact worker, fair-coin ties — the configuration every
+            // benchmark runs — gets a fully branchless two-pass path.
+            //
+            // Pass 1 answers every pair as if it were decided (a masked
+            // select, no branch) and records the positions of ties with a
+            // branchless cursor: the slot is written unconditionally and
+            // the cursor advances only when the pair was a tie, so the
+            // data-dependent 50/50 outcome never becomes a mispredicted
+            // branch. Pass 2 walks the tie positions in pair order and
+            // overwrites each with one fair-coin draw. Decided pairs
+            // consume no randomness when ε = 0, so drawing only at tie
+            // positions, in order, reproduces the scalar loop's RNG
+            // stream exactly.
+            let base = winners.len();
+            let mut ties = vec![0u32; pairs.len()];
+            let mut tie_count = 0usize;
+            winners.extend(pairs.iter().enumerate().map(|(i, &(k, j))| {
+                let vk = value_of(k);
+                let vj = value_of(j);
+                ties[tie_count] = i as u32;
+                tie_count += usize::from((vk - vj).abs() <= delta);
+                let k_wins = vk > vj || (vk == vj && k < j);
+                select(k_wins, k, j)
+            }));
+            for &i in &ties[..tie_count] {
+                let (k, j) = pairs[i as usize];
+                winners[base + i as usize] = select(rng.gen_bool(0.5), k, j);
+            }
+            return;
+        }
+        // General path: `extend` over an exact-size iterator — the winner
+        // buffer grows once up front instead of a capacity check per push.
+        // The map closure runs strictly in pair order, so the RNG stream
+        // matches the scalar loop draw for draw.
+        winners.extend(pairs.iter().map(|&(k, j)| {
+            let vk = value_of(k);
+            let vj = value_of(j);
+            if (vk - vj).abs() <= delta {
+                match self.tie_policy {
+                    // Same draw as `tie_break`, selected branchlessly.
+                    TiePolicy::UniformRandom => select(rng.gen_bool(0.5), k, j),
+                    _ => self.tie_break(k, vk, j, vj, rng),
+                }
+            } else {
+                // `true_winner`'s predicate verbatim; a decided pair has
+                // d > δ >= 0 so the id tie-break arm is vacuous, but
+                // matching it keeps the equivalence self-evident.
+                let k_wins = vk > vj || (vk == vj && k < j);
+                if epsilon > 0.0 && rng.gen_bool(epsilon) {
+                    select(k_wins, j, k)
+                } else {
+                    select(k_wins, k, j)
+                }
+            }
+        }));
+    }
+
     fn tie_break(
         &mut self,
         k: ElementId,
@@ -133,6 +214,15 @@ impl ThresholdModel {
             }
         }
     }
+}
+
+/// `cond ? a : b` as mask arithmetic. The winner of a decided comparison
+/// is a 50/50 data-dependent choice; compiled as a branch it costs a
+/// misprediction nearly every time, which dominates the batch hot loop.
+#[inline(always)]
+fn select(cond: bool, a: ElementId, b: ElementId) -> ElementId {
+    let mask = (cond as u32).wrapping_neg();
+    ElementId((a.0 & mask) | (b.0 & !mask))
 }
 
 impl ErrorModel for ThresholdModel {

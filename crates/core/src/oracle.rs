@@ -21,6 +21,7 @@ use crate::element::{ElementId, Instance};
 use crate::model::{ErrorModel, ExpertModel, WorkerClass};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -56,11 +57,21 @@ impl ComparisonCounts {
     /// also feeds any [`TallySink`](crate::trace::TallySink)s installed on
     /// the current thread.
     pub fn record(&mut self, class: WorkerClass) {
+        self.record_many(class, 1);
+    }
+
+    /// Records `n` comparisons by `class` in one step.
+    ///
+    /// Equivalent to calling [`record`](Self::record) `n` times, but the
+    /// thread-local [`TallySink`](crate::trace::TallySink) feed happens
+    /// once for the whole delta instead of once per comparison — this is
+    /// what lets batch oracles amortize tally bookkeeping per batch.
+    pub fn record_many(&mut self, class: WorkerClass, n: u64) {
         match class {
-            WorkerClass::Naive => self.naive += 1,
-            WorkerClass::Expert => self.expert += 1,
+            WorkerClass::Naive => self.naive += n,
+            WorkerClass::Expert => self.expert += n,
         }
-        crate::trace::note_comparison(class);
+        crate::trace::note_comparisons(class, n);
     }
 
     /// Total comparisons across both classes.
@@ -214,6 +225,55 @@ pub trait ComparisonOracle {
         Ok(self.compare(class, k, j))
     }
 
+    /// Ask workers of `class` to compare every pair in `pairs`, appending
+    /// one winner per pair to `winners`, in input order.
+    ///
+    /// This is the batch-first entry point of the oracle API: semantically
+    /// it *is* `for (k, j) in pairs { winners.push(self.compare(..)) }` —
+    /// the default implementation is exactly that loop, so every oracle
+    /// keeps working unchanged. Implementations that override it must
+    /// issue the byte-identical comparison sequence (same answers, same
+    /// tallies, same RNG consumption as the scalar loop) and may only
+    /// amortize *bookkeeping* across the batch: tally deltas, event
+    /// emission, budget checks, billing. The
+    /// [`equiv`](crate::equiv) harness exists to pin that contract.
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        winners.reserve(pairs.len());
+        for &(k, j) in pairs {
+            let winner = self.compare(class, k, j);
+            winners.push(winner);
+        }
+    }
+
+    /// Fallible variant of [`compare_batch`](Self::compare_batch).
+    ///
+    /// Appends winners in input order until the first failure; on `Err`,
+    /// `winners` holds the answers obtained before the fault (possibly
+    /// none — a platform submitting the batch as a single all-or-nothing
+    /// job fails it as a unit).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OracleError`] encountered.
+    fn try_compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) -> Result<(), OracleError> {
+        winners.reserve(pairs.len());
+        for &(k, j) in pairs {
+            let winner = self.try_compare(class, k, j)?;
+            winners.push(winner);
+        }
+        Ok(())
+    }
+
     /// Comparisons performed so far, by class.
     fn counts(&self) -> ComparisonCounts;
 
@@ -240,6 +300,22 @@ impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
         j: ElementId,
     ) -> Result<ElementId, OracleError> {
         (**self).try_compare(class, k, j)
+    }
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        (**self).compare_batch(class, pairs, winners);
+    }
+    fn try_compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) -> Result<(), OracleError> {
+        (**self).try_compare_batch(class, pairs, winners)
     }
     fn counts(&self) -> ComparisonCounts {
         (**self).counts()
@@ -322,6 +398,50 @@ impl<O: ComparisonOracle> ComparisonOracle for FuseOracle<O> {
             .or_insert_with(|| if k < j { k } else { j })
     }
 
+    /// Batch adapter for the fault layer: while the fuse is intact the
+    /// whole batch is forwarded to the inner oracle in one
+    /// [`try_compare_batch`](ComparisonOracle::try_compare_batch) call, so
+    /// a platform underneath decides the batch's fault fate once instead
+    /// of per comparison. On a fault the fuse blows mid-batch and the
+    /// remaining pairs are fabricated exactly like scalar post-blow
+    /// answers. Equal to the scalar loop whenever the inner oracle's batch
+    /// entry matches its scalar sequence — in particular always for
+    /// simulated oracles, and for platform oracles until the first fault
+    /// (an all-or-nothing platform batch may fail pairs the scalar loop
+    /// would still have answered; the driver discards the outcome either
+    /// way and reports the captured error).
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        winners.reserve(pairs.len());
+        let start = winners.len();
+        if self.error.is_none() {
+            let outcome = self.inner.try_compare_batch(class, pairs, winners);
+            for (&(k, j), &winner) in pairs.iter().zip(&winners[start..]) {
+                let key = if k < j { (class, k, j) } else { (class, j, k) };
+                self.answered.insert(key, winner);
+            }
+            match outcome {
+                Ok(()) => return,
+                Err(e) => self.error = Some(e),
+            }
+        }
+        // Blown: fabricate the unanswered remainder of the batch, same
+        // policy as the scalar path.
+        let done = winners.len() - start;
+        for &(k, j) in &pairs[done..] {
+            let key = if k < j { (class, k, j) } else { (class, j, k) };
+            let winner = *self
+                .answered
+                .entry(key)
+                .or_insert_with(|| if k < j { k } else { j });
+            winners.push(winner);
+        }
+    }
+
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
     }
@@ -333,21 +453,27 @@ impl<O: ComparisonOracle> ComparisonOracle for FuseOracle<O> {
 
 /// An oracle that simulates the two-class threshold workforce of Section 3.3
 /// over a ground-truth [`Instance`].
+///
+/// Generic over *how* the instance is held: by default it is owned
+/// (`B = Instance`, cloned by the caller if shared), which keeps every
+/// algorithm signature lifetime-free. Hot paths that mint one oracle per
+/// tournament group — the parallel filter's per-group factories — pass
+/// `&Instance` instead, so constructing an oracle is O(1) rather than a
+/// full copy of the ground-truth values.
 #[derive(Debug)]
-pub struct SimulatedOracle<R: RngCore> {
-    instance: Instance,
+pub struct SimulatedOracle<R: RngCore, B: Borrow<Instance> = Instance> {
+    instance: B,
     model: ExpertModel,
     rng: R,
     counts: ComparisonCounts,
 }
 
-impl<R: RngCore> SimulatedOracle<R> {
+impl<R: RngCore, B: Borrow<Instance>> SimulatedOracle<R, B> {
     /// Builds an oracle over `instance` with the given workforce `model`.
     ///
-    /// The instance is owned (cloned by the caller if shared): oracles are
-    /// cheap relative to the experiments that use them, and owning avoids
-    /// threading lifetimes through every algorithm signature.
-    pub fn new(instance: Instance, model: ExpertModel, rng: R) -> Self {
+    /// `instance` may be owned (`Instance`) or borrowed (`&Instance`);
+    /// see the type-level docs for when each is appropriate.
+    pub fn new(instance: B, model: ExpertModel, rng: R) -> Self {
         SimulatedOracle {
             instance,
             model,
@@ -358,7 +484,7 @@ impl<R: RngCore> SimulatedOracle<R> {
 
     /// The ground-truth instance this oracle simulates workers over.
     pub fn instance(&self) -> &Instance {
-        &self.instance
+        self.instance.borrow()
     }
 
     /// The workforce model.
@@ -367,15 +493,45 @@ impl<R: RngCore> SimulatedOracle<R> {
     }
 }
 
-impl<R: RngCore> ComparisonOracle for SimulatedOracle<R> {
+impl<R: RngCore, B: Borrow<Instance>> ComparisonOracle for SimulatedOracle<R, B> {
     fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
         assert_ne!(
             k, j,
             "a worker is never handed two copies of the same element"
         );
         self.counts.record(class);
-        let (vk, vj) = (self.instance.value(k), self.instance.value(j));
+        let instance = self.instance.borrow();
+        let (vk, vj) = (instance.value(k), instance.value(j));
         self.model.compare(class, k, vk, j, vj, &mut self.rng)
+    }
+
+    /// One tally delta for the whole batch; the per-pair answers consume
+    /// the RNG in exactly the order the scalar loop would (the answering
+    /// itself runs through the model's monomorphic, branch-free
+    /// [`ExpertModel::compare_many`] run).
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        // The scalar path asserts per comparison; here a separate release
+        // pass over the whole batch would re-read every pair once just to
+        // re-check what the filter construction already guarantees, so the
+        // check is debug-only on the batch path.
+        debug_assert!(
+            pairs.iter().all(|&(k, j)| k != j),
+            "a worker is never handed two copies of the same element"
+        );
+        self.counts.record_many(class, pairs.len() as u64);
+        let instance = self.instance.borrow();
+        self.model.compare_many(
+            class,
+            pairs,
+            |id| instance.value(id),
+            winners,
+            &mut self.rng,
+        );
     }
 
     fn counts(&self) -> ComparisonCounts {
@@ -689,6 +845,27 @@ impl<MN: ErrorModel, ME: ErrorModel, R: RngCore> ComparisonOracle for ModelOracl
         }
     }
 
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        self.counts.record_many(class, pairs.len() as u64);
+        winners.reserve(pairs.len());
+        for &(k, j) in pairs {
+            assert_ne!(
+                k, j,
+                "a worker is never handed two copies of the same element"
+            );
+            let (vk, vj) = (self.instance.value(k), self.instance.value(j));
+            winners.push(match class {
+                WorkerClass::Naive => self.naive.compare(k, vk, j, vj, &mut self.rng),
+                WorkerClass::Expert => self.expert.compare(k, vk, j, vj, &mut self.rng),
+            });
+        }
+    }
+
     fn counts(&self) -> ComparisonCounts {
         self.counts
     }
@@ -808,6 +985,28 @@ impl ComparisonOracle for PerfectOracle {
         );
         self.counts.record(class);
         crate::model::true_winner(k, self.instance.value(k), j, self.instance.value(j))
+    }
+
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        self.counts.record_many(class, pairs.len() as u64);
+        winners.reserve(pairs.len());
+        for &(k, j) in pairs {
+            assert_ne!(
+                k, j,
+                "a worker is never handed two copies of the same element"
+            );
+            winners.push(crate::model::true_winner(
+                k,
+                self.instance.value(k),
+                j,
+                self.instance.value(j),
+            ));
+        }
     }
 
     fn counts(&self) -> ComparisonCounts {

@@ -108,8 +108,71 @@ impl<O: ComparisonOracle> ComparisonOracle for RecordingOracle<O> {
         winner
     }
 
+    fn try_compare(
+        &mut self,
+        class: WorkerClass,
+        k: ElementId,
+        j: ElementId,
+    ) -> Result<ElementId, crate::oracle::OracleError> {
+        let winner = self.inner.try_compare(class, k, j)?;
+        self.log.push(RecordedJudgment {
+            class,
+            k,
+            j,
+            winner,
+        });
+        Ok(winner)
+    }
+
+    /// Forwards the batch to the inner oracle *as a batch* (so its batch
+    /// adapters stay engaged), then logs the answered pairs one by one —
+    /// a recorded batch run is indistinguishable in the log from the
+    /// equivalent scalar run, which is exactly what the
+    /// [`equiv`](crate::equiv) harness relies on.
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        let start = winners.len();
+        self.inner.compare_batch(class, pairs, winners);
+        for (&(k, j), &winner) in pairs.iter().zip(&winners[start..]) {
+            self.log.push(RecordedJudgment {
+                class,
+                k,
+                j,
+                winner,
+            });
+        }
+    }
+
+    fn try_compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) -> Result<(), crate::oracle::OracleError> {
+        let start = winners.len();
+        let outcome = self.inner.try_compare_batch(class, pairs, winners);
+        // Log whatever was answered, even on a mid-batch fault.
+        for (&(k, j), &winner) in pairs.iter().zip(&winners[start..]) {
+            self.log.push(RecordedJudgment {
+                class,
+                k,
+                j,
+                winner,
+            });
+        }
+        outcome
+    }
+
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
+    }
+
+    fn observe(&mut self, event: crate::trace::TraceEvent) {
+        self.inner.observe(event);
     }
 }
 

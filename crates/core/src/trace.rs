@@ -384,6 +384,24 @@ impl<O: ComparisonOracle> ComparisonOracle for InstrumentedOracle<O> {
         self.inner.try_compare(class, k, j)
     }
 
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        self.inner.compare_batch(class, pairs, winners);
+    }
+
+    fn try_compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) -> Result<(), crate::oracle::OracleError> {
+        self.inner.try_compare_batch(class, pairs, winners)
+    }
+
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
     }
@@ -423,9 +441,16 @@ impl TallySink {
 
     /// Adds one comparison of `class`.
     pub fn add(&self, class: WorkerClass) {
+        self.add_many(class, 1);
+    }
+
+    /// Adds `n` comparisons of `class` in one atomic step — the bulk feed
+    /// used by [`ComparisonCounts::record_many`] so a batch costs one
+    /// `fetch_add` per sink instead of one per comparison.
+    pub fn add_many(&self, class: WorkerClass, n: u64) {
         match class {
-            WorkerClass::Naive => self.naive.fetch_add(1, Ordering::Relaxed),
-            WorkerClass::Expert => self.expert.fetch_add(1, Ordering::Relaxed),
+            WorkerClass::Naive => self.naive.fetch_add(n, Ordering::Relaxed),
+            WorkerClass::Expert => self.expert.fetch_add(n, Ordering::Relaxed),
         };
     }
 
@@ -502,13 +527,14 @@ pub fn current_sinks() -> Vec<Arc<TallySink>> {
     SINKS.with(|s| s.borrow().clone())
 }
 
-/// Feeds one recorded comparison to every installed sink. Called from
-/// [`ComparisonCounts::record`], the chokepoint every worker-performed
-/// comparison passes through.
-pub(crate) fn note_comparison(class: WorkerClass) {
+/// Feeds `n` recorded comparisons to every installed sink in one pass.
+/// Called from [`ComparisonCounts::record_many`], the chokepoint every
+/// worker-performed comparison passes through — batch oracles pay the
+/// thread-local lookup once per batch rather than once per comparison.
+pub(crate) fn note_comparisons(class: WorkerClass, n: u64) {
     SINKS.with(|s| {
         for sink in s.borrow().iter() {
-            sink.add(class);
+            sink.add_many(class, n);
         }
     });
 }

@@ -1,0 +1,246 @@
+//! The batch oracle contract: [`ComparisonOracle::compare_batch`] must be
+//! observationally identical to the scalar `compare` loop — same answers,
+//! same RNG consumption, same tallies — through every oracle and
+//! decorator, and under any split of the comparison list into batches.
+//!
+//! All proofs go through the [`crowd_core::equiv`] harness.
+
+use crowd_core::element::{ElementId, Instance};
+use crowd_core::equiv::{assert_oracles_equal, drive_batched, drive_scalar};
+use crowd_core::model::{ExpertModel, TiePolicy, WorkerClass};
+use crowd_core::oracle::{
+    ComparisonOracle, FuseOracle, MemoOracle, OracleError, PerfectOracle, SimulatedOracle,
+    TryFnOracle,
+};
+use crowd_core::trace::{install_sink, InstrumentedOracle, TallySink};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn instance(n: usize) -> Instance {
+    Instance::new((0..n).map(|i| ((i * 37) % n) as f64).collect())
+}
+
+fn simulated(inst: &Instance, seed: u64) -> SimulatedOracle<StdRng> {
+    // δn wide enough that ties occur, so the RNG is actually consumed.
+    let model = ExpertModel::exact(8.0, 1.0, TiePolicy::UniformRandom);
+    SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed))
+}
+
+/// `(a, b)` index pairs with `a != b`, drawn over `n` elements — each
+/// pair decoded from one raw draw (the shim has no tuple strategies).
+fn pairs_strategy(n: u32) -> impl Strategy<Value = Vec<(ElementId, ElementId)>> {
+    prop::collection::vec(0u32..n * (n - 1), 1..80).prop_map(move |raw| {
+        raw.into_iter()
+            .map(|v| {
+                let a = v % n;
+                let b = (v / n) % (n - 1);
+                let b = if b >= a { b + 1 } else { b };
+                (ElementId(a), ElementId(b))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The unsplit batch equals the scalar loop on a same-seeded
+    /// stochastic oracle: identical winners, tallies and RNG stream.
+    #[test]
+    fn one_batch_equals_the_scalar_loop(
+        pairs in pairs_strategy(16u32),
+        seed in any::<u64>(),
+        class_bit in any::<bool>(),
+    ) {
+        let inst = instance(16);
+        let class = if class_bit { WorkerClass::Expert } else { WorkerClass::Naive };
+        assert_oracles_equal(
+            simulated(&inst, seed),
+            simulated(&inst, seed),
+            |o| drive_scalar(o, class, &pairs),
+            |o| drive_batched(o, class, &pairs, &[]),
+        );
+    }
+
+    /// The equivalence holds under every tie policy and with residual
+    /// error ε > 0 — i.e. on both sides of `compare_many`'s branchless
+    /// fast path (which only covers ε = 0 fair-coin ties) and through the
+    /// `tie_break` fallback, including the stateful Persistent policy.
+    #[test]
+    fn one_batch_equals_the_scalar_loop_under_every_tie_policy(
+        pairs in pairs_strategy(16u32),
+        seed in any::<u64>(),
+        policy_raw in 0u8..5,
+        noisy in any::<bool>(),
+    ) {
+        let policy = match policy_raw {
+            0 => TiePolicy::UniformRandom,
+            1 => TiePolicy::Persistent,
+            2 => TiePolicy::FavorLower,
+            3 => TiePolicy::FavorHigher,
+            _ => TiePolicy::FavorSmallerId,
+        };
+        let epsilon = if noisy { 0.25 } else { 0.0 };
+        let inst = instance(16);
+        let oracle = || {
+            let model = ExpertModel::new(8.0, epsilon, 4.0, epsilon, policy);
+            SimulatedOracle::new(inst.clone(), model, StdRng::seed_from_u64(seed))
+        };
+        assert_oracles_equal(
+            oracle(),
+            oracle(),
+            |o| drive_scalar(o, WorkerClass::Naive, &pairs),
+            |o| drive_batched(o, WorkerClass::Naive, &pairs, &[]),
+        );
+    }
+
+    /// Any split of the comparison list into consecutive batches equals
+    /// the unsplit sequence — batching is associative.
+    #[test]
+    fn split_batches_equal_the_unsplit_sequence(
+        pairs in pairs_strategy(16u32),
+        segments in prop::collection::vec(0usize..12, 0..8),
+        seed in any::<u64>(),
+    ) {
+        let inst = instance(16);
+        assert_oracles_equal(
+            simulated(&inst, seed),
+            simulated(&inst, seed),
+            |o| drive_batched(o, WorkerClass::Naive, &pairs, &[]),
+            |o| drive_batched(o, WorkerClass::Naive, &pairs, &segments),
+        );
+    }
+
+    /// The contract holds through a trace → fault decorator stack: the
+    /// batch forwards reach the simulated oracle intact.
+    #[test]
+    fn batches_forward_through_decorator_stacks(
+        pairs in pairs_strategy(12u32),
+        segments in prop::collection::vec(1usize..9, 0..6),
+        seed in any::<u64>(),
+    ) {
+        let inst = instance(12);
+        let stack = |seed| InstrumentedOracle::new(FuseOracle::new(simulated(&inst, seed)));
+        assert_oracles_equal(
+            stack(seed),
+            stack(seed),
+            |o| drive_scalar(o, WorkerClass::Naive, &pairs),
+            |o| drive_batched(o, WorkerClass::Naive, &pairs, &segments),
+        );
+    }
+}
+
+#[test]
+fn batch_tallies_feed_sinks_once_per_batch_with_the_same_totals() {
+    let inst = instance(10);
+    let pairs: Vec<(ElementId, ElementId)> =
+        (1..10u32).map(|j| (ElementId(0), ElementId(j))).collect();
+    let sink = Arc::new(TallySink::new());
+    {
+        let _g = install_sink(sink.clone());
+        let mut o = PerfectOracle::new(inst.clone());
+        let mut winners = Vec::new();
+        o.compare_batch(WorkerClass::Naive, &pairs, &mut winners);
+        o.compare_batch(WorkerClass::Expert, &pairs[..3], &mut winners);
+        assert_eq!(winners.len(), pairs.len() + 3);
+    }
+    assert_eq!(sink.counts().naive, pairs.len() as u64);
+    assert_eq!(sink.counts().expert, 3);
+}
+
+#[test]
+fn memo_decorator_still_answers_within_batch_repeats_for_free() {
+    // MemoOracle deliberately keeps the default per-pair batch loop: a
+    // repeat *inside* one batch must hit the memo, which a forwarded
+    // batch could not guarantee.
+    let inst = instance(6);
+    let mut o = MemoOracle::new(PerfectOracle::new(inst));
+    let pairs = [
+        (ElementId(0), ElementId(1)),
+        (ElementId(1), ElementId(0)),
+        (ElementId(0), ElementId(1)),
+    ];
+    let mut winners = Vec::new();
+    o.compare_batch(WorkerClass::Naive, &pairs, &mut winners);
+    assert_eq!(winners, vec![ElementId(1); 3]);
+    assert_eq!(o.counts().naive, 1, "repeats answered from the memo");
+    assert_eq!(o.hits(), 2);
+}
+
+/// A fallible oracle that answers `budget` comparisons, then fails.
+fn flaky(
+    budget: u64,
+) -> TryFnOracle<impl FnMut(WorkerClass, ElementId, ElementId) -> Result<ElementId, OracleError>> {
+    let mut remaining = budget;
+    TryFnOracle::new(move |class, k, j| {
+        if remaining == 0 {
+            return Err(OracleError::WorkforceDepleted { class });
+        }
+        remaining -= 1;
+        Ok(if k > j { k } else { j })
+    })
+}
+
+#[test]
+fn fuse_batch_blows_mid_batch_and_fabricates_the_remainder_like_scalar() {
+    let pairs: Vec<(ElementId, ElementId)> = (0..6u32)
+        .map(|i| (ElementId(2 * i), ElementId(2 * i + 1)))
+        .collect();
+    // The inner oracle answers 4 of the 6 pairs, then the pool dies. The
+    // per-pair fallible default means the batch fuse sees exactly the
+    // scalar fault point, so the two runs are observationally equal.
+    let (_, winners) = assert_oracles_equal(
+        FuseOracle::new(flaky(4)),
+        FuseOracle::new(flaky(4)),
+        |o| drive_scalar(o, WorkerClass::Naive, &pairs),
+        |o| drive_batched(o, WorkerClass::Naive, &pairs, &[3]),
+    );
+    assert_eq!(winners.len(), pairs.len());
+    // Fabricated tail: fresh pairs go to the smaller id.
+    assert_eq!(winners[4], ElementId(8));
+    assert_eq!(winners[5], ElementId(10));
+    let mut fuse = FuseOracle::new(flaky(4));
+    let mut out = Vec::new();
+    fuse.compare_batch(WorkerClass::Naive, &pairs, &mut out);
+    assert!(fuse.blown());
+    assert_eq!(
+        fuse.take_error(),
+        Some(OracleError::WorkforceDepleted {
+            class: WorkerClass::Naive
+        })
+    );
+}
+
+#[test]
+fn try_compare_batch_stops_at_the_first_error_with_partial_winners() {
+    let pairs: Vec<(ElementId, ElementId)> = (0..5u32)
+        .map(|i| (ElementId(i), ElementId(i + 5)))
+        .collect();
+    let mut o = flaky(2);
+    let mut winners = Vec::new();
+    let err = o
+        .try_compare_batch(WorkerClass::Naive, &pairs, &mut winners)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        OracleError::WorkforceDepleted {
+            class: WorkerClass::Naive
+        }
+    );
+    assert_eq!(winners, vec![ElementId(5), ElementId(6)]);
+    assert_eq!(o.counts().naive, 2, "only answered comparisons are billed");
+}
+
+#[test]
+fn empty_batches_are_free() {
+    let inst = instance(4);
+    let mut o = simulated(&inst, 1);
+    let mut winners = Vec::new();
+    o.compare_batch(WorkerClass::Naive, &[], &mut winners);
+    o.try_compare_batch(WorkerClass::Expert, &[], &mut winners)
+        .unwrap();
+    assert!(winners.is_empty());
+    assert_eq!(o.counts().total(), 0);
+}

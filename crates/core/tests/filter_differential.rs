@@ -4,65 +4,25 @@
 //! `Tournament`/`HashMap` implementation to an index arena with flat win
 //! tallies. The pre-refactor implementation is retained *verbatim* below
 //! as [`reference_filter_candidates`], and the property test drives both
-//! through recording oracles: for random instances, thresholds, tie
+//! through [`assert_oracles_equal`] — the reusable differential harness
+//! this suite was promoted into: for random instances, thresholds, tie
 //! policies and seeds — with and without the Appendix A global-loss
 //! optimization — the rewrite must issue the **same comparison sequence**
-//! (same pairs, same order, same argument order) and produce the same
-//! survivor set, round count, size trace and comparison tally.
+//! (same pairs, same order, same argument order, same answers) and
+//! produce the same survivor set, round count, size trace and comparison
+//! tally.
 
 use crowd_core::algorithms::{filter_candidates, FilterConfig, FilterOutcome};
 use crowd_core::element::{ElementId, Instance};
+use crowd_core::equiv::assert_oracles_equal;
 use crowd_core::model::{ExpertModel, TiePolicy, WorkerClass};
-use crowd_core::oracle::{
-    ComparisonCounts, ComparisonOracle, OracleError, PerfectOracle, SimulatedOracle,
-};
+use crowd_core::oracle::{ComparisonOracle, PerfectOracle, SimulatedOracle};
 use crowd_core::tournament::Tournament;
 use crowd_core::trace::TraceEvent;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
-
-/// Decorator recording every query (class and arguments, in caller order)
-/// on its way to the inner oracle.
-struct RecordingOracle<O> {
-    inner: O,
-    queries: Vec<(WorkerClass, ElementId, ElementId)>,
-}
-
-impl<O> RecordingOracle<O> {
-    fn new(inner: O) -> Self {
-        RecordingOracle {
-            inner,
-            queries: Vec::new(),
-        }
-    }
-}
-
-impl<O: ComparisonOracle> ComparisonOracle for RecordingOracle<O> {
-    fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
-        self.queries.push((class, k, j));
-        self.inner.compare(class, k, j)
-    }
-
-    fn try_compare(
-        &mut self,
-        class: WorkerClass,
-        k: ElementId,
-        j: ElementId,
-    ) -> Result<ElementId, OracleError> {
-        self.queries.push((class, k, j));
-        self.inner.try_compare(class, k, j)
-    }
-
-    fn counts(&self) -> ComparisonCounts {
-        self.inner.counts()
-    }
-
-    fn observe(&mut self, event: TraceEvent) {
-        self.inner.observe(event);
-    }
-}
 
 /// The pre-refactor Algorithm 2, verbatim (commit `15e561a`), as the
 /// reference the arena rewrite is diffed against.
@@ -144,24 +104,19 @@ fn record_losses(t: &Tournament, losses: &mut HashMap<ElementId, HashSet<Element
 }
 
 /// Runs both implementations over identically built oracles and asserts
-/// full observational equality: query-for-query and field-for-field.
+/// full observational equality — judgment-for-judgment and
+/// field-for-field — through the shared [`assert_oracles_equal`] harness.
 fn assert_identical<O, F>(make_oracle: F, inst: &Instance, cfg: &FilterConfig)
 where
     O: ComparisonOracle,
     F: Fn() -> O,
 {
-    let mut new_oracle = RecordingOracle::new(make_oracle());
-    let new_out = filter_candidates(&mut new_oracle, &inst.ids(), cfg);
-    let mut ref_oracle = RecordingOracle::new(make_oracle());
-    let ref_out = reference_filter_candidates(&mut ref_oracle, &inst.ids(), cfg);
-
-    assert_eq!(
-        new_oracle.queries,
-        ref_oracle.queries,
-        "comparison sequences diverged (n = {}, cfg = {cfg:?})",
-        inst.n()
+    assert_oracles_equal(
+        make_oracle(),
+        make_oracle(),
+        |o| filter_candidates(o, &inst.ids(), cfg),
+        |o| reference_filter_candidates(o, &inst.ids(), cfg),
     );
-    assert_eq!(new_out, ref_out, "outcomes diverged (n = {})", inst.n());
 }
 
 fn tie_policies() -> impl Strategy<Value = TiePolicy> {

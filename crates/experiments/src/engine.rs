@@ -67,7 +67,11 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let workers = jobs().min(items.len());
+    // Spawning more CPU-bound workers than the machine has cores is pure
+    // scheduling overhead (the work is deterministic either way), so the
+    // requested job count is capped at the available parallelism.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = jobs().min(items.len()).min(cores);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }

@@ -1,5 +1,5 @@
 //! Parallel Phase-1 filtering: independent tournament groups fan out
-//! across [`engine::parallel_map`].
+//! across [`engine::parallel_map`] in cache-sized chunks.
 //!
 //! Algorithm 2's rounds are embarrassingly parallel *within* a round: the
 //! groups share no state, so each group's all-play-all tournament can run
@@ -11,6 +11,17 @@
 //! instead of a lock-stepped global stream) and makes the round's outcome
 //! independent of scheduling: results are joined in group order, so the
 //! output is **byte-identical at any `--jobs` count**.
+//!
+//! The execution is batch-first: each group's comparisons are generated
+//! into a flat pair buffer and answered through one
+//! [`ComparisonOracle::compare_batch`] call, so per-comparison bookkeeping
+//! (tally-sink feeding, dynamic dispatch through decorator stacks) is
+//! amortized to once per group. Groups are packed into chunks of roughly
+//! `CHUNK_COMPARISONS` comparisons; a chunk is one `parallel_map` work
+//! item, so work-item bookkeeping and `crowd-obs` segment capture/replay
+//! cost once per chunk rather than once per group. Chunk boundaries are
+//! invisible in the output: every group still plays under its own
+//! coordinate-seeded oracle, in group order.
 //!
 //! The price is a different (but equally valid) random realization than
 //! [`filter_candidates`](crowd_core::algorithms::filter_candidates) would produce with one sequential oracle — the
@@ -28,6 +39,12 @@ use crowd_core::element::ElementId;
 use crowd_core::model::WorkerClass;
 use crowd_core::oracle::{ComparisonCounts, ComparisonOracle};
 
+/// Target comparisons per parallel work item. Each chunk's flat pair and
+/// winner buffers stay around a megabyte (inside L2), while a chunk is
+/// large enough that thread hand-off, segment capture, and per-chunk
+/// buffer growth are noise against the comparison work it carries.
+const CHUNK_COMPARISONS: usize = 128 * 1024;
+
 /// Derives the seed for one filter group from a base seed and the group's
 /// `(round, group)` coordinates, via two rounds of SplitMix64 avalanching.
 /// Benches and tests share this so parallel runs are reproducible from a
@@ -44,20 +61,37 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// One group's tournament result, joined back in group order.
-struct GroupResult {
-    /// Positions (into the round's survivor list) that met the threshold.
+/// The merged results of one chunk of consecutive groups, joined back in
+/// chunk (= group) order.
+struct ChunkResult {
+    /// Positions (into the round's survivor list) that met the threshold,
+    /// in group order.
     winners: Vec<u32>,
-    /// The group champion (earliest most-winning member).
-    champion: Option<u32>,
+    /// One champion per played group (earliest most-winning member).
+    champions: Vec<u32>,
     /// `(winner, loser)` index pairs, recorded only under
     /// [`FilterConfig::track_global_losses`].
     games: Vec<(u32, u32)>,
-    /// Comparisons this group's oracle answered.
+    /// Comparisons the chunk's oracles answered.
     comparisons: ComparisonCounts,
 }
 
-/// Runs Algorithm 2 with every tournament group on its own worker thread.
+/// Reusable per-chunk scratch: flat comparison/answer/win buffers shared
+/// by every group in the chunk, so a group costs zero allocations once
+/// the buffers have grown to group size.
+#[derive(Default)]
+struct ChunkBuffers {
+    /// The group's members resolved to element ids once, so the O(|G|²)
+    /// build and tally passes index a dense local table instead of
+    /// gathering `ids[group[x]]` per pair.
+    gids: Vec<ElementId>,
+    pairs: Vec<(ElementId, ElementId)>,
+    answers: Vec<ElementId>,
+    wins: Vec<u32>,
+}
+
+/// Runs Algorithm 2 with the round's tournament groups spread over worker
+/// threads in cache-sized chunks.
 ///
 /// `make_oracle(round, group)` must build the oracle for that group from
 /// its coordinates alone (typically: seed an RNG with [`group_seed`]) —
@@ -103,37 +137,63 @@ where
         let round = rounds as u32;
         let groups = survivors.len().div_ceil(g);
 
-        // The kept-whole small last group plays no games; everything else
-        // is an independent work item.
+        // The kept-whole small last group plays no games; every group
+        // before it is played.
         let mut inline_tail: &[u32] = &[];
-        let mut items: Vec<(u32, Vec<u32>)> = Vec::with_capacity(groups);
-        for ci in 0..groups {
-            let group = &survivors[ci * g..((ci + 1) * g).min(survivors.len())];
-            if ci == groups - 1 && group.len() <= un {
-                inline_tail = group;
-            } else {
-                items.push((ci as u32, group.to_vec()));
-            }
+        let mut playable = groups;
+        let last = &survivors[(groups - 1) * g..];
+        if last.len() <= un {
+            inline_tail = last;
+            playable = groups - 1;
         }
 
-        let results = engine::parallel_map(items, |(ci, group)| {
-            let mut oracle = make_oracle(round, ci);
-            let start = oracle.counts();
-            play_group(
-                &mut oracle,
-                elements,
-                &group,
-                un,
-                config.track_global_losses,
-            )
-            .with_comparisons(oracle.counts() - start)
+        // Pack consecutive groups into chunks of ~CHUNK_COMPARISONS
+        // comparisons each, capped so every worker still sees several
+        // chunks (load balance beats cache residency when rounds are
+        // small). Chunk boundaries never change the output: each group
+        // plays under its own coordinate-seeded oracle either way.
+        let per_group = (g * g.saturating_sub(1)) / 2;
+        let by_cache = (CHUNK_COMPARISONS / per_group.max(1)).max(1);
+        let by_balance = playable.div_ceil(engine::jobs().max(1) * 4).max(1);
+        let chunk_len = by_cache.min(by_balance);
+        let chunks: Vec<(u32, u32)> = (0..playable as u32)
+            .step_by(chunk_len)
+            .map(|lo| (lo, (lo + chunk_len as u32).min(playable as u32)))
+            .collect();
+
+        let survivor_slice: &[u32] = &survivors;
+        let results = engine::parallel_map(chunks, |(lo, hi)| {
+            let mut out = ChunkResult {
+                winners: Vec::new(),
+                champions: Vec::new(),
+                games: Vec::new(),
+                comparisons: ComparisonCounts::zero(),
+            };
+            let mut buffers = ChunkBuffers::default();
+            for ci in lo..hi {
+                let group = &survivor_slice
+                    [ci as usize * g..((ci as usize + 1) * g).min(survivor_slice.len())];
+                let mut oracle = make_oracle(round, ci);
+                let start = oracle.counts();
+                play_group(
+                    &mut oracle,
+                    elements,
+                    group,
+                    un,
+                    config.track_global_losses,
+                    &mut buffers,
+                    &mut out,
+                );
+                out.comparisons += oracle.counts() - start;
+            }
+            out
         });
 
         let mut next: Vec<u32> = Vec::with_capacity(survivors.len() / 2 + un);
         let mut champions: Vec<u32> = Vec::new();
         for r in &results {
             next.extend_from_slice(&r.winners);
-            champions.extend(r.champion);
+            champions.extend_from_slice(&r.champions);
             comparisons += r.comparisons;
             for &(winner, loser) in &r.games {
                 let set = &mut losses[loser as usize];
@@ -171,61 +231,90 @@ where
     }
 }
 
-impl GroupResult {
-    fn with_comparisons(mut self, comparisons: ComparisonCounts) -> Self {
-        self.comparisons = comparisons;
-        self
-    }
-}
-
-/// Plays one group's all-play-all tournament: flat win tallies, the
-/// `|G| − un` survival threshold, winners in group order.
+/// Plays one group's all-play-all tournament batch-first: the group's
+/// comparisons are generated into the chunk's flat pair buffer in the
+/// canonical `(a, b)` order, answered through one
+/// [`ComparisonOracle::compare_batch`] call, and tallied against the flat
+/// win counts — the `|G| − un` survival threshold keeps winners in group
+/// order, appended to `out`.
 fn play_group<O: ComparisonOracle>(
     oracle: &mut O,
     ids: &[ElementId],
     group: &[u32],
     un: usize,
     record_games: bool,
-) -> GroupResult {
-    let mut wins = vec![0u32; group.len()];
-    let mut games = Vec::new();
+    buffers: &mut ChunkBuffers,
+    out: &mut ChunkResult,
+) {
+    buffers.gids.clear();
+    buffers.gids.extend(group.iter().map(|&i| ids[i as usize]));
+    buffers.pairs.clear();
+    buffers.answers.clear();
+    buffers.wins.clear();
+    buffers.wins.resize(group.len(), 0);
     for a in 0..group.len() {
-        for b in (a + 1)..group.len() {
-            let (i, j) = (group[a], group[b]);
-            let winner = oracle.compare(WorkerClass::Naive, ids[i as usize], ids[j as usize]);
-            let (wa, wi, li) = if winner == ids[i as usize] {
-                (a, i, j)
-            } else {
-                (b, j, i)
-            };
-            wins[wa] += 1;
-            if record_games {
-                games.push((wi, li));
+        let a_id = buffers.gids[a];
+        buffers
+            .pairs
+            .extend(buffers.gids[a + 1..].iter().map(|&b| (a_id, b)));
+    }
+    oracle.compare_batch(WorkerClass::Naive, &buffers.pairs, &mut buffers.answers);
+
+    let mut game = 0usize;
+    if record_games {
+        for a in 0..group.len() {
+            let a_id = buffers.gids[a];
+            for b in (a + 1)..group.len() {
+                let winner = buffers.answers[game];
+                game += 1;
+                if winner == a_id {
+                    buffers.wins[a] += 1;
+                    out.games.push((group[a], group[b]));
+                } else {
+                    buffers.wins[b] += 1;
+                    out.games.push((group[b], group[a]));
+                }
             }
         }
+    } else {
+        // The hot shape: tallying a 50/50 data-dependent winner with a
+        // branch mispredicts constantly, so count both sides
+        // arithmetically over bounds-check-free row slices (which also
+        // lets the compiler vectorize the row compare).
+        for a in 0..group.len() {
+            let a_id = buffers.gids[a];
+            let row_len = group.len() - a - 1;
+            let row = &buffers.answers[game..game + row_len];
+            let opponents = &mut buffers.wins[a + 1..];
+            let mut a_wins = 0u32;
+            for (w, &winner) in opponents.iter_mut().zip(row) {
+                let a_won = u32::from(winner == a_id);
+                a_wins += a_won;
+                *w += 1 - a_won;
+            }
+            game += row_len;
+            buffers.wins[a] += a_wins;
+        }
     }
+
     let threshold = (group.len() - un) as u32;
-    let winners: Vec<u32> = group
-        .iter()
-        .zip(&wins)
-        .filter(|&(_, &w)| w >= threshold)
-        .map(|(&i, _)| i)
-        .collect();
+    out.winners.extend(
+        group
+            .iter()
+            .zip(&buffers.wins)
+            .filter(|&(_, &w)| w >= threshold)
+            .map(|(&i, _)| i),
+    );
     // Earliest most-winning member, matching `Tournament::champion`.
     let mut champion: Option<u32> = None;
     let mut best_wins = 0u32;
-    for (&i, &w) in group.iter().zip(&wins) {
+    for (&i, &w) in group.iter().zip(&buffers.wins) {
         if champion.is_none() || w > best_wins {
             champion = Some(i);
             best_wins = w;
         }
     }
-    GroupResult {
-        winners,
-        champion,
-        games,
-        comparisons: ComparisonCounts::zero(),
-    }
+    out.champions.extend(champion);
 }
 
 #[cfg(test)]
@@ -311,5 +400,39 @@ mod tests {
         assert_ne!(a, group_seed(1, 1, 0));
         assert_ne!(a, group_seed(2, 0, 0));
         assert_eq!(a, group_seed(1, 0, 0));
+    }
+
+    /// A borrowed-instance factory (the bench's shape): oracles borrow one
+    /// shared instance instead of cloning it per group.
+    #[test]
+    fn borrowed_instance_factory_matches_the_owning_one() {
+        let inst = uniform_instance(400, 9);
+        let delta_n = 30.0;
+        let un = inst.indistinguishable_from_max(delta_n).max(1);
+        let model = ExpertModel::exact(delta_n, 1.0, TiePolicy::UniformRandom);
+        let cfg = FilterConfig::new(un);
+        let owning = parallel_filter_candidates(
+            |round, group| {
+                SimulatedOracle::new(
+                    inst.clone(),
+                    model.clone(),
+                    StdRng::seed_from_u64(group_seed(3, round, group)),
+                )
+            },
+            &inst.ids(),
+            &cfg,
+        );
+        let borrowing = parallel_filter_candidates(
+            |round, group| {
+                SimulatedOracle::new(
+                    &inst,
+                    model.clone(),
+                    StdRng::seed_from_u64(group_seed(3, round, group)),
+                )
+            },
+            &inst.ids(),
+            &cfg,
+        );
+        assert_eq!(owning, borrowing);
     }
 }

@@ -140,12 +140,19 @@ pub fn ascii_chart(table: &Table) -> String {
     const BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let mut out = String::new();
     let _ = writeln!(out, "{} — {}", table.id, table.title);
-    let x_labels: Vec<&str> = table.rows.iter().map(|r| r[0].as_str()).collect();
+    let x_labels: Vec<&str> = table
+        .rows
+        .iter()
+        .map(|r| r.first().map_or("-", String::as_str))
+        .collect();
     for (ci, header) in table.headers.iter().enumerate().skip(1) {
+        // A row shorter than the header arity (impossible through
+        // `push_row`, but `Table` is a plain deserializable struct) just
+        // disqualifies the column instead of panicking.
         let values: Option<Vec<f64>> = table
             .rows
             .iter()
-            .map(|r| r[ci].parse::<f64>().ok())
+            .map(|r| r.get(ci).and_then(|cell| cell.parse::<f64>().ok()))
             .collect();
         let Some(values) = values else { continue };
         if values.is_empty() {
@@ -266,6 +273,22 @@ mod tests {
         t.push_row(vec!["2".into(), "0".into()]);
         let chart = ascii_chart(&t);
         assert!(chart.contains("zeros"));
+    }
+
+    #[test]
+    fn ascii_chart_tolerates_malformed_tables() {
+        // Bypasses `push_row`'s arity check, as a deserialized table could.
+        let ragged = Table {
+            id: "figz".into(),
+            title: "Ragged".into(),
+            notes: String::new(),
+            headers: vec!["n".into(), "v".into()],
+            rows: vec![vec!["1".into(), "2.0".into()], vec![]],
+        };
+        let chart = ascii_chart(&ragged);
+        assert!(chart.contains("figz"), "{chart}");
+        let empty = Table::new("fig0", "Empty", &["n", "v"]);
+        assert!(ascii_chart(&empty).contains("x: - .. -"));
     }
 
     #[test]

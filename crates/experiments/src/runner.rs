@@ -43,11 +43,14 @@ pub const TEXT_EXPERIMENTS: [&str; 6] = [
 
 /// Runs one experiment by name.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown name (the CLI validates names first).
-pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Table> {
-    match name {
+/// Rejects an unknown name with [`io::ErrorKind::InvalidInput`]. (The
+/// batch runner validates names up front, so through that path this is
+/// unreachable — but a library caller probing names directly gets a
+/// diagnosable error, not a panic.)
+pub fn run_experiment(name: &str, scale: &Scale) -> io::Result<Vec<Table>> {
+    Ok(match name {
         "fig2" => vec![crate::fig2::run_dots(scale), crate::fig2::run_cars(scale)],
         "fig3" => crate::fig3::run(scale),
         "fig4" => crate::fig4::run(scale),
@@ -65,10 +68,13 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Table> {
         "budget_sweep" => vec![crate::budget_sweep::run(scale)],
         "ranking_quality" => vec![crate::ranking_quality::run(scale)],
         "fault_sweep" => vec![crate::fault_sweep::run(scale)],
-        other => panic!(
-            "unknown experiment {other:?}; known: {EXPERIMENT_NAMES:?} + {TEXT_EXPERIMENTS:?}"
-        ),
-    }
+        other => return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "unknown experiment {other:?}; known: {EXPERIMENT_NAMES:?} + {TEXT_EXPERIMENTS:?}"
+            ),
+        )),
+    })
 }
 
 /// True if `name` is a registered experiment.
@@ -190,7 +196,7 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
             let started = Instant::now();
             let tables = {
                 let _guard = install_sink(sink.clone());
-                run_experiment(name, scale)
+                run_experiment(name, scale)?
             };
             let comparisons = sink.counts();
             let faults = sink.faults();
@@ -219,7 +225,7 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
                 physical_steps_estimate: nominal_physical_steps(&comparisons),
                 faults,
             };
-            (tables, entry)
+            io::Result::Ok((tables, entry))
         })
     };
 
@@ -227,7 +233,8 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
     // depend on which worker finished first.
     let mut all = Vec::new();
     let mut entries = Vec::new();
-    for (tables, entry) in results {
+    for result in results {
+        let (tables, entry) = result?;
         for table in tables {
             table.write_to(out_dir)?;
             all.push(table);
@@ -327,9 +334,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown experiment")]
-    fn unknown_name_panics() {
-        run_experiment("fig42", &Scale::quick());
+    fn unknown_name_is_rejected_by_the_single_runner() {
+        let err = run_experiment("fig42", &Scale::quick()).expect_err("fig42 is not registered");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("fig42"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Regression pin for the n=1e3 sequential-vs-parallel crossover.
+//!
+//! The parallel filter once *lost* to the sequential arena filter at this
+//! size; the fix (batch-first oracle core + chunked work items) must never
+//! change what the filter computes. Under a deterministic oracle the
+//! parallel filter is defined to equal [`filter_candidates`] exactly —
+//! identical survivors, sizes, rounds and comparison counts — at every
+//! `--jobs` value, including the degenerate single-group round and the
+//! short-final-group / kept-whole-tail layouts.
+
+use crowd_core::algorithms::{filter_candidates, FilterConfig};
+use crowd_core::element::Instance;
+use crowd_core::oracle::PerfectOracle;
+use crowd_experiments::engine;
+use crowd_experiments::par_filter::parallel_filter_candidates;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn uniform_instance(n: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Instance::new((0..n).map(|_| rng.gen_range(0.0..1000.0)).collect())
+}
+
+/// One test function on purpose: it owns the process-wide jobs knob for
+/// its whole run, so no sibling test can race it.
+#[test]
+fn parallel_filter_equals_sequential_at_every_job_count() {
+    // (n, un): the bench's n=1e3 tier (un = ⌈n^⅓⌉ = 10), a degenerate
+    // single-group instance (n = g = 4·un), a short-final-group layout
+    // (second group of 8 > un, still played), and a kept-whole tail
+    // (second group of 2 ≤ un, promoted unplayed).
+    let cases = [(1000usize, 10usize), (12, 3), (20, 3), (14, 3)];
+    for (n, un) in cases {
+        let inst = uniform_instance(n, (n + un) as u64);
+        for cfg in [
+            FilterConfig::new(un),
+            FilterConfig::new(un).with_global_losses(),
+        ] {
+            let mut oracle = PerfectOracle::new(inst.clone());
+            let seq = filter_candidates(&mut oracle, &inst.ids(), &cfg);
+            for jobs in [1usize, 2, 3, 4, 8] {
+                engine::set_jobs(jobs);
+                let par = parallel_filter_candidates(
+                    |_, _| PerfectOracle::new(inst.clone()),
+                    &inst.ids(),
+                    &cfg,
+                );
+                engine::set_jobs(0);
+                assert_eq!(
+                    seq, par,
+                    "sequential/parallel divergence at n = {n}, un = {un}, jobs = {jobs}"
+                );
+            }
+            assert!(seq.survivors.contains(&inst.max_element()));
+        }
+    }
+}

@@ -63,6 +63,24 @@ impl<O: ComparisonOracle> ComparisonOracle for ObservedOracle<O> {
         self.inner.try_compare(class, k, j)
     }
 
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        self.inner.compare_batch(class, pairs, winners);
+    }
+
+    fn try_compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) -> Result<(), OracleError> {
+        self.inner.try_compare_batch(class, pairs, winners)
+    }
+
     fn counts(&self) -> ComparisonCounts {
         self.inner.counts()
     }

@@ -868,6 +868,43 @@ impl<R: RngCore> ComparisonOracle for PlatformOracle<R> {
             .map_err(|err| err.to_oracle_error(class))
     }
 
+    /// Batch adapter for the billing layer: the whole batch becomes *one*
+    /// [`Platform::submit_comparisons`] job, so the budget check, worker
+    /// schedule, gold injection, and per-judgment billing run once per
+    /// batch instead of once per comparison. Answers and tallies match the
+    /// scalar loop for a fault-free workforce; the job structure
+    /// necessarily differs (one logical step for the batch instead of one
+    /// per pair — that is the amortization), and a faulting batch fails as
+    /// a unit where the scalar loop would have answered its prefix.
+    fn compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) {
+        self.try_compare_batch(class, pairs, winners)
+            .expect("the platform pool cannot satisfy a comparison batch");
+    }
+
+    /// See [`compare_batch`](Self::compare_batch). On `Err` no answers are
+    /// appended: the platform refuses the job's answer set as a whole.
+    fn try_compare_batch(
+        &mut self,
+        class: WorkerClass,
+        pairs: &[(ElementId, ElementId)],
+        winners: &mut Vec<ElementId>,
+    ) -> Result<(), OracleError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let answers = self
+            .platform
+            .submit_comparisons(pairs, class)
+            .map_err(|err| err.to_oracle_error(class))?;
+        winners.extend(answers);
+        Ok(())
+    }
+
     fn counts(&self) -> ComparisonCounts {
         self.platform.counts()
     }
