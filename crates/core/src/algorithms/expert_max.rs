@@ -17,12 +17,14 @@
 //! comparisons are necessary (Corollary 1) and `Ω(un)` expert comparisons
 //! are necessary — see [`crate::bounds`].
 
-use super::filter::{filter_candidates, FilterConfig, FilterOutcome};
+use super::filter::{filter_candidates_checked, FilterConfig, FilterOutcome};
 use super::randomized::{randomized_max_find, RandomizedConfig};
 use super::two_maxfind::two_max_find;
 use crate::element::ElementId;
 use crate::model::WorkerClass;
-use crate::oracle::{ComparisonCounts, ComparisonOracle, FuseOracle, OracleError};
+use crate::oracle::{
+    ComparisonCounts, ComparisonOracle, CountsRegression, FuseOracle, OracleError,
+};
 use crate::tournament::Tournament;
 use crate::trace::{TraceEvent, TracePhase};
 use rand::RngCore;
@@ -122,6 +124,19 @@ pub fn expert_max_find<O: ComparisonOracle, R: RngCore>(
     config: &ExpertMaxConfig,
     rng: &mut R,
 ) -> ExpertMaxOutcome {
+    expert_max_find_checked(oracle, elements, config, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The two-phase body behind both [`expert_max_find`] and
+/// [`try_expert_max_find`]: identical comparison sequence, but the phase
+/// snapshot bookkeeping reports a [`CountsRegression`] as a value instead
+/// of unwinding, so fallible job drivers can return it.
+fn expert_max_find_checked<O: ComparisonOracle, R: RngCore>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    config: &ExpertMaxConfig,
+    rng: &mut R,
+) -> Result<ExpertMaxOutcome, CountsRegression> {
     assert!(
         !elements.is_empty(),
         "max-finding needs at least one element"
@@ -132,7 +147,7 @@ pub fn expert_max_find<O: ComparisonOracle, R: RngCore>(
     let mut filter_cfg = FilterConfig::new(config.un);
     filter_cfg.track_global_losses = config.track_global_losses;
     oracle.observe(TraceEvent::PhaseStart(TracePhase::Filter));
-    let phase1 = filter_candidates(oracle, elements, &filter_cfg);
+    let phase1 = filter_candidates_checked(oracle, elements, &filter_cfg)?;
     oracle.observe(TraceEvent::PhaseEnd(TracePhase::Filter));
     let candidates = phase1.survivors.clone();
     assert!(
@@ -155,13 +170,13 @@ pub fn expert_max_find<O: ComparisonOracle, R: RngCore>(
     oracle.observe(TraceEvent::PhaseEnd(TracePhase::Expert));
     let end = oracle.counts();
 
-    ExpertMaxOutcome {
+    Ok(ExpertMaxOutcome {
         winner,
         candidates,
         phase1,
-        phase2_comparisons: end - before_phase2,
-        total_comparisons: end - start,
-    }
+        phase2_comparisons: end.delta_since(before_phase2)?,
+        total_comparisons: end.delta_since(start)?,
+    })
 }
 
 /// Fallible twin of [`expert_max_find`]: surfaces the first
@@ -174,7 +189,9 @@ pub fn expert_max_find<O: ComparisonOracle, R: RngCore>(
 /// # Errors
 ///
 /// Returns the first error the oracle's
-/// [`try_compare`](ComparisonOracle::try_compare) reported, in either phase.
+/// [`try_compare`](ComparisonOracle::try_compare) reported, in either
+/// phase, or [`OracleError::CountsRegressed`] if the stack's tally went
+/// backwards mid-run (a broken decorator — reported, not unwound).
 pub fn try_expert_max_find<O: ComparisonOracle, R: RngCore>(
     oracle: &mut O,
     elements: &[ElementId],
@@ -182,10 +199,11 @@ pub fn try_expert_max_find<O: ComparisonOracle, R: RngCore>(
     rng: &mut R,
 ) -> Result<ExpertMaxOutcome, OracleError> {
     let mut fuse = FuseOracle::new(oracle);
-    let out = expert_max_find(&mut fuse, elements, config, rng);
-    match fuse.take_error() {
-        Some(err) => Err(err),
-        None => Ok(out),
+    let out = expert_max_find_checked(&mut fuse, elements, config, rng);
+    match (fuse.take_error(), out) {
+        (Some(err), _) => Err(err),
+        (None, Err(regression)) => Err(OracleError::CountsRegressed(regression)),
+        (None, Ok(out)) => Ok(out),
     }
 }
 

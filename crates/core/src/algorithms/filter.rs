@@ -23,7 +23,9 @@
 
 use crate::element::ElementId;
 use crate::model::WorkerClass;
-use crate::oracle::{ComparisonCounts, ComparisonOracle, FuseOracle, OracleError};
+use crate::oracle::{
+    ComparisonCounts, ComparisonOracle, CountsRegression, FuseOracle, OracleError,
+};
 use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -96,6 +98,18 @@ pub fn filter_candidates<O: ComparisonOracle>(
     elements: &[ElementId],
     config: &FilterConfig,
 ) -> FilterOutcome {
+    filter_candidates_checked(oracle, elements, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The filter body behind both [`filter_candidates`] and
+/// [`try_filter_candidates`]: identical comparison sequence, but the
+/// outcome's snapshot bookkeeping reports a [`CountsRegression`] as a
+/// value instead of unwinding, so fallible job drivers can return it.
+pub(crate) fn filter_candidates_checked<O: ComparisonOracle>(
+    oracle: &mut O,
+    elements: &[ElementId],
+    config: &FilterConfig,
+) -> Result<FilterOutcome, CountsRegression> {
     assert!(
         config.un >= 1,
         "un(n) >= 1: the maximum is indistinguishable from itself"
@@ -218,12 +232,12 @@ pub fn filter_candidates<O: ComparisonOracle>(
         rounds += 1;
     }
 
-    FilterOutcome {
+    Ok(FilterOutcome {
         survivors: survivors.into_iter().map(|i| ids[i as usize]).collect(),
         rounds,
         sizes,
-        comparisons: oracle.counts() - start,
-    }
+        comparisons: oracle.counts().delta_since(start)?,
+    })
 }
 
 /// The group member with the most wins (ties: earliest in group order), or
@@ -253,17 +267,20 @@ fn champion_of(group: &[u32], wins: &[u32]) -> Option<u32> {
 /// # Errors
 ///
 /// Returns the first error the oracle's
-/// [`try_compare`](ComparisonOracle::try_compare) reported.
+/// [`try_compare`](ComparisonOracle::try_compare) reported, or
+/// [`OracleError::CountsRegressed`] if the stack's tally went backwards
+/// mid-run (a broken decorator — reported, not unwound).
 pub fn try_filter_candidates<O: ComparisonOracle>(
     oracle: &mut O,
     elements: &[ElementId],
     config: &FilterConfig,
 ) -> Result<FilterOutcome, OracleError> {
     let mut fuse = FuseOracle::new(oracle);
-    let out = filter_candidates(&mut fuse, elements, config);
-    match fuse.take_error() {
-        Some(err) => Err(err),
-        None => Ok(out),
+    let out = filter_candidates_checked(&mut fuse, elements, config);
+    match (fuse.take_error(), out) {
+        (Some(err), _) => Err(err),
+        (None, Err(regression)) => Err(OracleError::CountsRegressed(regression)),
+        (None, Ok(out)) => Ok(out),
     }
 }
 

@@ -165,7 +165,10 @@ pub fn randomized_max_find<O: ComparisonOracle, R: RngCore>(
         winner,
         rounds,
         witness_size: w.len(),
-        comparisons: oracle.counts() - start,
+        comparisons: oracle
+            .counts()
+            .delta_since(start)
+            .unwrap_or_else(|e| panic!("{e}")),
     }
 }
 

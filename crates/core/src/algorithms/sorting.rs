@@ -58,7 +58,10 @@ pub fn near_sort<O: ComparisonOracle>(
     let order = merge_sort(oracle, class, elements.to_vec());
     SortOutcome {
         order,
-        comparisons: oracle.counts() - start,
+        comparisons: oracle
+            .counts()
+            .delta_since(start)
+            .unwrap_or_else(|e| panic!("{e}")),
     }
 }
 
@@ -128,7 +131,10 @@ pub fn expert_rank<O: ComparisonOracle>(
     order.extend_from_slice(&coarse[p..]);
     SortOutcome {
         order,
-        comparisons: oracle.counts() - start,
+        comparisons: oracle
+            .counts()
+            .delta_since(start)
+            .unwrap_or_else(|e| panic!("{e}")),
     }
 }
 

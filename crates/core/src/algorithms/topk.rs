@@ -113,7 +113,10 @@ pub fn top_k_find<O: ComparisonOracle>(
     TopKOutcome {
         top,
         candidates,
-        comparisons: oracle.counts() - start,
+        comparisons: oracle
+            .counts()
+            .delta_since(start)
+            .unwrap_or_else(|e| panic!("{e}")),
     }
 }
 

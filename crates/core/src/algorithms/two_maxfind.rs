@@ -191,7 +191,10 @@ pub fn two_max_find<O: ComparisonOracle>(
         winner: final_ranking[0].0,
         rounds,
         final_ranking,
-        comparisons: oracle.counts() - start,
+        comparisons: oracle
+            .counts()
+            .delta_since(start)
+            .unwrap_or_else(|e| panic!("{e}")),
     }
 }
 

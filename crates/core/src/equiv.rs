@@ -124,6 +124,45 @@ pub fn drive_batched<O: ComparisonOracle>(
     winners
 }
 
+/// Drives `pairs` through the oracle as consecutive fallible
+/// [`try_compare_batch`] calls of the given `segment` lengths (remainder
+/// and zero-length rules as in [`drive_batched`]), stopping at the first
+/// error. Returns the winners answered so far — including any completed
+/// prefix a partial-batch oracle appended before its error — and the
+/// error, if one fired.
+///
+/// This is the crash/resume driver for [`assert_oracles_equal`]: a chaos
+/// harness drives the journaled side until the injected
+/// [`OracleError::Interrupted`], resumes from the journal, finishes with a
+/// second `drive_until_error` pass, and asserts the concatenated winners
+/// against one uninterrupted drive.
+///
+/// [`try_compare_batch`]: ComparisonOracle::try_compare_batch
+/// [`OracleError::Interrupted`]: crate::oracle::OracleError::Interrupted
+pub fn drive_until_error<O: ComparisonOracle>(
+    oracle: &mut O,
+    class: WorkerClass,
+    pairs: &[(ElementId, ElementId)],
+    segments: &[usize],
+) -> (Vec<ElementId>, Option<crate::oracle::OracleError>) {
+    let mut winners = Vec::with_capacity(pairs.len());
+    let mut rest = pairs;
+    for &len in segments {
+        let take = len.min(rest.len());
+        let (batch, tail) = rest.split_at(take);
+        if let Err(e) = oracle.try_compare_batch(class, batch, &mut winners) {
+            return (winners, Some(e));
+        }
+        rest = tail;
+    }
+    if !rest.is_empty() {
+        if let Err(e) = oracle.try_compare_batch(class, rest, &mut winners) {
+            return (winners, Some(e));
+        }
+    }
+    (winners, None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +240,63 @@ mod tests {
         let winners = drive_batched(&mut o, WorkerClass::Naive, &pairs(), &[0, 1, 0, 2]);
         assert_eq!(winners.len(), pairs().len());
         assert_eq!(o.counts().naive, pairs().len() as u64);
+    }
+
+    /// A perfect oracle that reports [`OracleError::Interrupted`] after a
+    /// fixed number of comparisons — the completed prefix of each batch is
+    /// kept, mirroring the platform's partial-batch contract.
+    struct CrashingOracle {
+        inner: PerfectOracle,
+        remaining: u64,
+    }
+
+    impl ComparisonOracle for CrashingOracle {
+        fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
+            self.try_compare(class, k, j).expect("crashed")
+        }
+
+        fn try_compare(
+            &mut self,
+            class: WorkerClass,
+            k: ElementId,
+            j: ElementId,
+        ) -> Result<ElementId, crate::oracle::OracleError> {
+            if self.remaining == 0 {
+                return Err(crate::oracle::OracleError::Interrupted);
+            }
+            self.remaining -= 1;
+            Ok(self.inner.compare(class, k, j))
+        }
+
+        fn counts(&self) -> crate::oracle::ComparisonCounts {
+            self.inner.counts()
+        }
+    }
+
+    #[test]
+    fn drive_until_error_keeps_the_answered_prefix() {
+        let mut o = CrashingOracle {
+            inner: PerfectOracle::new(instance()),
+            remaining: 3,
+        };
+        let (winners, err) = drive_until_error(&mut o, WorkerClass::Naive, &pairs(), &[2]);
+        // Two pairs from the first batch, then one from the second before
+        // the crash: the mid-batch prefix survives.
+        assert_eq!(winners.len(), 3);
+        assert!(matches!(err, Some(crate::oracle::OracleError::Interrupted)));
+        assert_eq!(o.counts().naive, 3);
+    }
+
+    #[test]
+    fn drive_until_error_without_fault_matches_drive_batched() {
+        let mut a = PerfectOracle::new(instance());
+        let expected = drive_batched(&mut a, WorkerClass::Naive, &pairs(), &[2]);
+        let mut o = CrashingOracle {
+            inner: PerfectOracle::new(instance()),
+            remaining: u64::MAX,
+        };
+        let (winners, err) = drive_until_error(&mut o, WorkerClass::Naive, &pairs(), &[2]);
+        assert_eq!(winners, expected);
+        assert!(err.is_none());
     }
 }

@@ -101,7 +101,60 @@ impl ComparisonCounts {
             expert: self.expert.saturating_sub(rhs.expert),
         }
     }
+
+    /// The delta accumulated since an `earlier` snapshot of the same
+    /// tally, as a structured result: `Ok(self - earlier)` when the pair
+    /// is monotone, [`CountsRegression`] otherwise.
+    ///
+    /// This is the phase-bookkeeping form of [`checked_sub`]: algorithm
+    /// outcomes diff a before/after snapshot pair to report per-phase
+    /// comparison budgets, and a regression there means the oracle's
+    /// [`counts`](ComparisonOracle::counts) went backwards mid-run — a
+    /// broken decorator, not a worker fault. Fallible job drivers surface
+    /// it as [`OracleError::CountsRegressed`] instead of unwinding.
+    ///
+    /// [`checked_sub`]: Self::checked_sub
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CountsRegression`] when `earlier` exceeds `self` in
+    /// either class.
+    pub fn delta_since(self, earlier: Self) -> Result<Self, CountsRegression> {
+        self.checked_sub(earlier).ok_or(CountsRegression {
+            before: earlier,
+            after: self,
+        })
+    }
 }
+
+/// A comparison tally that went backwards across a snapshot pair: the
+/// "after" snapshot is smaller than the "before" in at least one class.
+///
+/// Only a buggy oracle stack can produce this ([`ComparisonOracle::counts`]
+/// is monotone for every oracle in this workspace), so it is reported as a
+/// structured error rather than silently clamped — but also rather than
+/// unwinding from deep inside a tournament loop mid-job. See
+/// [`ComparisonCounts::delta_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountsRegression {
+    /// The earlier snapshot.
+    pub before: ComparisonCounts,
+    /// The later — yet smaller — snapshot.
+    pub after: ComparisonCounts,
+}
+
+impl std::fmt::Display for CountsRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "comparison tally regressed mid-run: {}n+{}e before, {}n+{}e after \
+             (snapshots diffed in the wrong order, or across different oracles?)",
+            self.before.naive, self.before.expert, self.after.naive, self.after.expert
+        )
+    }
+}
+
+impl std::error::Error for CountsRegression {}
 
 impl Add for ComparisonCounts {
     type Output = ComparisonCounts;
@@ -174,6 +227,15 @@ pub enum OracleError {
     },
     /// The campaign budget cap was reached before the comparison ran.
     BudgetExhausted,
+    /// The run was interrupted by a crash (or a simulated one — see the
+    /// platform crate's chaos harness) before the comparison could be
+    /// bought. Recovery replays the job's write-ahead journal instead of
+    /// re-purchasing answered comparisons.
+    Interrupted,
+    /// The oracle's comparison tally went backwards across a phase
+    /// snapshot — a broken decorator stack, surfaced as a structured
+    /// error by the fallible drivers instead of an unwind mid-job.
+    CountsRegressed(CountsRegression),
 }
 
 impl std::fmt::Display for OracleError {
@@ -186,6 +248,8 @@ impl std::fmt::Display for OracleError {
                 write!(f, "comparison unanswered after {attempts} attempts")
             }
             OracleError::BudgetExhausted => write!(f, "campaign budget exhausted"),
+            OracleError::Interrupted => write!(f, "the run was interrupted by a crash"),
+            OracleError::CountsRegressed(regression) => write!(f, "{regression}"),
         }
     }
 }
@@ -253,9 +317,10 @@ pub trait ComparisonOracle {
     /// Fallible variant of [`compare_batch`](Self::compare_batch).
     ///
     /// Appends winners in input order until the first failure; on `Err`,
-    /// `winners` holds the answers obtained before the fault (possibly
-    /// none — a platform submitting the batch as a single all-or-nothing
-    /// job fails it as a unit).
+    /// `winners` holds the answers obtained before the fault. Those
+    /// comparisons were already purchased, so implementations must append
+    /// the completed prefix rather than discard it — recovery and billing
+    /// rely on never buying the same answer twice.
     ///
     /// # Errors
     ///
@@ -406,10 +471,10 @@ impl<O: ComparisonOracle> ComparisonOracle for FuseOracle<O> {
     /// remaining pairs are fabricated exactly like scalar post-blow
     /// answers. Equal to the scalar loop whenever the inner oracle's batch
     /// entry matches its scalar sequence — in particular always for
-    /// simulated oracles, and for platform oracles until the first fault
-    /// (an all-or-nothing platform batch may fail pairs the scalar loop
-    /// would still have answered; the driver discards the outcome either
-    /// way and reports the captured error).
+    /// simulated oracles, and for platform oracles until the first fault.
+    /// An inner oracle that appends the completed prefix before its error
+    /// (as the platform adapter does) keeps those purchased answers: the
+    /// fuse memoizes the prefix and fabricates only the true remainder.
     fn compare_batch(
         &mut self,
         class: WorkerClass,

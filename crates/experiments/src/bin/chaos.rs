@@ -1,0 +1,199 @@
+//! Seeded kill/resume matrix — the chaos harness's CI entry point.
+//!
+//! ```text
+//! chaos [--seeds N] [--n N] [--out DIR] [--jobs N]
+//! ```
+//!
+//! Each seed derives a [`ChaosPlan`] (covering all four injection-point
+//! kinds across a seed grid), kills one Algorithm 1 run at that point, and
+//! resumes it from the durable write-ahead journal. Two artifact trees are
+//! written:
+//!
+//! * `<out>/uninterrupted/` — `manifest.json` (per-seed winner, comparison
+//!   counts, spend, journal bytes) and `events.jsonl`, measured from the
+//!   baseline runs;
+//! * `<out>/resumed/` — the same files, measured independently from the
+//!   killed-then-resumed runs (with only the `RecoveryStarted` /
+//!   `RecoveryCompleted` bookkeeping events dropped).
+//!
+//! The two trees must be **byte-identical** — `diff -r` proves it in CI —
+//! and the binary additionally asserts in-process that every trial
+//! crashed, resumed, and matched on every channel, exiting nonzero
+//! otherwise. Seeds fan out over `--jobs` threads with deterministic
+//! aggregation, so the artifacts are identical at any job count.
+
+use crowd_experiments::chaos_sweep::{point_label, run_trial_artifacts, LegSummary};
+use crowd_experiments::engine;
+use crowd_obs::EventLog;
+use crowd_platform::ChaosPlan;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Elements per trial instance (kept modest: each seed runs the full
+/// two-phase algorithm three times).
+const DEFAULT_N: usize = 100;
+/// Seeds in the default matrix — enough that SplitMix64 hits all four
+/// injection-point kinds (see `chaos::seeded_plans_are_deterministic...`).
+const DEFAULT_SEEDS: u64 = 8;
+/// Base seed the per-trial seeds are mixed from.
+const BASE_SEED: u64 = 0xC0FFEE;
+
+/// One side's `manifest.json`: the per-seed observable results.
+#[derive(Serialize)]
+struct SideManifest {
+    version: u64,
+    n: usize,
+    seeds: u64,
+    trials: Vec<TrialRow>,
+}
+
+#[derive(Serialize)]
+struct TrialRow {
+    seed: u64,
+    point: String,
+    fault_rate: f64,
+    summary: LegSummary,
+}
+
+fn write_side(dir: &Path, manifest: &SideManifest, events: EventLog) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let json = serde_json::to_string_pretty(manifest)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(dir.join("manifest.json"), json + "\n")?;
+    std::fs::write(dir.join("events.jsonl"), events.to_jsonl())
+}
+
+fn main() -> ExitCode {
+    let mut n = DEFAULT_N;
+    let mut seeds = DEFAULT_SEEDS;
+    let mut out_dir = PathBuf::from("chaos-results");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v >= 1 => seeds = v,
+                _ => {
+                    eprintln!("--seeds requires a count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--n" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 20 => n = v,
+                _ => {
+                    eprintln!("--n requires an instance size >= 20");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => engine::set_jobs(v),
+                _ => {
+                    eprintln!("--jobs requires a worker count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: chaos [--seeds N] [--n N] [--out DIR] [--jobs N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let un = (n / 50).max(3);
+    // Odd seeds add platform faults so partial-batch journal records are
+    // part of the matrix; even seeds stay fault-free.
+    let rate_for = |seed: u64| if seed % 2 == 1 { 0.05 } else { 0.0 };
+    let trials = engine::parallel_map((0..seeds).collect(), |seed| {
+        let point = ChaosPlan::seeded(seed).point();
+        let artifacts = run_trial_artifacts(n, un, rate_for(seed), point, BASE_SEED, seed);
+        (seed, point, artifacts)
+    });
+
+    let mut failures = 0u64;
+    let mut uninterrupted = SideManifest {
+        version: 1,
+        n,
+        seeds,
+        trials: Vec::new(),
+    };
+    let mut resumed = SideManifest {
+        version: 1,
+        n,
+        seeds,
+        trials: Vec::new(),
+    };
+    let mut uninterrupted_events = Vec::new();
+    let mut resumed_events = Vec::new();
+
+    for (seed, point, artifacts) in trials {
+        let o = &artifacts.outcome;
+        let label = point_label(point);
+        eprintln!(
+            "seed {seed:>3} {label:<18} crashed={} torn={} resumed={} identical={} \
+             replayed={} re-bought={}",
+            o.crashed, o.torn_tail, o.resumed, o.identical, o.replayed, o.re_bought
+        );
+        if !(o.resumed && o.identical && !o.diverged) {
+            eprintln!("seed {seed}: resume-equivalence FAILED: {o:?}");
+            failures += 1;
+            continue;
+        }
+        let Some(resumed_summary) = artifacts.resumed.clone() else {
+            eprintln!("seed {seed}: resume accepted but produced no summary");
+            failures += 1;
+            continue;
+        };
+        uninterrupted.trials.push(TrialRow {
+            seed,
+            point: label.to_string(),
+            fault_rate: rate_for(seed),
+            summary: artifacts.uninterrupted.clone(),
+        });
+        resumed.trials.push(TrialRow {
+            seed,
+            point: label.to_string(),
+            fault_rate: rate_for(seed),
+            summary: resumed_summary,
+        });
+        uninterrupted_events.extend(artifacts.uninterrupted_events);
+        resumed_events.extend(artifacts.resumed_events);
+    }
+
+    if let Err(e) = write_side(
+        &out_dir.join("uninterrupted"),
+        &uninterrupted,
+        EventLog::from_events(uninterrupted_events),
+    )
+    .and_then(|()| {
+        write_side(
+            &out_dir.join("resumed"),
+            &resumed,
+            EventLog::from_events(resumed_events),
+        )
+    }) {
+        eprintln!("failed to write artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if failures > 0 {
+        eprintln!("{failures}/{seeds} seeds failed resume equivalence");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "all {seeds} seeds resumed identically; artifacts in {} (diff the two trees)",
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}

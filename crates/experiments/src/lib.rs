@@ -25,6 +25,7 @@
 //! | Sorting angle (Ajtai et al., related work) | [`ranking_quality`] |
 //! | §5.3 — search-result evaluation | [`search_eval`] |
 //! | Robustness angle — platform faults and recovery | [`fault_sweep`] |
+//! | Robustness angle — crash/resume equivalence | [`chaos_sweep`] |
 //!
 //! Run everything with `cargo run --release -p crowd-experiments --bin
 //! repro -- all` (add `--quick` for a smoke-scale pass).
@@ -34,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod budget_sweep;
+pub mod chaos_sweep;
 pub mod engine;
 pub mod fault_sweep;
 pub mod fig10;

@@ -184,7 +184,10 @@ where
                     &mut buffers,
                     &mut out,
                 );
-                out.comparisons += oracle.counts() - start;
+                out.comparisons += oracle
+                    .counts()
+                    .delta_since(start)
+                    .unwrap_or_else(|e| panic!("{e}"));
             }
             out
         });

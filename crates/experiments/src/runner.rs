@@ -9,7 +9,7 @@ use crate::scale::Scale;
 use crowd_core::model::WorkerClass;
 use crowd_core::oracle::ComparisonCounts;
 use crowd_core::trace::{install_sink, FaultCounts, TallySink};
-use crowd_obs::{class_label, names as metric_names, Event, Recorder};
+use crowd_obs::{class_label, names as metric_names, Event, MetricSample, Recorder, SampleValue};
 use serde::Serialize;
 use std::io;
 use std::path::Path;
@@ -32,13 +32,14 @@ pub const EXPERIMENT_NAMES: [&str; 11] = [
 ];
 
 /// Extra experiment backing a claim made in the Section 5.2 text.
-pub const TEXT_EXPERIMENTS: [&str; 6] = [
+pub const TEXT_EXPERIMENTS: [&str; 7] = [
     "phase1_survival",
     "lower_bounds",
     "latency",
     "budget_sweep",
     "ranking_quality",
     "fault_sweep",
+    "chaos_sweep",
 ];
 
 /// Runs one experiment by name.
@@ -68,12 +69,15 @@ pub fn run_experiment(name: &str, scale: &Scale) -> io::Result<Vec<Table>> {
         "budget_sweep" => vec![crate::budget_sweep::run(scale)],
         "ranking_quality" => vec![crate::ranking_quality::run(scale)],
         "fault_sweep" => vec![crate::fault_sweep::run(scale)],
-        other => return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!(
+        "chaos_sweep" => vec![crate::chaos_sweep::run(scale)],
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
                 "unknown experiment {other:?}; known: {EXPERIMENT_NAMES:?} + {TEXT_EXPERIMENTS:?}"
             ),
-        )),
+            ))
+        }
     })
 }
 
@@ -103,6 +107,19 @@ pub fn nominal_physical_steps(comparisons: &ComparisonCounts) -> u64 {
     }
 }
 
+/// Sums every counter sample named `name` in a metrics snapshot, across
+/// label sets (0 when the metric was never emitted).
+fn counter_total(snapshot: &[MetricSample], name: &str) -> u64 {
+    snapshot
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| match s.value {
+            SampleValue::Counter { value } => value,
+            _ => 0,
+        })
+        .sum()
+}
+
 /// One experiment's entry in the run manifest.
 #[derive(Debug, Clone, Serialize)]
 pub struct ManifestEntry {
@@ -123,13 +140,22 @@ pub struct ManifestEntry {
     /// no-answers, timeouts, retries, dead letters — per worker class.
     /// All-zero for every experiment except the fault-injection sweeps.
     pub faults: FaultCounts,
+    /// Write-ahead journal bytes made durable while the experiment ran
+    /// (the [`crowd_journal_bytes_total`](metric_names::JOURNAL_BYTES)
+    /// counter). Zero for every experiment that does not journal.
+    pub journal_bytes: u64,
+    /// Comparisons restored from journals during crash recovery instead
+    /// of re-purchased (the
+    /// [`crowd_replayed_comparisons_total`](metric_names::REPLAYED_COMPARISONS)
+    /// counter). Nonzero only for the chaos sweep.
+    pub replayed_comparisons: u64,
 }
 
 /// Schema version of [`RunManifest`]. Bump when the manifest layout
 /// changes shape; [`run_experiments`] refuses to overwrite a manifest
 /// written by a *newer* schema (see `write_manifest`), so an old binary
 /// cannot silently clobber results it does not understand.
-pub const MANIFEST_VERSION: u64 = 2;
+pub const MANIFEST_VERSION: u64 = 3;
 
 /// The machine-readable record of one `repro` run, written as
 /// `manifest.json` next to the CSVs.
@@ -193,13 +219,20 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
                 name: name.to_string(),
             });
             let sink = Arc::new(TallySink::new());
+            // A second, experiment-scoped recorder rides the thread-local
+            // stack alongside the run-level one: every emission feeds both,
+            // and this one's counter snapshot attributes journal/recovery
+            // totals to the experiment that produced them.
+            let experiment_rec = Arc::new(Recorder::new());
             let started = Instant::now();
             let tables = {
                 let _guard = install_sink(sink.clone());
+                let _rec_guard = crowd_obs::install_recorder(experiment_rec.clone());
                 run_experiment(name, scale)?
             };
             let comparisons = sink.counts();
             let faults = sink.faults();
+            let experiment_metrics = experiment_rec.metrics().snapshot();
             for (class, performed) in [
                 (WorkerClass::Naive, comparisons.naive),
                 (WorkerClass::Expert, comparisons.expert),
@@ -224,6 +257,11 @@ pub fn run_experiments(names: &[String], scale: &Scale, out_dir: &Path) -> io::R
                 comparisons,
                 physical_steps_estimate: nominal_physical_steps(&comparisons),
                 faults,
+                journal_bytes: counter_total(&experiment_metrics, metric_names::JOURNAL_BYTES),
+                replayed_comparisons: counter_total(
+                    &experiment_metrics,
+                    metric_names::REPLAYED_COMPARISONS,
+                ),
             };
             io::Result::Ok((tables, entry))
         })
@@ -364,6 +402,12 @@ mod tests {
         let steps: u64 = serde::field(&experiments[0], "physical_steps_estimate")
             .expect("physical_steps_estimate field");
         assert!(steps > 0);
+        let journal_bytes: u64 =
+            serde::field(&experiments[0], "journal_bytes").expect("journal_bytes field");
+        assert_eq!(journal_bytes, 0, "table1 does not journal");
+        let replayed: u64 = serde::field(&experiments[0], "replayed_comparisons")
+            .expect("replayed_comparisons field");
+        assert_eq!(replayed, 0, "table1 does not recover");
         let scale: String = serde::field(&parsed, "scale").expect("scale field");
         assert_eq!(scale, "quick");
         let version: u64 = serde::field(&parsed, "version").expect("version field");
@@ -420,6 +464,22 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         assert!(err.to_string().contains("fig42"), "{err}");
         assert!(!dir.exists(), "nothing may be written for a rejected run");
+    }
+
+    #[test]
+    fn counter_total_sums_across_label_sets_and_skips_other_metrics() {
+        use crowd_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        registry.counter_add(metric_names::JOURNAL_BYTES, &[], 10);
+        registry.counter_add(metric_names::JOURNAL_BYTES, &[("experiment", "x")], 5);
+        registry.counter_add(metric_names::REPLAYED_COMPARISONS, &[], 7);
+        let snapshot = registry.snapshot();
+        assert_eq!(counter_total(&snapshot, metric_names::JOURNAL_BYTES), 15);
+        assert_eq!(
+            counter_total(&snapshot, metric_names::REPLAYED_COMPARISONS),
+            7
+        );
+        assert_eq!(counter_total(&snapshot, "crowd_absent_total"), 0);
     }
 
     #[test]

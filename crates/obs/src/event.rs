@@ -73,6 +73,29 @@ pub enum Event {
         /// Money spent when the cap fired.
         spent: f64,
     },
+    /// A journal checkpoint flushed pending records to durable storage.
+    CheckpointWritten {
+        /// Batches journaled so far (including this checkpoint's).
+        batches: u64,
+        /// Bytes this flush made durable.
+        bytes: u64,
+    },
+    /// Crash recovery began replaying a journal.
+    RecoveryStarted {
+        /// Completed batches found in the journal.
+        batches: u64,
+        /// True when the journal's tail was torn (a partially written
+        /// final record was detected by checksum and discarded).
+        torn_tail: bool,
+    },
+    /// Crash recovery finished replaying; the run continues live.
+    RecoveryCompleted {
+        /// Batches replayed from the journal.
+        replayed_batches: u64,
+        /// Individual comparisons restored from the journal instead of
+        /// re-purchased from workers.
+        replayed_comparisons: u64,
+    },
     /// The matching [`Event::RunStarted`] unit of work finished.
     RunFinished {
         /// The run's name.
@@ -207,6 +230,18 @@ mod tests {
             Event::BudgetExhausted {
                 cap: 10.0,
                 spent: 10.5,
+            },
+            Event::CheckpointWritten {
+                batches: 3,
+                bytes: 412,
+            },
+            Event::RecoveryStarted {
+                batches: 3,
+                torn_tail: true,
+            },
+            Event::RecoveryCompleted {
+                replayed_batches: 3,
+                replayed_comparisons: 96,
             },
             Event::RunFinished {
                 name: "demo".to_string(),

@@ -76,6 +76,11 @@ pub mod names {
     pub const ROUND_COMPARISONS: &str = "crowd_round_comparisons";
     /// Gauge (high watermark), no labels: deepest retry attempt seen.
     pub const RETRY_DEPTH_MAX: &str = "crowd_retry_depth_max";
+    /// Counter, no labels: journal bytes made durable by checkpoints.
+    pub const JOURNAL_BYTES: &str = "crowd_journal_bytes_total";
+    /// Counter, no labels: comparisons restored from a journal during
+    /// crash recovery instead of re-purchased from workers.
+    pub const REPLAYED_COMPARISONS: &str = "crowd_replayed_comparisons_total";
 }
 
 /// The label value used for a worker class (`"naive"` / `"expert"`).

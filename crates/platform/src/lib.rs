@@ -28,6 +28,14 @@
 //!   abandonment, transient no-answers, and latency distributions.
 //! * [`retry`] — timeout recovery: capped exponential backoff,
 //!   re-assignment to fresh workers, and dead-letter records.
+//! * [`journal`] — write-ahead, length-prefixed + checksummed journaling
+//!   of every batch, with batch-aligned checkpoint cadence.
+//! * [`mod@recover`] — crash recovery: replay a journal on a fresh platform,
+//!   audited against its checkpoints and the `crowd_core::replay`
+//!   transcript, then continue live.
+//! * [`chaos`] — deterministic, seeded crash injection (mid-batch,
+//!   between rounds, at the phase transition, torn journal writes) for
+//!   proving resume-equals-uninterrupted.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,10 +43,13 @@
 
 pub mod batched;
 pub mod billing;
+pub mod chaos;
 pub mod fault;
+pub mod journal;
 pub mod platform;
 pub mod pool;
 pub mod quality;
+pub mod recover;
 pub mod report;
 pub mod retry;
 pub mod scheduler;
@@ -47,10 +58,15 @@ pub mod worker;
 
 pub use batched::{batched_all_play_all, batched_filter, BatchedFilterOutcome, BatchedTournament};
 pub use billing::Ledger;
+pub use chaos::{ChaosPlan, InjectionPoint};
 pub use fault::{FaultConfig, FaultPlan, JudgeFate, LatencyModel};
+pub use journal::{
+    CheckpointPolicy, DecodedJournal, Journal, JournalRecord, JournaledOracle, JOURNAL_VERSION,
+};
 pub use platform::{JobResult, Platform, PlatformConfig, PlatformError, PlatformOracle};
 pub use pool::WorkerPool;
 pub use quality::{GoldRecord, TrustTracker};
+pub use recover::{recover, resume_job, RecoverError, Recovered, ResumeOracle, ScriptEntry};
 pub use report::{CampaignReport, WorkerLine};
 pub use retry::{DeadLetter, RetryPolicy};
 pub use scheduler::{physical_steps, reassign, schedule, Assignment, Schedule, ScheduleError};

@@ -51,6 +51,11 @@ pub enum PlatformError {
         units: Vec<UnitId>,
         /// Attempts made per judgment slot (initial + retries).
         attempts: u32,
+        /// Majority answers for the units that *did* resolve. These
+        /// comparisons were purchased and must not be re-bought: recovery
+        /// and billing read the completed prefix from here instead of
+        /// re-running the job.
+        answers: HashMap<UnitId, ElementId>,
     },
 }
 
@@ -67,7 +72,9 @@ impl std::fmt::Display for PlatformError {
             PlatformError::BudgetExhausted { cap, spent } => {
                 write!(f, "budget cap {cap} reached (spent {spent})")
             }
-            PlatformError::UnitsUnanswered { units, attempts } => write!(
+            PlatformError::UnitsUnanswered {
+                units, attempts, ..
+            } => write!(
                 f,
                 "{} unit(s) unanswered after {attempts} attempts each",
                 units.len()
@@ -271,6 +278,8 @@ pub struct Platform<R: RngCore> {
     dropped_seen: HashSet<WorkerId>,
     /// Units the campaign had to give up on.
     dead_letters: Vec<DeadLetter>,
+    /// Workers assigned by the most recent job's schedule.
+    last_assignments: Vec<WorkerId>,
     /// True once any result was produced in degraded mode.
     degraded: bool,
 }
@@ -300,6 +309,7 @@ impl<R: RngCore> Platform<R> {
             fault_counts: FaultCounts::zero(),
             dropped_seen: HashSet::new(),
             dead_letters: Vec::new(),
+            last_assignments: Vec::new(),
             degraded: false,
         }
     }
@@ -386,6 +396,21 @@ impl<R: RngCore> Platform<R> {
         self.fault_counts
     }
 
+    /// Position of the campaign's fault-plan attempt counter — the
+    /// SplitMix64 stream index the next judgment fate will be drawn at.
+    /// Journaled at every checkpoint so a resumed campaign draws the same
+    /// fates an uninterrupted one would.
+    pub fn fault_seq(&self) -> u64 {
+        self.fault_seq
+    }
+
+    /// Workers assigned by the most recent job's schedule, in assignment
+    /// order (empty before the first job). Journaled per batch so a
+    /// recovery audit can see who was asked, not only what they answered.
+    pub fn last_assignments(&self) -> &[WorkerId] {
+        &self.last_assignments
+    }
+
     /// Units the campaign gave up on after exhausting retries.
     pub fn dead_letters(&self) -> &[DeadLetter] {
         &self.dead_letters
@@ -430,6 +455,26 @@ impl<R: RngCore> Platform<R> {
         pairs: &[(ElementId, ElementId)],
         class: WorkerClass,
     ) -> Result<Vec<ElementId>, PlatformError> {
+        match self.submit_comparisons_partial(pairs, class) {
+            (answers, None) => Ok(answers),
+            (_, Some(err)) => Err(err),
+        }
+    }
+
+    /// Like [`submit_comparisons`](Self::submit_comparisons), but on
+    /// failure the already-resolved *prefix* of answers (in input order, up
+    /// to the first unresolved pair) is returned alongside the error
+    /// instead of being discarded. Those comparisons were purchased —
+    /// workers answered and were paid — so recovery and billing must treat
+    /// them as done rather than buy them again.
+    ///
+    /// On success the error slot is `None` and the answer vector covers
+    /// every input pair.
+    pub fn submit_comparisons_partial(
+        &mut self,
+        pairs: &[(ElementId, ElementId)],
+        class: WorkerClass,
+    ) -> (Vec<ElementId>, Option<PlatformError>) {
         let mut units: Vec<Unit> = Vec::with_capacity(pairs.len());
         let mut regular_ids = Vec::with_capacity(pairs.len());
         for &(k, j) in pairs {
@@ -467,11 +512,29 @@ impl<R: RngCore> Platform<R> {
                         .judgments_per_unit
                         .saturating_mul(self.config.expert_fallback_votes),
                 );
-                self.run_job(&boosted, WorkerClass::Naive)?
+                self.run_job(&boosted, WorkerClass::Naive)
             }
-            other => other?,
+            other => other,
         };
-        Ok(regular_ids.iter().map(|id| result.answers[id]).collect())
+        match result {
+            Ok(result) => (
+                regular_ids.iter().map(|id| result.answers[id]).collect(),
+                None,
+            ),
+            Err(err) => {
+                // A partially answered job still yields its completed
+                // prefix: stop at the first pair whose unit stayed
+                // unanswered so the prefix lines up with the scalar loop.
+                let prefix = match &err {
+                    PlatformError::UnitsUnanswered { answers, .. } => regular_ids
+                        .iter()
+                        .map_while(|id| answers.get(id).copied())
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                (prefix, Some(err))
+            }
+        }
     }
 
     /// Records a fault in the campaign tally and mirrors it into the
@@ -582,6 +645,7 @@ impl<R: RngCore> Platform<R> {
             self.rotation,
         )?;
         self.rotation = self.rotation.wrapping_add(plan.assignments.len().max(1));
+        self.last_assignments = plan.assignments.iter().map(|a| a.worker).collect();
         let units: HashMap<UnitId, &Unit> = job.units().iter().map(|u| (u.id, u)).collect();
 
         // The distinct-workers-per-unit ledger, maintained across retries.
@@ -804,10 +868,12 @@ impl<R: RngCore> Platform<R> {
         self.logical_steps += 1;
         if !unanswered.is_empty() {
             // The job's partial results (payments, trust, dead letters)
-            // stay recorded; only the answer set is refused.
+            // stay recorded; the resolved answers ride along in the error
+            // so nothing already purchased has to be bought twice.
             return Err(PlatformError::UnitsUnanswered {
                 units: unanswered,
                 attempts: 1 + policy.max_retries,
+                answers,
             });
         }
         Ok(JobResult {
@@ -874,8 +940,8 @@ impl<R: RngCore> ComparisonOracle for PlatformOracle<R> {
     /// batch instead of once per comparison. Answers and tallies match the
     /// scalar loop for a fault-free workforce; the job structure
     /// necessarily differs (one logical step for the batch instead of one
-    /// per pair — that is the amortization), and a faulting batch fails as
-    /// a unit where the scalar loop would have answered its prefix.
+    /// per pair — that is the amortization), and a faulting batch still
+    /// yields the completed prefix of answers alongside the error.
     fn compare_batch(
         &mut self,
         class: WorkerClass,
@@ -886,8 +952,11 @@ impl<R: RngCore> ComparisonOracle for PlatformOracle<R> {
             .expect("the platform pool cannot satisfy a comparison batch");
     }
 
-    /// See [`compare_batch`](Self::compare_batch). On `Err` no answers are
-    /// appended: the platform refuses the job's answer set as a whole.
+    /// See [`compare_batch`](Self::compare_batch). On `Err` the completed
+    /// *prefix* of answers is appended before the error is reported: those
+    /// comparisons were purchased from real workers, so discarding them
+    /// would make recovery (and billing) buy them a second time. Only the
+    /// unresolved suffix is left to the caller's error handling.
     fn try_compare_batch(
         &mut self,
         class: WorkerClass,
@@ -897,12 +966,12 @@ impl<R: RngCore> ComparisonOracle for PlatformOracle<R> {
         if pairs.is_empty() {
             return Ok(());
         }
-        let answers = self
-            .platform
-            .submit_comparisons(pairs, class)
-            .map_err(|err| err.to_oracle_error(class))?;
+        let (answers, err) = self.platform.submit_comparisons_partial(pairs, class);
         winners.extend(answers);
-        Ok(())
+        match err {
+            None => Ok(()),
+            Some(err) => Err(err.to_oracle_error(class)),
+        }
     }
 
     fn counts(&self) -> ComparisonCounts {
@@ -1278,9 +1347,14 @@ mod tests {
             .submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Naive)
             .unwrap_err();
         match &err {
-            PlatformError::UnitsUnanswered { units, attempts } => {
+            PlatformError::UnitsUnanswered {
+                units,
+                attempts,
+                answers,
+            } => {
                 assert_eq!(units.len(), 1);
                 assert_eq!(*attempts, 1 + p.config().retry.max_retries);
+                assert!(answers.is_empty(), "nothing resolved, so no prefix");
             }
             other => panic!("expected UnitsUnanswered, got {other:?}"),
         }
@@ -1293,6 +1367,103 @@ mod tests {
         assert!(p.degraded());
         // Nothing was performed, so nothing was paid.
         assert_eq!(p.ledger().judgments(), 0);
+    }
+
+    #[test]
+    fn retry_recovery_degrades_gracefully_when_the_fresh_pool_exhausts() {
+        use crate::fault::FaultConfig;
+        // Every judgment no-answers and the policy allows far more
+        // retries than there are fresh workers. The recovery loop must
+        // stop when `scheduler::reassign` runs out of workers that have
+        // not touched the unit — degrading to a dead letter, not looping.
+        let cfg = PlatformConfig::paper_default()
+            .without_gold()
+            .with_faults(FaultConfig::none().with_no_answer(1.0), 3)
+            .with_retry(RetryPolicy::paper_default().with_max_retries(1000));
+        let mut p = platform(honest_pool(3), cfg, 21);
+        let err = p
+            .submit_comparisons(&[(ElementId(0), ElementId(1))], WorkerClass::Naive)
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::UnitsUnanswered { .. }));
+        // Attempts are bounded by the pool (1 initial + 2 fresh workers),
+        // not by the 1000-retry policy.
+        assert_eq!(p.fault_counts().naive.retries, 2);
+        assert_eq!(p.dead_letters().len(), 1);
+        assert_eq!(p.dead_letters()[0].attempts, 3);
+        assert!(p.degraded());
+    }
+
+    #[test]
+    fn partial_batches_keep_their_answered_prefix() {
+        use crate::fault::FaultConfig;
+        let pairs = [
+            (ElementId(0), ElementId(4)),
+            (ElementId(1), ElementId(3)),
+            (ElementId(2), ElementId(4)),
+        ];
+        // Ground-truth winners of those pairs, for honest workers.
+        let expect = [ElementId(4), ElementId(3), ElementId(4)];
+        let mut saw_partial = false;
+        for fault_seed in 0..64 {
+            let cfg = PlatformConfig::paper_default()
+                .without_gold()
+                .with_faults(FaultConfig::none().with_no_answer(0.5), fault_seed)
+                .with_retry(RetryPolicy::none());
+            let mut p = platform(honest_pool(3), cfg, 11);
+            let (answers, err) = p.submit_comparisons_partial(&pairs, WorkerClass::Naive);
+            match err {
+                None => assert_eq!(answers, expect.to_vec()),
+                Some(PlatformError::UnitsUnanswered { .. }) => {
+                    // The prefix stops at the first unanswered pair, and
+                    // everything in it is a real (purchased) answer.
+                    assert!(answers.len() < pairs.len());
+                    assert_eq!(answers[..], expect[..answers.len()]);
+                    if !answers.is_empty() {
+                        saw_partial = true;
+                    }
+                }
+                Some(other) => panic!("unexpected platform error: {other:?}"),
+            }
+        }
+        assert!(
+            saw_partial,
+            "64 fault seeds must produce at least one non-empty prefix"
+        );
+    }
+
+    #[test]
+    fn oracle_batches_append_the_prefix_before_the_error() {
+        use crate::fault::FaultConfig;
+        let pairs = [
+            (ElementId(0), ElementId(4)),
+            (ElementId(1), ElementId(3)),
+            (ElementId(2), ElementId(4)),
+        ];
+        let expect = [ElementId(4), ElementId(3), ElementId(4)];
+        let mut saw_partial = false;
+        for fault_seed in 0..64 {
+            let cfg = PlatformConfig::paper_default()
+                .without_gold()
+                .with_faults(FaultConfig::none().with_no_answer(0.5), fault_seed)
+                .with_retry(RetryPolicy::none());
+            let mut oracle = PlatformOracle::new(platform(honest_pool(3), cfg, 11));
+            let mut winners = vec![ElementId(9)]; // pre-existing content survives
+            match oracle.try_compare_batch(WorkerClass::Naive, &pairs, &mut winners) {
+                Ok(()) => assert_eq!(winners[1..], expect[..]),
+                Err(err) => {
+                    assert!(matches!(err, OracleError::Unanswered { .. }));
+                    assert_eq!(winners[1..], expect[..winners.len() - 1]);
+                    if winners.len() > 1 {
+                        saw_partial = true;
+                    }
+                }
+            }
+            assert_eq!(winners[0], ElementId(9));
+        }
+        assert!(
+            saw_partial,
+            "64 fault seeds must produce at least one non-empty prefix"
+        );
     }
 
     #[test]

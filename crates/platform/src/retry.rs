@@ -112,6 +112,57 @@ mod tests {
     }
 
     #[test]
+    fn cap_is_reached_exactly_when_a_doubling_lands_on_it() {
+        // 2·2³ = 16 == cap: the boundary attempt hits the cap without
+        // overshooting, and every later attempt stays pinned there.
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff_steps: 2,
+            max_backoff_steps: 16,
+        };
+        assert_eq!(p.backoff(3), 8);
+        assert_eq!(p.backoff(4), 16);
+        assert_eq!(p.backoff(5), 16);
+    }
+
+    #[test]
+    fn base_above_the_cap_clamps_from_the_first_retry() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            base_backoff_steps: 8,
+            max_backoff_steps: 4,
+        };
+        assert_eq!(p.backoff(1), 4);
+        assert_eq!(p.backoff(2), 4);
+    }
+
+    #[test]
+    fn cap_equal_to_base_pins_every_retry() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            base_backoff_steps: 3,
+            max_backoff_steps: 3,
+        };
+        for attempt in 1..=4 {
+            assert_eq!(p.backoff(attempt), 3);
+        }
+    }
+
+    #[test]
+    fn shift_overflow_boundary_saturates_instead_of_wrapping() {
+        // With an unbounded cap, attempt 64 uses the last in-range shift
+        // (2⁶³) and attempt 65 crosses the u64 shift limit — the backoff
+        // must saturate, not wrap to a tiny delay.
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff_steps: 1,
+            max_backoff_steps: u64::MAX,
+        };
+        assert_eq!(p.backoff(64), 1u64 << 63);
+        assert_eq!(p.backoff(65), u64::MAX);
+    }
+
+    #[test]
     fn dead_letter_serializes() {
         let dl = DeadLetter {
             unit: UnitId(3),
