@@ -1,0 +1,85 @@
+//! Benchmark runner writing `SERVE_results.json`.
+//!
+//! ```text
+//! serve_load [--seed S] [--out FILE]
+//! ```
+//!
+//! Drives the crowd-serve service layer through the standard load
+//! scenarios (half capacity, at capacity, double capacity) and reports
+//! jobs/sec, p99 job latency, shed rate, and breaker trips. The report's
+//! `meta` half is deterministic — byte-identical on any machine — so CI
+//! can diff it against the committed baseline; only the `timings` half
+//! varies between machines and runs.
+
+use crowd_bench::serve_load::{self, ServeLoadReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut seed = serve_load::DEFAULT_SEED;
+    let mut out = PathBuf::from("SERVE_results.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: serve_load [--seed S] [--out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = serve_load::run_serve_load(seed);
+    print_summary(&report);
+    match std::fs::write(&out, report.to_json()) {
+        Ok(()) => {
+            eprintln!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One line per scenario: admission split, tail latency, throughput.
+fn print_summary(report: &ServeLoadReport) {
+    println!("seed {}", report.meta.seed);
+    for (meta, timing) in report.meta.scenarios.iter().zip(&report.timings) {
+        println!(
+            "{:<5} {:>4} offered  {:>4} admitted  {:>4} shed ({:>5.2}%)  \
+             {:>4} ok  {:>4} degraded  {:>3} trips  p99 {:>3} ticks  \
+             {:>8.0} jobs/s  {:>10.0} cmp/s",
+            meta.label,
+            meta.offered,
+            meta.admitted,
+            meta.shed,
+            meta.shed_bps as f64 / 100.0,
+            meta.completed_ok,
+            meta.degraded,
+            meta.breaker_trips,
+            meta.p99_latency_ticks,
+            timing.jobs_per_sec,
+            timing.comparisons_per_sec,
+        );
+    }
+}

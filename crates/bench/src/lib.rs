@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod pipeline;
+pub mod serve_load;
 
 use crowd_core::element::Instance;
 use crowd_core::model::{ExpertModel, TiePolicy};

@@ -1,0 +1,286 @@
+//! The `serve_load` benchmark pipeline: throughput and tail latency of
+//! the crowd-serve service layer under seeded load, written to
+//! `SERVE_results.json`.
+//!
+//! Mirrors the [`crate::pipeline`] split: the `meta` half (admission,
+//! shedding, degradation, breaker, and latency statistics per scenario)
+//! is fully deterministic — byte-identical on any machine at any job
+//! count — and is committed as the CI baseline; the `run`/`timings`
+//! halves carry machine-local wall-clock measurements and are
+//! informational only.
+
+use crowd_core::model::WorkerClass;
+use crowd_obs::{install_recorder, Recorder};
+use crowd_platform::fault::{FaultConfig, LatencyModel};
+use crowd_platform::serve::{
+    ArrivalPlan, CrowdServe, ServeConfig, ShardSpec, TenantId, TenantPolicy,
+};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default seed, shared with the committed `SERVE_results.json`.
+pub const DEFAULT_SEED: u64 = 45223;
+
+/// Report schema version.
+pub const SCHEMA: u32 = 1;
+
+/// Ticks generous enough that every scenario drains naturally.
+const MAX_TICKS: u64 = 2_000;
+
+/// One load scenario: a label plus the arrival rate (jobs per tick as
+/// `num/den`) driven at the shared service config.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioSpec {
+    /// Display label, e.g. `"0.5x"`.
+    pub label: String,
+    /// Arrival-rate numerator.
+    pub rate_num: u64,
+    /// Arrival-rate denominator.
+    pub rate_den: u64,
+    /// Jobs offered over the run.
+    pub total_jobs: u64,
+}
+
+/// The standard scenario set: arrival-rate multipliers of the nominal
+/// one-job-per-tick load. `0.5x` is comfortably inside the admission
+/// envelope; `2x` is far outside it and must shed.
+pub fn scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            label: "0.5x".into(),
+            rate_num: 1,
+            rate_den: 2,
+            total_jobs: 240,
+        },
+        ScenarioSpec {
+            // At one job per tick the token buckets' reservation envelope
+            // is already the binding constraint, so this rate sheds too —
+            // the shed-rate column makes that knee visible.
+            label: "1x".into(),
+            rate_num: 1,
+            rate_den: 1,
+            total_jobs: 240,
+        },
+        ScenarioSpec {
+            label: "2x".into(),
+            rate_num: 3,
+            rate_den: 1,
+            total_jobs: 240,
+        },
+    ]
+}
+
+/// The benchmarked service config: two tenants with tight budgets, two
+/// naive shards (one mildly faulty, so breakers and retries do real
+/// work) and a small expert shard.
+pub fn bench_config() -> ServeConfig {
+    ServeConfig::basic()
+        .with_tenants(vec![
+            TenantPolicy::new(TenantId(0), 600, 16),
+            TenantPolicy::new(TenantId(1), 300, 8),
+        ])
+        .with_shards(vec![
+            ShardSpec::honest(WorkerClass::Naive, 12, 36).with_fault(
+                FaultConfig::none()
+                    .with_no_answer(0.10)
+                    .with_abandon(0.05)
+                    .with_latency(LatencyModel::Geometric { p: 0.7, cap: 6 })
+                    .with_timeout_steps(4),
+            ),
+            ShardSpec::honest(WorkerClass::Naive, 12, 36),
+            ShardSpec::honest(WorkerClass::Expert, 4, 12),
+        ])
+        .with_queue_cap(4)
+}
+
+/// Deterministic statistics of one scenario — part of the CI baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioMeta {
+    /// Scenario label.
+    pub label: String,
+    /// Logical ticks the run took to drain.
+    pub ticks: u64,
+    /// Jobs offered (submitted) across tenants.
+    pub offered: u64,
+    /// Jobs admitted, immediately or via the queue.
+    pub admitted: u64,
+    /// Jobs shed by admission control.
+    pub shed: u64,
+    /// Shed rate in basis points of offered load (deterministic integer).
+    pub shed_bps: u64,
+    /// Jobs that completed with no degradation label.
+    pub completed_ok: u64,
+    /// Jobs that completed with an explicit degradation label.
+    pub degraded: u64,
+    /// Comparisons charged across tenants.
+    pub comparisons: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Pairs dead-lettered mid-tournament.
+    pub dead_letters: u64,
+    /// Worst per-tenant p99 job latency, in ticks.
+    pub p99_latency_ticks: u64,
+    /// Worst per-tenant max job latency, in ticks.
+    pub max_latency_ticks: u64,
+    /// Durable write-ahead journal bytes the run produced.
+    pub journal_bytes: u64,
+}
+
+/// Wall-clock measurements of one scenario — informational only.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioTiming {
+    /// Wall-clock nanoseconds for the whole run.
+    pub wall_nanos: u64,
+    /// Completed jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Charged comparisons per wall-clock second.
+    pub comparisons_per_sec: f64,
+}
+
+/// The deterministic half of a [`ServeLoadReport`] — the CI baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeLoadMeta {
+    /// Report schema version.
+    pub schema: u32,
+    /// Seed every scenario derives its streams from.
+    pub seed: u64,
+    /// Per-scenario deterministic statistics.
+    pub scenarios: Vec<ScenarioMeta>,
+}
+
+/// The full `serve_load` report, as written to `SERVE_results.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeLoadReport {
+    /// Deterministic statistics (byte-identical on any machine).
+    pub meta: ServeLoadMeta,
+    /// Wall-clock measurements (informational).
+    pub timings: Vec<ScenarioTiming>,
+}
+
+impl ServeLoadReport {
+    /// The report as pretty-printed JSON, newline-terminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (the report is a plain value tree,
+    /// so it cannot).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes") + "\n"
+    }
+
+    /// Only the deterministic [`ServeLoadMeta`] half as pretty-printed
+    /// JSON — what CI diffs against the committed baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot; see [`Self::to_json`]).
+    pub fn metadata_json(&self) -> String {
+        serde_json::to_string_pretty(&self.meta).expect("metadata serializes") + "\n"
+    }
+}
+
+/// Runs every scenario in order and assembles the report.
+pub fn run_serve_load(seed: u64) -> ServeLoadReport {
+    let mut metas = Vec::new();
+    let mut timings = Vec::new();
+    for (idx, spec) in scenarios().iter().enumerate() {
+        let plan = ArrivalPlan::new(
+            seed ^ (idx as u64).wrapping_mul(0x9E37_79B9),
+            spec.rate_num,
+            spec.rate_den,
+            spec.total_jobs,
+            2,
+        )
+        .with_catalog(4, 9)
+        .with_deadline(40);
+        // A scoped recorder keeps obs traffic off the global sink; the
+        // deterministic numbers come from the service report itself.
+        let _guard = install_recorder(Arc::new(Recorder::new()));
+        let started = Instant::now();
+        let mut service = CrowdServe::new(bench_config(), seed).expect("config is valid");
+        let report = service
+            .run(&plan, MAX_TICKS)
+            .expect("no chaos plan: the run cannot crash");
+        let nanos = started.elapsed().as_nanos() as u64;
+
+        let offered: u64 = report.tenants.iter().map(|t| t.offered).sum();
+        let admitted: u64 = report.tenants.iter().map(|t| t.admitted).sum();
+        let completed_ok: u64 = report.tenants.iter().map(|t| t.completed_ok).sum();
+        let degraded: u64 = report.tenants.iter().map(|t| t.degraded).sum();
+        let completed = report.jobs.len() as u64;
+        metas.push(ScenarioMeta {
+            label: spec.label.clone(),
+            ticks: report.ticks,
+            offered,
+            admitted,
+            shed: report.shed,
+            shed_bps: (report.shed * 10_000).checked_div(offered).unwrap_or(0),
+            completed_ok,
+            degraded,
+            comparisons: report.comparisons,
+            breaker_trips: report.breaker_trips,
+            dead_letters: report.dead_letters,
+            p99_latency_ticks: report
+                .tenants
+                .iter()
+                .map(|t| t.p99_latency_ticks)
+                .max()
+                .unwrap_or(0),
+            max_latency_ticks: report
+                .tenants
+                .iter()
+                .map(|t| t.max_latency_ticks)
+                .max()
+                .unwrap_or(0),
+            journal_bytes: service.journal().durable().len() as u64,
+        });
+        timings.push(ScenarioTiming {
+            wall_nanos: nanos,
+            jobs_per_sec: if nanos == 0 {
+                0.0
+            } else {
+                completed as f64 * 1e9 / nanos as f64
+            },
+            comparisons_per_sec: if nanos == 0 {
+                0.0
+            } else {
+                report.comparisons as f64 * 1e9 / nanos as f64
+            },
+        });
+    }
+    ServeLoadReport {
+        meta: ServeLoadMeta {
+            schema: SCHEMA,
+            seed,
+            scenarios: metas,
+        },
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_is_deterministic() {
+        let a = run_serve_load(DEFAULT_SEED);
+        let b = run_serve_load(DEFAULT_SEED);
+        assert_eq!(a.metadata_json(), b.metadata_json());
+    }
+
+    #[test]
+    fn scenarios_cover_under_and_overload() {
+        let report = run_serve_load(DEFAULT_SEED);
+        assert_eq!(report.meta.scenarios.len(), 3);
+        let under = &report.meta.scenarios[0];
+        let over = &report.meta.scenarios[2];
+        assert_eq!(under.shed, 0, "half load must not shed: {under:?}");
+        assert!(over.shed > 0, "double load must shed: {over:?}");
+        for s in &report.meta.scenarios {
+            assert_eq!(s.offered, s.admitted + s.shed, "{s:?}");
+            assert_eq!(s.admitted, s.completed_ok + s.degraded, "{s:?}");
+        }
+    }
+}

@@ -109,6 +109,59 @@ impl FaultKind {
     ];
 }
 
+/// Why a unit was dead-lettered — the distinction dashboards need to tell
+/// a quarantine storm from a small pool or an exhausted campaign budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadLetterReason {
+    /// Every retry was attempted and none produced a usable judgment.
+    RetriesExhausted,
+    /// Healthy workers exist, but each one already touched the unit (the
+    /// distinct-workers-per-unit invariant forbids re-use).
+    NoFreshWorkers,
+    /// Every eligible worker was unhealthy — excluded or quarantined by a
+    /// circuit breaker — when the retry looked for a fresh assignee.
+    NoHealthyWorkers,
+    /// The campaign or tenant budget refused to fund further attempts.
+    BudgetExhausted,
+}
+
+impl DeadLetterReason {
+    /// All reasons, in declaration order.
+    pub const ALL: [DeadLetterReason; 4] = [
+        DeadLetterReason::RetriesExhausted,
+        DeadLetterReason::NoFreshWorkers,
+        DeadLetterReason::NoHealthyWorkers,
+        DeadLetterReason::BudgetExhausted,
+    ];
+}
+
+/// Why a job completed in degraded mode instead of the full two-phase
+/// protocol. A degraded result is still an answer — the service contract
+/// is "correct or *explicitly* degraded", never a panic or a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DegradedReason {
+    /// The job's logical-clock deadline lapsed before it finished.
+    DeadlineLapsed,
+    /// No healthy expert remained, so the verification phase fell back to
+    /// vote-boosted naïve majorities.
+    ExpertExhausted,
+    /// The tenant's comparison budget ran out mid-job.
+    BudgetExhausted,
+    /// One or more comparisons dead-lettered and their outcomes were
+    /// defaulted deterministically.
+    DeadLetters,
+}
+
+impl DegradedReason {
+    /// All reasons, in declaration order.
+    pub const ALL: [DegradedReason; 4] = [
+        DegradedReason::DeadlineLapsed,
+        DegradedReason::ExpertExhausted,
+        DegradedReason::BudgetExhausted,
+        DegradedReason::DeadLetters,
+    ];
+}
+
 /// Per-kind fault tallies for one worker class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultTally {

@@ -56,6 +56,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod search_eval;
+pub mod serve_sweep;
 pub mod table1;
 pub mod table2;
 

@@ -32,7 +32,7 @@ pub const EXPERIMENT_NAMES: [&str; 11] = [
 ];
 
 /// Extra experiment backing a claim made in the Section 5.2 text.
-pub const TEXT_EXPERIMENTS: [&str; 7] = [
+pub const TEXT_EXPERIMENTS: [&str; 8] = [
     "phase1_survival",
     "lower_bounds",
     "latency",
@@ -40,6 +40,7 @@ pub const TEXT_EXPERIMENTS: [&str; 7] = [
     "ranking_quality",
     "fault_sweep",
     "chaos_sweep",
+    "serve_sweep",
 ];
 
 /// Runs one experiment by name.
@@ -70,6 +71,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> io::Result<Vec<Table>> {
         "ranking_quality" => vec![crate::ranking_quality::run(scale)],
         "fault_sweep" => vec![crate::fault_sweep::run(scale)],
         "chaos_sweep" => vec![crate::chaos_sweep::run(scale)],
+        "serve_sweep" => vec![crate::serve_sweep::run(scale)],
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,

@@ -2,7 +2,7 @@
 
 use crowd_core::model::WorkerClass;
 use crowd_core::oracle::ComparisonCounts;
-use crowd_core::trace::{FaultKind, TracePhase};
+use crowd_core::trace::{DeadLetterReason, DegradedReason, FaultKind, TracePhase};
 use serde::{Deserialize, Serialize};
 
 /// One observable occurrence in a run.
@@ -65,6 +65,10 @@ pub enum Event {
         class: WorkerClass,
         /// Total judgment attempts made for the unit.
         attempts: u32,
+        /// Why the unit was given up on — quarantine storms
+        /// ([`DeadLetterReason::NoHealthyWorkers`]) are distinguishable
+        /// from small pools ([`DeadLetterReason::NoFreshWorkers`]) here.
+        reason: DeadLetterReason,
     },
     /// The campaign budget cap refused further work.
     BudgetExhausted {
@@ -95,6 +99,61 @@ pub enum Event {
         /// Individual comparisons restored from the journal instead of
         /// re-purchased from workers.
         replayed_comparisons: u64,
+    },
+    /// Admission control accepted a job into the service.
+    JobAdmitted {
+        /// The owning tenant.
+        tenant: u32,
+        /// The service-assigned job id.
+        job: u64,
+        /// Ticks the job waited in the admission queue (0 = admitted on
+        /// arrival).
+        waited_ticks: u64,
+    },
+    /// Admission control shed a job instead of queueing it unboundedly.
+    JobShed {
+        /// The owning tenant.
+        tenant: u32,
+        /// The service-assigned job id.
+        job: u64,
+        /// The earliest tick distance at which retrying could succeed
+        /// (`u64::MAX` when the job can never fit the tenant's budget).
+        retry_after: u64,
+    },
+    /// A service job finished sorting — correctly or explicitly degraded,
+    /// never silently.
+    JobCompleted {
+        /// The owning tenant.
+        tenant: u32,
+        /// The service-assigned job id.
+        job: u64,
+        /// Ticks from submission to completion.
+        latency_ticks: u64,
+        /// Comparisons charged to the tenant for this job.
+        comparisons: u64,
+        /// `None` for a full-protocol result; `Some` names the degradation.
+        degraded: Option<DegradedReason>,
+    },
+    /// A circuit breaker tripped, quarantining a worker.
+    BreakerTripped {
+        /// The shard the worker serves in.
+        shard: u32,
+        /// The quarantined worker.
+        worker: u32,
+        /// Consecutive failures that tripped the breaker.
+        streak: u32,
+        /// Ticks until the half-open probe.
+        cooldown_ticks: u64,
+    },
+    /// A half-open breaker probe resolved.
+    BreakerProbed {
+        /// The shard the worker serves in.
+        shard: u32,
+        /// The probed worker.
+        worker: u32,
+        /// True when the probe succeeded and the breaker re-closed; false
+        /// when it failed and the quarantine re-opened.
+        recovered: bool,
     },
     /// The matching [`Event::RunStarted`] unit of work finished.
     RunFinished {
@@ -226,6 +285,35 @@ mod tests {
             Event::DeadLettered {
                 class: WorkerClass::Expert,
                 attempts: 4,
+                reason: DeadLetterReason::RetriesExhausted,
+            },
+            Event::JobAdmitted {
+                tenant: 1,
+                job: 42,
+                waited_ticks: 3,
+            },
+            Event::JobShed {
+                tenant: 2,
+                job: 43,
+                retry_after: 17,
+            },
+            Event::JobCompleted {
+                tenant: 1,
+                job: 42,
+                latency_ticks: 9,
+                comparisons: 31,
+                degraded: Some(DegradedReason::ExpertExhausted),
+            },
+            Event::BreakerTripped {
+                shard: 0,
+                worker: 5,
+                streak: 3,
+                cooldown_ticks: 8,
+            },
+            Event::BreakerProbed {
+                shard: 0,
+                worker: 5,
+                recovered: true,
             },
             Event::BudgetExhausted {
                 cap: 10.0,

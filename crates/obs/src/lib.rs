@@ -50,7 +50,7 @@ pub use recorder::{
 };
 
 use crowd_core::model::WorkerClass;
-use crowd_core::trace::FaultKind;
+use crowd_core::trace::{DeadLetterReason, DegradedReason, FaultKind};
 
 /// Canonical metric names emitted by this workspace's instrumentation.
 /// Everything is a `&'static str` constant so call sites cannot drift and
@@ -81,6 +81,24 @@ pub mod names {
     /// Counter, no labels: comparisons restored from a journal during
     /// crash recovery instead of re-purchased from workers.
     pub const REPLAYED_COMPARISONS: &str = "crowd_replayed_comparisons_total";
+    /// Counter, labels `{tenant, outcome}`: jobs the service finished
+    /// sorting, by outcome (`ok` / `degraded`).
+    pub const SERVE_JOBS_TOTAL: &str = "crowd_serve_jobs_total";
+    /// Counter, labels `{tenant}`: jobs shed by admission control (queue
+    /// full, or a budget the tenant can never afford).
+    pub const SERVE_SHED_TOTAL: &str = "crowd_serve_shed_total";
+    /// Counter, labels `{tenant}`: comparisons charged against a tenant's
+    /// token bucket by the service.
+    pub const SERVE_COMPARISONS_TOTAL: &str = "crowd_serve_comparisons_total";
+    /// Histogram, labels `{tenant}`: completed-job latency in service
+    /// ticks, submission to completion.
+    pub const SERVE_JOB_LATENCY_TICKS: &str = "crowd_serve_job_latency_ticks";
+    /// Counter, labels `{shard}`: circuit-breaker trips quarantining a
+    /// worker.
+    pub const SERVE_BREAKER_TRIPS_TOTAL: &str = "crowd_serve_breaker_trips_total";
+    /// Gauge (high watermark), no labels: deepest admission-queue depth
+    /// the service has seen.
+    pub const SERVE_QUEUE_DEPTH_MAX: &str = "crowd_serve_queue_depth_max";
 }
 
 /// The label value used for a worker class (`"naive"` / `"expert"`).
@@ -104,6 +122,27 @@ pub fn kind_label(kind: FaultKind) -> &'static str {
     }
 }
 
+/// The label value used for a dead-letter reason (snake_case, stable).
+pub fn reason_label(reason: DeadLetterReason) -> &'static str {
+    match reason {
+        DeadLetterReason::RetriesExhausted => "retries_exhausted",
+        DeadLetterReason::NoFreshWorkers => "no_fresh_workers",
+        DeadLetterReason::NoHealthyWorkers => "no_healthy_workers",
+        DeadLetterReason::BudgetExhausted => "budget_exhausted",
+    }
+}
+
+/// The label value used for a degraded-completion reason (snake_case,
+/// stable).
+pub fn degraded_label(reason: DegradedReason) -> &'static str {
+    match reason {
+        DegradedReason::DeadlineLapsed => "deadline_lapsed",
+        DegradedReason::ExpertExhausted => "expert_exhausted",
+        DegradedReason::BudgetExhausted => "budget_exhausted",
+        DegradedReason::DeadLetters => "dead_letters",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +156,29 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len(), "kind labels must be distinct");
+    }
+
+    #[test]
+    fn reason_labels_are_distinct() {
+        let reasons: Vec<&str> = DeadLetterReason::ALL
+            .iter()
+            .map(|r| reason_label(*r))
+            .collect();
+        let mut dedup = reasons.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), reasons.len(), "reason labels must be distinct");
+        let degraded: Vec<&str> = DegradedReason::ALL
+            .iter()
+            .map(|r| degraded_label(*r))
+            .collect();
+        let mut dedup = degraded.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            degraded.len(),
+            "degraded labels must be distinct"
+        );
     }
 }

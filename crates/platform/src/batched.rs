@@ -55,7 +55,7 @@ impl BatchedTournament {
     pub fn champion(&self) -> Option<ElementId> {
         let mut best: Option<(ElementId, u32)> = None;
         for (&p, &w) in self.players.iter().zip(&self.wins) {
-            if best.is_none() || w > best.expect("just checked").1 {
+            if best.is_none_or(|(_, top)| w > top) {
                 best = Some((p, w));
             }
         }

@@ -103,7 +103,7 @@ pub enum JournalRecord {
 
 /// When `Completed` records are made durable. `Scheduled` records ignore
 /// the cadence: the WAL invariant flushes them unconditionally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckpointPolicy {
     /// Flush after this many completed batches (minimum 1).
     pub every_batches: u64,
@@ -171,6 +171,15 @@ impl Journal {
     /// plain value trees).
     pub fn append(&mut self, record: &JournalRecord) {
         let json = serde_json::to_string(record).expect("journal record serializes");
+        self.append_json(&json);
+    }
+
+    /// Encodes an arbitrary pre-serialized JSON record into the pending
+    /// buffer using the same `<len> <checksum> <json>\n` framing. This is
+    /// the extension seam other record vocabularies (the service journal
+    /// in [`crate::serve`]) share so every journal in the workspace has
+    /// one torn-tail story.
+    pub fn append_json(&mut self, json: &str) {
         let frame = format!("{} {:016x} {json}\n", json.len(), fnv1a64(json.as_bytes()));
         self.pending.extend_from_slice(frame.as_bytes());
     }
@@ -208,36 +217,72 @@ impl Journal {
     /// or corrupt frame. Never fails: a journal is readable up to its
     /// last intact record by construction.
     pub fn decode(bytes: &[u8]) -> DecodedJournal {
+        let raw = Journal::decode_json(bytes);
         let mut records = Vec::new();
+        let mut valid_bytes = 0usize;
+        let mut torn_tail = raw.torn_tail;
+        for (json, len) in raw.frames {
+            match serde_json::from_str(&json) {
+                Ok(record) => {
+                    records.push(record);
+                    valid_bytes += len;
+                }
+                Err(_) => {
+                    // Intact frame, wrong vocabulary: unreadable from here.
+                    torn_tail = true;
+                    break;
+                }
+            }
+        }
+        DecodedJournal {
+            records,
+            valid_bytes,
+            torn_tail,
+        }
+    }
+
+    /// Decodes journal bytes into raw JSON payloads, stopping at the first
+    /// torn or corrupt frame, without committing to a record vocabulary.
+    /// Shared by every journal reader in the workspace.
+    pub fn decode_json(bytes: &[u8]) -> DecodedFrames {
+        let mut frames = Vec::new();
         let mut pos = 0usize;
         while pos < bytes.len() {
-            let Some(frame) = decode_frame(&bytes[pos..]) else {
-                return DecodedJournal {
-                    records,
+            let Some(frame) = decode_raw_frame(&bytes[pos..]) else {
+                return DecodedFrames {
+                    frames,
                     valid_bytes: pos,
                     torn_tail: true,
                 };
             };
-            records.push(frame.record);
-            pos += frame.len;
+            pos += frame.1;
+            frames.push(frame);
         }
-        DecodedJournal {
-            records,
+        DecodedFrames {
+            frames,
             valid_bytes: pos,
             torn_tail: false,
         }
     }
 }
 
-struct Frame {
-    record: JournalRecord,
-    /// Total encoded frame length, including the trailing newline.
-    len: usize,
+/// Raw frames decoded from journal bytes: `(json payload, encoded frame
+/// length)` pairs plus the same torn-tail verdict [`DecodedJournal`]
+/// carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedFrames {
+    /// The intact frames, in order: JSON payload and total encoded length.
+    pub frames: Vec<(String, usize)>,
+    /// Bytes consumed by the intact frames.
+    pub valid_bytes: usize,
+    /// True when trailing bytes failed the frame or checksum check.
+    pub torn_tail: bool,
 }
 
 /// Decodes one `<len> <checksum> <json>\n` frame from the front of
-/// `bytes`, or `None` when the frame is truncated or corrupt.
-fn decode_frame(bytes: &[u8]) -> Option<Frame> {
+/// `bytes` into `(json, total frame length)`, or `None` when the frame is
+/// truncated or corrupt.
+fn decode_raw_frame(bytes: &[u8]) -> Option<(String, usize)> {
     let sp1 = bytes.iter().position(|&b| b == b' ')?;
     let len: usize = std::str::from_utf8(&bytes[..sp1]).ok()?.parse().ok()?;
     let sum_start = sp1 + 1;
@@ -256,11 +301,7 @@ fn decode_frame(bytes: &[u8]) -> Option<Frame> {
     if fnv1a64(json) != sum {
         return None;
     }
-    let record = serde_json::from_str(std::str::from_utf8(json).ok()?).ok()?;
-    Some(Frame {
-        record,
-        len: json_end + 1,
-    })
+    Some((std::str::from_utf8(json).ok()?.to_string(), json_end + 1))
 }
 
 /// A [`PlatformOracle`] decorator that write-ahead journals every batch.
@@ -371,6 +412,9 @@ impl<R: RngCore> JournaledOracle<R> {
 }
 
 impl<R: RngCore> ComparisonOracle for JournaledOracle<R> {
+    /// Infallible trait surface. Callers that must not panic on a
+    /// fault-exhausted platform use [`Self::try_compare`], which returns
+    /// the typed [`OracleError`] instead.
     fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
         self.try_compare(class, k, j)
             .expect("the journaled platform cannot answer")

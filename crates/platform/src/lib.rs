@@ -36,6 +36,11 @@
 //! * [`chaos`] — deterministic, seeded crash injection (mid-batch,
 //!   between rounds, at the phase transition, torn journal writes) for
 //!   proving resume-equals-uninterrupted.
+//! * [`serve`] — crowd-serve: an overload-robust multi-tenant job
+//!   service multiplexing concurrent max-finding jobs over sharded
+//!   worker pools, with token-bucket admission control, bounded-queue
+//!   load shedding, deficit-round-robin dispatch, per-worker circuit
+//!   breakers, graceful degradation, and WAL-journaled crash recovery.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -53,6 +58,7 @@ pub mod recover;
 pub mod report;
 pub mod retry;
 pub mod scheduler;
+pub mod serve;
 pub mod task;
 pub mod worker;
 
@@ -68,7 +74,12 @@ pub use pool::WorkerPool;
 pub use quality::{GoldRecord, TrustTracker};
 pub use recover::{recover, resume_job, RecoverError, Recovered, ResumeOracle, ScriptEntry};
 pub use report::{CampaignReport, WorkerLine};
-pub use retry::{DeadLetter, RetryPolicy};
+pub use retry::{DeadLetter, DeadLetterReason, RetryPolicy};
 pub use scheduler::{physical_steps, reassign, schedule, Assignment, Schedule, ScheduleError};
+pub use serve::{
+    Admission, ArrivalPlan, BreakerPolicy, CircuitBreaker, CompletedJob, CrowdServe, JobId,
+    JobSpec, ServeConfig, ServeError, ServeKill, ServeReport, ShardSpec, TenantId, TenantPolicy,
+    TenantReport,
+};
 pub use task::{Job, Judgment, Unit, UnitId};
 pub use worker::{Behavior, SpamStrategy, Worker, WorkerId, WorkerProfile};

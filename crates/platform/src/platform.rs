@@ -16,7 +16,7 @@ use crate::billing::Ledger;
 use crate::fault::{FaultConfig, FaultPlan, JudgeFate};
 use crate::pool::WorkerPool;
 use crate::quality::TrustTracker;
-use crate::retry::{DeadLetter, RetryPolicy};
+use crate::retry::{DeadLetter, DeadLetterReason, RetryPolicy};
 use crate::scheduler::{reassign, schedule, ScheduleError};
 use crate::task::{Job, Judgment, Unit, UnitId};
 use crate::worker::WorkerId;
@@ -716,6 +716,7 @@ impl<R: RngCore> Platform<R> {
         let base_step = self.physical_clock + plan.physical_steps;
         let mut retries_used = 0u64;
         let mut extra_steps = 0u64;
+        let mut reason_by_unit: HashMap<UnitId, DeadLetterReason> = HashMap::new();
         for unit_id in failed_slots {
             let unit = units[&unit_id];
             let mut slot_delay = 0u64;
@@ -725,16 +726,27 @@ impl<R: RngCore> Platform<R> {
                     if self.ledger.total() >= cap {
                         // Budget exhausted mid-recovery: stop retrying and
                         // let the unit dead-letter.
+                        reason_by_unit.insert(unit_id, DeadLetterReason::BudgetExhausted);
                         break;
                     }
                 }
                 let tried = assigned.entry(unit_id).or_default();
-                let Ok(worker) =
-                    reassign(&self.pool, class, &excluded, tried, unit_id, self.rotation)
-                else {
-                    // No fresh worker remains for this unit.
-                    break;
-                };
+                let worker =
+                    match reassign(&self.pool, class, &excluded, tried, unit_id, self.rotation) {
+                        Ok(worker) => worker,
+                        Err(ScheduleError::NoEligibleWorkers { .. }) => {
+                            // Every worker of the class is excluded — the
+                            // quarantine-storm signature, not a small pool.
+                            reason_by_unit.insert(unit_id, DeadLetterReason::NoHealthyWorkers);
+                            break;
+                        }
+                        Err(_) => {
+                            // Healthy workers exist but each already touched
+                            // this unit: no fresh worker remains.
+                            reason_by_unit.insert(unit_id, DeadLetterReason::NoFreshWorkers);
+                            break;
+                        }
+                    };
                 self.rotation = self.rotation.wrapping_add(1);
                 assigned.entry(unit_id).or_default().insert(worker);
                 *attempts_by_unit.entry(unit_id).or_default() += 1;
@@ -804,13 +816,24 @@ impl<R: RngCore> Platform<R> {
                 u64::from(attempts),
             );
             if got < needed {
+                let reason = reason_by_unit
+                    .get(&unit.id)
+                    .copied()
+                    .unwrap_or(DeadLetterReason::RetriesExhausted);
                 degraded_units.push(unit.id);
                 self.degraded = true;
                 self.record_fault(class, FaultKind::DeadLetter);
-                crowd_obs::emit(Event::DeadLettered { class, attempts });
+                crowd_obs::emit(Event::DeadLettered {
+                    class,
+                    attempts,
+                    reason,
+                });
                 crowd_obs::counter_add(
                     metric_names::DEAD_LETTERS_TOTAL,
-                    &[("class", class_label(class))],
+                    &[
+                        ("class", class_label(class)),
+                        ("reason", crowd_obs::reason_label(reason)),
+                    ],
                     1,
                 );
                 self.dead_letters.push(DeadLetter {
@@ -819,6 +842,7 @@ impl<R: RngCore> Platform<R> {
                     class,
                     attempts,
                     logical_step: self.logical_steps,
+                    reason,
                 });
                 dead_letters_here += 1;
             }
@@ -917,6 +941,9 @@ impl<R: RngCore> PlatformOracle<R> {
 }
 
 impl<R: RngCore> ComparisonOracle for PlatformOracle<R> {
+    /// Infallible trait surface. Callers that must not panic on an
+    /// undersized or exhausted pool use [`Self::try_compare`], which
+    /// returns the typed [`OracleError`] instead.
     fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
         self.try_compare(class, k, j)
             .expect("the platform pool cannot satisfy a single comparison")

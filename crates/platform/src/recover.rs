@@ -324,6 +324,9 @@ impl<R: RngCore> ResumeOracle<R> {
 }
 
 impl<R: RngCore> ComparisonOracle for ResumeOracle<R> {
+    /// Infallible trait surface. Callers that must not panic on replay
+    /// divergence or a fault-exhausted platform use [`Self::try_compare`],
+    /// which returns the typed [`OracleError`] instead.
     fn compare(&mut self, class: WorkerClass, k: ElementId, j: ElementId) -> ElementId {
         self.try_compare(class, k, j)
             .expect("the resumed platform cannot answer")

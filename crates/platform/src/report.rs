@@ -73,12 +73,7 @@ impl CampaignReport {
                 }
             })
             .collect();
-        workers.sort_by(|a, b| {
-            b.earned
-                .partial_cmp(&a.earned)
-                .expect("finite pay")
-                .then(a.id.cmp(&b.id))
-        });
+        workers.sort_by(|a, b| b.earned.total_cmp(&a.earned).then(a.id.cmp(&b.id)));
         CampaignReport {
             total_spent: platform.ledger().total(),
             spent_by_class: (

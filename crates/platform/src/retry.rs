@@ -12,6 +12,8 @@ use crowd_core::element::ElementId;
 use crowd_core::model::WorkerClass;
 use serde::{Deserialize, Serialize};
 
+pub use crowd_core::trace::DeadLetterReason;
+
 /// Retry policy for failed judgments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetryPolicy {
@@ -83,6 +85,12 @@ pub struct DeadLetter {
     pub attempts: u32,
     /// The logical step the unit was posted in.
     pub logical_step: u64,
+    /// Why the unit was given up on. `NoHealthyWorkers` (every eligible
+    /// worker excluded or quarantined) is deliberately distinct from
+    /// `NoFreshWorkers` (a pool too small for the distinct-workers
+    /// invariant): dashboards must be able to tell a quarantine storm
+    /// from an under-hired campaign.
+    pub reason: DeadLetterReason,
 }
 
 #[cfg(test)]
@@ -170,8 +178,10 @@ mod tests {
             class: WorkerClass::Naive,
             attempts: 4,
             logical_step: 7,
+            reason: DeadLetterReason::NoHealthyWorkers,
         };
         let json = serde_json::to_string(&dl).unwrap();
         assert!(json.contains("attempts"), "{json}");
+        assert!(json.contains("NoHealthyWorkers"), "{json}");
     }
 }

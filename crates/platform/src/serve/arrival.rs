@@ -1,0 +1,167 @@
+//! Seeded synthetic arrival processes for the service.
+//!
+//! An [`ArrivalPlan`] turns `(seed, rate, tick)` into the exact list of
+//! jobs submitted at that tick — statelessly, the way [`FaultPlan`](crate::fault::FaultPlan)
+//! (crate::fault::FaultPlan) decides fates. A plan replays the same
+//! offered load no matter how the service interleaves execution, which is
+//! what makes overload experiments and kill+resume runs comparable
+//! byte-for-byte.
+//!
+//! The rate is a rational `rate_num / rate_den` in jobs per tick, so
+//! "2× capacity" sweeps can dial fractional rates without floating-point
+//! accumulation: job `i` arrives at the first tick `t` with
+//! `⌊(t+1)·num/den⌋ > i`.
+
+use crate::fault::mix;
+use crate::serve::job::JobSpec;
+use crate::serve::tenant::TenantId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic open-loop arrival process over a tenant population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalPlan {
+    /// Seed for tenant assignment, catalog sizes, and values.
+    pub seed: u64,
+    /// Arrival-rate numerator (jobs per `rate_den` ticks).
+    pub rate_num: u64,
+    /// Arrival-rate denominator.
+    pub rate_den: u64,
+    /// Total jobs the plan offers before going quiet.
+    pub total_jobs: u64,
+    /// Tenants to spread jobs across (round-robin-ish via hashing).
+    pub tenants: u32,
+    /// Smallest catalog a job may carry.
+    pub catalog_min: u32,
+    /// Largest catalog a job may carry.
+    pub catalog_max: u32,
+    /// Phase-1 votes per comparison.
+    pub votes: u32,
+    /// Phase-2 votes per comparison.
+    pub expert_votes: u32,
+    /// Per-job deadline, in ticks after admission.
+    pub deadline_ticks: u64,
+}
+
+impl ArrivalPlan {
+    /// A plan offering `total_jobs` at `rate_num / rate_den` jobs per
+    /// tick across `tenants` tenants, with sane protocol defaults.
+    pub fn new(seed: u64, rate_num: u64, rate_den: u64, total_jobs: u64, tenants: u32) -> Self {
+        ArrivalPlan {
+            seed,
+            rate_num,
+            rate_den: rate_den.max(1),
+            total_jobs,
+            tenants: tenants.max(1),
+            catalog_min: 4,
+            catalog_max: 12,
+            votes: 3,
+            expert_votes: 3,
+            deadline_ticks: 64,
+        }
+    }
+
+    /// Sets the catalog-size range (clamped to `min ≥ 1`, `max ≥ min`).
+    pub fn with_catalog(mut self, min: u32, max: u32) -> Self {
+        self.catalog_min = min.max(1);
+        self.catalog_max = max.max(self.catalog_min);
+        self
+    }
+
+    /// Sets the vote requirements.
+    pub fn with_votes(mut self, votes: u32, expert_votes: u32) -> Self {
+        self.votes = votes;
+        self.expert_votes = expert_votes;
+        self
+    }
+
+    /// Sets the per-job deadline.
+    pub fn with_deadline(mut self, ticks: u64) -> Self {
+        self.deadline_ticks = ticks;
+        self
+    }
+
+    /// Jobs that have arrived strictly before `tick`.
+    fn count_before(&self, tick: u64) -> u64 {
+        (tick.saturating_mul(self.rate_num) / self.rate_den).min(self.total_jobs)
+    }
+
+    /// The specs arriving exactly at `tick`, in arrival order.
+    pub fn arrivals_at(&self, tick: u64) -> Vec<JobSpec> {
+        (self.count_before(tick)..self.count_before(tick + 1))
+            .map(|idx| self.spec(idx))
+            .collect()
+    }
+
+    /// True when every job has arrived by `tick` (inclusive).
+    pub fn exhausted(&self, tick: u64) -> bool {
+        self.count_before(tick + 1) >= self.total_jobs
+    }
+
+    /// The `idx`-th job of the plan (stateless, so any tick's arrivals
+    /// can be recomputed during resume without replaying the stream).
+    pub fn spec(&self, idx: u64) -> JobSpec {
+        let tenant =
+            TenantId((mix(self.seed ^ idx.rotate_left(7) ^ 0x7E) % u64::from(self.tenants)) as u32);
+        let span = u64::from(self.catalog_max - self.catalog_min + 1);
+        let n = self.catalog_min + (mix(self.seed ^ idx.rotate_left(23) ^ 0xCA) % span) as u32;
+        let mut rng =
+            StdRng::seed_from_u64(mix(self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let values = (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        JobSpec {
+            tenant,
+            values,
+            votes: self.votes,
+            expert_votes: self.expert_votes,
+            deadline_ticks: self.deadline_ticks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_evenly_spread_and_complete() {
+        let plan = ArrivalPlan::new(1, 3, 2, 10, 2);
+        let mut seen = 0u64;
+        let mut by_tick = Vec::new();
+        for t in 0..20 {
+            let batch = plan.arrivals_at(t);
+            by_tick.push(batch.len());
+            seen += batch.len() as u64;
+        }
+        assert_eq!(seen, 10, "every job arrives exactly once");
+        assert!(plan.exhausted(19));
+        assert!(!plan.exhausted(2));
+        // 1.5 jobs/tick → alternating 1-and-2 batches until exhausted.
+        assert_eq!(&by_tick[..7], &[1, 2, 1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn specs_are_deterministic_and_within_bounds() {
+        let plan = ArrivalPlan::new(9, 1, 1, 50, 3).with_catalog(2, 5);
+        for idx in 0..50 {
+            let a = plan.spec(idx);
+            let b = plan.spec(idx);
+            assert_eq!(a, b, "stateless respec must be identical");
+            assert!((2..=5).contains(&(a.values.len() as u32)));
+            assert!(a.tenant.0 < 3);
+        }
+        let tenants: std::collections::BTreeSet<u32> =
+            (0..50).map(|i| plan.spec(i).tenant.0).collect();
+        assert_eq!(tenants.len(), 3, "all tenants receive load");
+    }
+
+    #[test]
+    fn seed_changes_the_offered_load() {
+        let a = ArrivalPlan::new(1, 1, 1, 20, 2);
+        let b = ArrivalPlan::new(2, 1, 1, 20, 2);
+        assert!(
+            (0..20).any(|i| a.spec(i) != b.spec(i)),
+            "different seeds must offer different jobs"
+        );
+    }
+}

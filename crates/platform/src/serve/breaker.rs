@@ -1,0 +1,330 @@
+//! Per-worker circuit breakers: quarantine workers on failure streaks,
+//! probe them half-open after a seeded cooldown.
+//!
+//! The state machine is the classic three-state breaker on the service's
+//! logical clock:
+//!
+//! ```text
+//! Closed { streak } --streak hits threshold--> Open { until }
+//! Open { until }    --tick reaches until-----> HalfOpen   (one probe)
+//! HalfOpen          --probe succeeds---------> Closed { 0 }
+//! HalfOpen          --probe fails------------> Open { until' }
+//! ```
+//!
+//! Every transition is a pure function of `(state, outcome, tick)` plus a
+//! seeded cooldown jitter, so breaker behaviour is deterministic under a
+//! fixed seed — and a zero-rate fault plan, which never produces a
+//! failure, leaves every breaker in `Closed { 0 }` forever: runs with the
+//! breaker layer enabled are byte-identical to runs without it.
+
+use crate::fault::mix;
+use serde::{Deserialize, Serialize};
+
+/// Breaker tuning for a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Master switch. Disabled breakers never trip and always admit.
+    pub enabled: bool,
+    /// Consecutive failures that open the breaker (minimum 1).
+    pub trip_threshold: u32,
+    /// Base quarantine length, in service ticks.
+    pub cooldown_base: u64,
+    /// Extra quarantine ticks drawn from the seeded jitter stream, in
+    /// `[0, cooldown_jitter]`. Jitter keeps a correlated failure burst
+    /// from synchronizing every breaker's half-open probe onto one tick.
+    pub cooldown_jitter: u64,
+}
+
+impl BreakerPolicy {
+    /// The default quarantine posture: trip after 3 consecutive failures,
+    /// cool down 4–8 ticks.
+    pub fn default_on() -> Self {
+        BreakerPolicy {
+            enabled: true,
+            trip_threshold: 3,
+            cooldown_base: 4,
+            cooldown_jitter: 4,
+        }
+    }
+
+    /// No breakers at all: never trips, always admits.
+    pub fn disabled() -> Self {
+        BreakerPolicy {
+            enabled: false,
+            trip_threshold: u32::MAX,
+            cooldown_base: 0,
+            cooldown_jitter: 0,
+        }
+    }
+
+    /// Sets the trip threshold.
+    pub fn with_trip_threshold(mut self, threshold: u32) -> Self {
+        self.trip_threshold = threshold.max(1);
+        self
+    }
+
+    /// Sets the cooldown window.
+    pub fn with_cooldown(mut self, base: u64, jitter: u64) -> Self {
+        self.cooldown_base = base;
+        self.cooldown_jitter = jitter;
+        self
+    }
+
+    /// The seeded cooldown for a worker's `trips`-th trip:
+    /// `base + mix(seed, worker, trips) % (jitter + 1)`.
+    pub fn cooldown(&self, seed: u64, worker: u64, trips: u64) -> u64 {
+        if self.cooldown_jitter == 0 {
+            return self.cooldown_base;
+        }
+        let draw = mix(seed ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ trips.rotate_left(17));
+        self.cooldown_base + draw % (self.cooldown_jitter + 1)
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy; `streak` consecutive failures so far.
+    Closed {
+        /// Consecutive failures recorded without an intervening success.
+        streak: u32,
+    },
+    /// Quarantined until the logical clock reaches `until`.
+    Open {
+        /// First tick at which a half-open probe is allowed.
+        until: u64,
+    },
+    /// Cooldown elapsed; the next assignment is the probe.
+    HalfOpen,
+}
+
+/// What [`CircuitBreaker::on_failure`] reports back, so the caller can
+/// emit the matching events exactly once per transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureVerdict {
+    /// `Some(cooldown)` when this failure tripped the breaker open.
+    pub tripped: Option<u64>,
+    /// True when the failure was a half-open probe (the quarantine
+    /// re-opened rather than opened).
+    pub was_probe: bool,
+}
+
+/// One worker's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    trips: u64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new()
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with no failure history.
+    pub fn new() -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed { streak: 0 },
+            trips: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times this breaker has opened.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// True when the worker may be assigned work at `tick`. An expired
+    /// quarantine transitions to [`BreakerState::HalfOpen`] here, so the
+    /// assignment this admits is the probe.
+    pub fn admits(&mut self, tick: u64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } if tick >= until => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Like [`admits`](CircuitBreaker::admits) but without the half-open
+    /// transition — for counting healthy workers without spending probes.
+    pub fn would_admit(&self, tick: u64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => tick >= until,
+        }
+    }
+
+    /// Records a usable judgment. Returns true when this closed a
+    /// half-open probe (the worker recovered).
+    pub fn on_success(&mut self) -> bool {
+        let recovered = matches!(self.state, BreakerState::HalfOpen);
+        self.state = BreakerState::Closed { streak: 0 };
+        recovered
+    }
+
+    /// Records a failed judgment (abandonment, no-answer, or timeout) at
+    /// `tick` under `policy`, with the quarantine jitter drawn from
+    /// `(seed, worker)`.
+    pub fn on_failure(
+        &mut self,
+        tick: u64,
+        policy: &BreakerPolicy,
+        seed: u64,
+        worker: u64,
+    ) -> FailureVerdict {
+        if !policy.enabled {
+            return FailureVerdict {
+                tripped: None,
+                was_probe: false,
+            };
+        }
+        match self.state {
+            BreakerState::Closed { streak } => {
+                let streak = streak + 1;
+                if streak >= policy.trip_threshold {
+                    let cooldown = self.trip(tick, policy, seed, worker);
+                    FailureVerdict {
+                        tripped: Some(cooldown),
+                        was_probe: false,
+                    }
+                } else {
+                    self.state = BreakerState::Closed { streak };
+                    FailureVerdict {
+                        tripped: None,
+                        was_probe: false,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                let cooldown = self.trip(tick, policy, seed, worker);
+                FailureVerdict {
+                    tripped: Some(cooldown),
+                    was_probe: true,
+                }
+            }
+            // A quarantined worker is never assigned work; a failure
+            // reaching an open breaker is a caller bug, tolerated as a
+            // no-op rather than a panic.
+            BreakerState::Open { .. } => FailureVerdict {
+                tripped: None,
+                was_probe: false,
+            },
+        }
+    }
+
+    fn trip(&mut self, tick: u64, policy: &BreakerPolicy, seed: u64, worker: u64) -> u64 {
+        self.trips += 1;
+        let cooldown = policy.cooldown(seed, worker, self.trips).max(1);
+        self.state = BreakerState::Open {
+            until: tick.saturating_add(cooldown),
+        };
+        cooldown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail(b: &mut CircuitBreaker, tick: u64, policy: &BreakerPolicy) -> FailureVerdict {
+        b.on_failure(tick, policy, 7, 0)
+    }
+
+    #[test]
+    fn full_cycle_closed_open_halfopen_closed() {
+        let policy = BreakerPolicy::default_on()
+            .with_trip_threshold(2)
+            .with_cooldown(3, 0);
+        let mut b = CircuitBreaker::new();
+        assert!(fail(&mut b, 0, &policy).tripped.is_none());
+        let verdict = fail(&mut b, 0, &policy);
+        assert_eq!(verdict.tripped, Some(3));
+        assert_eq!(b.state(), BreakerState::Open { until: 3 });
+        assert!(!b.admits(2), "still quarantined");
+        assert!(b.admits(3), "cooldown elapsed: probe allowed");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.on_success(), "probe success reports recovery");
+        assert_eq!(b.state(), BreakerState::Closed { streak: 0 });
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let policy = BreakerPolicy::default_on()
+            .with_trip_threshold(1)
+            .with_cooldown(2, 0);
+        let mut b = CircuitBreaker::new();
+        assert!(fail(&mut b, 0, &policy).tripped.is_some());
+        assert!(b.admits(2));
+        let verdict = fail(&mut b, 2, &policy);
+        assert!(verdict.was_probe);
+        assert_eq!(verdict.tripped, Some(2));
+        assert_eq!(b.state(), BreakerState::Open { until: 4 });
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let policy = BreakerPolicy::default_on().with_trip_threshold(3);
+        let mut b = CircuitBreaker::new();
+        fail(&mut b, 0, &policy);
+        fail(&mut b, 0, &policy);
+        assert!(!b.on_success(), "a closed success is not a recovery");
+        fail(&mut b, 0, &policy);
+        fail(&mut b, 0, &policy);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed { streak: 2 },
+            "streak restarted after the success"
+        );
+    }
+
+    #[test]
+    fn disabled_policy_never_trips() {
+        let policy = BreakerPolicy::disabled();
+        let mut b = CircuitBreaker::new();
+        for _ in 0..1_000 {
+            assert!(fail(&mut b, 0, &policy).tripped.is_none());
+        }
+        assert_eq!(b.state(), BreakerState::Closed { streak: 0 });
+        assert!(b.admits(0));
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn cooldown_jitter_is_seeded_and_bounded() {
+        let policy = BreakerPolicy::default_on().with_cooldown(4, 4);
+        let mut seen = std::collections::HashSet::new();
+        for worker in 0..64u64 {
+            let c = policy.cooldown(11, worker, 1);
+            assert!((4..=8).contains(&c), "cooldown {c} out of range");
+            seen.insert(c);
+            assert_eq!(c, policy.cooldown(11, worker, 1), "deterministic");
+        }
+        assert!(seen.len() > 1, "jitter must actually vary");
+    }
+
+    #[test]
+    fn would_admit_does_not_spend_the_probe() {
+        let policy = BreakerPolicy::default_on()
+            .with_trip_threshold(1)
+            .with_cooldown(1, 0);
+        let mut b = CircuitBreaker::new();
+        fail(&mut b, 0, &policy);
+        assert!(b.would_admit(1));
+        assert!(
+            matches!(b.state(), BreakerState::Open { .. }),
+            "read-only check must not transition to half-open"
+        );
+    }
+}

@@ -1,0 +1,1052 @@
+//! The crowd-serve service loop: admission, dispatch, execution,
+//! journaling, and reporting.
+//!
+//! [`CrowdServe`] multiplexes concurrent max-finding jobs over sharded
+//! worker pools on a logical clock. Each tick:
+//!
+//! 1. **Deadline sweep** — jobs past their deadline force-complete with
+//!    [`DegradedReason::DeadlineLapsed`].
+//! 2. **Admission** — the bounded FIFO queue drains head-of-line while
+//!    tenant token buckets can fund each job's worst-case reservation.
+//! 3. **Dispatch** — deficit-round-robin over active jobs hands pairs to
+//!    shards, gated by per-shard windows (backpressure) and per-job
+//!    reservations (budget).
+//! 4. **WAL** — the tick's dispatch list is journaled and flushed
+//!    *before* execution, so a crash can lose at most one tick of work.
+//! 5. **Execution** — each dispatched pair runs on its shard; answers are
+//!    charged to the owning tenant.
+//! 6. **Completion** — finished jobs refund unused reservation and emit
+//!    [`Event::JobCompleted`]; the tick's outcome record is journaled at
+//!    the checkpoint cadence.
+//!
+//! Every decision is a pure function of `(config, arrival plan, seed,
+//! logical clock)`: reruns are byte-identical, and
+//! [`CrowdServe::resume`] replays a crashed run's journal as an audit
+//! trail while rebuilding the exact same final state.
+
+use crate::fault::mix;
+use crate::journal::{fnv1a64, CheckpointPolicy, Journal, JOURNAL_VERSION};
+use crate::retry::RetryPolicy;
+use crate::serve::arrival::ArrivalPlan;
+use crate::serve::breaker::BreakerPolicy;
+use crate::serve::job::{ActiveJob, JobId, JobSpec};
+use crate::serve::shard::{ShardSpec, WorkerShard};
+use crate::serve::tenant::{TenantId, TenantPolicy, TokenBucket};
+use crowd_core::element::ElementId;
+use crowd_core::model::WorkerClass;
+use crowd_core::trace::{DegradedReason, FaultKind};
+use crowd_obs::{counter_add, emit, gauge_set, names, observe, Event};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Full configuration of a [`CrowdServe`] instance. Serialized into the
+/// journal header as a digest so resume refuses mismatched configs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// The worker shards jobs dispatch onto.
+    pub shards: Vec<ShardSpec>,
+    /// The tenants allowed to submit, with their token buckets.
+    pub tenants: Vec<TenantPolicy>,
+    /// Bound on the admission queue; submissions beyond it are shed.
+    pub queue_cap: usize,
+    /// Deficit-round-robin quantum, in judgments per job per tick.
+    pub drr_quantum: u64,
+    /// Retry allowance per pair (faults re-assign to fresh workers).
+    pub retry: RetryPolicy,
+    /// Circuit-breaker posture for every shard.
+    pub breaker: BreakerPolicy,
+    /// How often completed-tick records are made durable.
+    pub checkpoint: CheckpointPolicy,
+    /// Phase-1 survivor target (jobs this small skip straight to Phase 2).
+    pub finalists: usize,
+    /// Vote boost when the expert phase falls back to the crowd.
+    pub fallback_votes: u32,
+    /// Percentage of a job's worst-case cost reserved at admission.
+    /// `100` makes the budget gate unreachable (full prepayment);
+    /// below 100 admits optimistically and jobs that outrun their
+    /// reservation force-complete with [`DegradedReason::BudgetExhausted`].
+    pub reserve_factor_percent: u64,
+}
+
+impl ServeConfig {
+    /// A small two-shard (crowd + expert) service with one generous
+    /// tenant — the starting point tests and experiments tune from.
+    pub fn basic() -> Self {
+        ServeConfig {
+            shards: vec![
+                ShardSpec::honest(WorkerClass::Naive, 16, 48),
+                ShardSpec::honest(WorkerClass::Expert, 4, 12),
+            ],
+            tenants: vec![TenantPolicy::new(TenantId(0), 100_000, 1_000)],
+            queue_cap: 32,
+            drr_quantum: 6,
+            retry: RetryPolicy::paper_default(),
+            breaker: BreakerPolicy::default_on(),
+            checkpoint: CheckpointPolicy::every_batch(),
+            finalists: 2,
+            fallback_votes: 5,
+            reserve_factor_percent: 100,
+        }
+    }
+
+    /// Replaces the tenant set.
+    pub fn with_tenants(mut self, tenants: Vec<TenantPolicy>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Replaces the shard set.
+    pub fn with_shards(mut self, shards: Vec<ShardSpec>) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the admission-queue bound.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Sets the breaker posture.
+    pub fn with_breaker(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Sets the admission reservation factor (clamped to ≥ 1).
+    pub fn with_reserve_factor_percent(mut self, percent: u64) -> Self {
+        self.reserve_factor_percent = percent.max(1);
+        self
+    }
+
+    /// The config digest stamped into the journal header.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("config serializes");
+        fnv1a64(json.as_bytes())
+    }
+}
+
+/// How a submission was received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted immediately; the tournament starts this tick.
+    Admitted(JobId),
+    /// Parked in the bounded admission queue.
+    Queued(JobId),
+    /// Shed. `retry_after` estimates the ticks until the tenant's bucket
+    /// could fund the job (`u64::MAX`: the job can never fit the budget).
+    Rejected {
+        /// The id assigned to the shed submission.
+        job: JobId,
+        /// Earliest retry distance, in ticks.
+        retry_after: u64,
+    },
+}
+
+/// Why a resume attempt refused a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The journal has no intact `Started` header.
+    MissingHeader,
+    /// The journal was written by a different code version.
+    VersionMismatch {
+        /// Version found in the header.
+        journal: u32,
+        /// Version this code writes.
+        code: u32,
+    },
+    /// The journal's config digest does not match the offered config.
+    ConfigMismatch,
+    /// The journal's seed does not match the offered seed.
+    SeedMismatch {
+        /// Seed found in the header.
+        journal: u64,
+        /// Seed offered to resume.
+        code: u64,
+    },
+    /// Replay recomputed a different outcome than the journal recorded —
+    /// the journal lies or the environment changed.
+    Diverged {
+        /// First tick whose recomputed record mismatched.
+        tick: u64,
+    },
+}
+
+/// Typed service errors. The service degrades rather than panics; these
+/// are the conditions it cannot degrade through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A submission named a tenant the service has no bucket for.
+    UnknownTenant(TenantId),
+    /// A submission carried no elements.
+    EmptyCatalog,
+    /// The config has no shards to dispatch onto.
+    NoShards,
+    /// The config lists the same tenant twice.
+    DuplicateTenant(TenantId),
+    /// A chaos kill fired; the durable journal is the recovery state.
+    Crashed,
+    /// A resume attempt failed validation.
+    Resume(ResumeError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServeError::EmptyCatalog => write!(f, "job carries no elements"),
+            ServeError::NoShards => write!(f, "service configured with no shards"),
+            ServeError::DuplicateTenant(t) => write!(f, "tenant {t} configured twice"),
+            ServeError::Crashed => write!(f, "service crashed (chaos kill); journal is durable"),
+            ServeError::Resume(e) => write!(f, "resume refused: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One dispatched pair, as journaled in the tick's WAL record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchRecord {
+    /// The job the pair belongs to.
+    pub job: u64,
+    /// The shard it ran on.
+    pub shard: u32,
+    /// First element.
+    pub k: u32,
+    /// Second element.
+    pub j: u32,
+    /// Votes requested.
+    pub votes: u32,
+}
+
+/// A finished job, as reported and journaled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// The job id.
+    pub job: JobId,
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// The winner the service returned.
+    pub winner: ElementId,
+    /// `None` for a full-protocol result.
+    pub degraded: Option<DegradedReason>,
+    /// Comparisons charged to the tenant.
+    pub comparisons: u64,
+    /// Tick the job was submitted.
+    pub submitted: u64,
+    /// Tick the job completed.
+    pub completed: u64,
+}
+
+impl CompletedJob {
+    /// Submission-to-completion latency in ticks.
+    pub fn latency_ticks(&self) -> u64 {
+        self.completed.saturating_sub(self.submitted)
+    }
+}
+
+/// The service journal's record vocabulary, framed through
+/// [`Journal::append_json`] so it shares the WAL torn-tail story.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ServeRecord {
+    /// The journal header.
+    Started {
+        version: u32,
+        seed: u64,
+        config_digest: u64,
+    },
+    /// The write-ahead half: what this tick is about to execute.
+    TickScheduled {
+        tick: u64,
+        dispatches: Vec<DispatchRecord>,
+    },
+    /// The tick's outcome: shard stream positions, answers purchased,
+    /// cumulative per-tenant charges, and completed jobs.
+    TickCompleted {
+        tick: u64,
+        shard_seqs: Vec<u64>,
+        answers: u64,
+        charged: Vec<(u32, u64)>,
+        completed: Vec<CompletedJob>,
+    },
+}
+
+/// Deterministic kill points for chaos tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeKill {
+    /// Die before tick `t` does anything.
+    BeforeTick(u64),
+    /// Die after tick `t`'s WAL flush, before execution — the dangling-
+    /// schedule case.
+    MidTick(u64),
+    /// Die mid-write of tick `t`'s completion record: half the frame
+    /// reaches durable storage (a torn tail).
+    TornCompleted(u64),
+}
+
+/// Per-tenant accounting, aggregated into the final report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Jobs submitted (admitted + queued + shed).
+    pub offered: u64,
+    /// Jobs admitted into execution.
+    pub admitted: u64,
+    /// Jobs shed by admission control.
+    pub shed: u64,
+    /// Jobs completed without degradation.
+    pub completed_ok: u64,
+    /// Jobs completed degraded, total.
+    pub degraded: u64,
+    /// Degradations by deadline lapse.
+    pub degraded_deadline: u64,
+    /// Degradations by expert exhaustion (crowd fallback).
+    pub degraded_expert: u64,
+    /// Degradations by reservation exhaustion.
+    pub degraded_budget: u64,
+    /// Degradations by dead-lettered pairs.
+    pub degraded_dead_letters: u64,
+    /// Comparisons charged to the tenant.
+    pub comparisons: u64,
+    /// Tokens the tenant's bucket ever dispensed.
+    pub tokens_granted: u64,
+    /// Tokens returned unused.
+    pub tokens_refunded: u64,
+    /// p99 completed-job latency, in ticks (0 when nothing completed).
+    pub p99_latency_ticks: u64,
+    /// Worst completed-job latency, in ticks.
+    pub max_latency_ticks: u64,
+}
+
+/// The final run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Ticks the service ran.
+    pub ticks: u64,
+    /// Per-tenant accounting, sorted by tenant id.
+    pub tenants: Vec<TenantReport>,
+    /// Every completed job, in completion order.
+    pub jobs: Vec<CompletedJob>,
+    /// Circuit-breaker trips across all shards.
+    pub breaker_trips: u64,
+    /// Dead-lettered pairs across all jobs.
+    pub dead_letters: u64,
+    /// Jobs shed across all tenants.
+    pub shed: u64,
+    /// Comparisons charged across all tenants.
+    pub comparisons: u64,
+}
+
+/// Replay-audit state carried by a resumed service.
+#[derive(Debug)]
+struct ReplayAudit {
+    /// Journaled `TickCompleted` JSON by tick, from the crashed run.
+    expected: BTreeMap<u64, String>,
+    replayed_ticks: u64,
+    replayed_comparisons: u64,
+}
+
+/// Which shard a dispatch attempt landed on, or why none could take it.
+enum ShardPick {
+    Ready(usize),
+    NoHealthy,
+    NoCapacity,
+}
+
+/// The overload-robust multi-tenant job service.
+#[derive(Debug)]
+pub struct CrowdServe {
+    config: ServeConfig,
+    seed: u64,
+    tick: u64,
+    next_job: u64,
+    shards: Vec<WorkerShard>,
+    buckets: BTreeMap<TenantId, TokenBucket>,
+    queue: VecDeque<(JobId, JobSpec, u64)>,
+    active: BTreeMap<JobId, ActiveJob>,
+    drr: VecDeque<JobId>,
+    journal: Journal,
+    unflushed: u64,
+    completed: Vec<CompletedJob>,
+    charged_total: BTreeMap<TenantId, u64>,
+    offered: BTreeMap<TenantId, u64>,
+    shed_count: BTreeMap<TenantId, u64>,
+    admitted_count: BTreeMap<TenantId, u64>,
+    dead_letters: u64,
+    queue_depth_max: usize,
+    chaos: Option<ServeKill>,
+    crashed: bool,
+    replay: Option<ReplayAudit>,
+}
+
+impl CrowdServe {
+    /// Builds a service at tick 0 and journals the `Started` header.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoShards`] on an empty shard set,
+    /// [`ServeError::DuplicateTenant`] when a tenant is configured twice.
+    pub fn new(config: ServeConfig, seed: u64) -> Result<Self, ServeError> {
+        if config.shards.is_empty() {
+            return Err(ServeError::NoShards);
+        }
+        let mut buckets = BTreeMap::new();
+        for policy in &config.tenants {
+            if buckets
+                .insert(policy.tenant, TokenBucket::new(*policy))
+                .is_some()
+            {
+                return Err(ServeError::DuplicateTenant(policy.tenant));
+            }
+        }
+        let shards = config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| WorkerShard::new(i as u32, *spec, mix(seed ^ 0x5E)))
+            .collect();
+        let mut journal = Journal::new();
+        let header = ServeRecord::Started {
+            version: JOURNAL_VERSION,
+            seed,
+            config_digest: config.digest(),
+        };
+        journal.append_json(&serde_json::to_string(&header).expect("record serializes"));
+        journal.flush();
+        Ok(CrowdServe {
+            config,
+            seed,
+            tick: 0,
+            next_job: 0,
+            shards,
+            buckets,
+            queue: VecDeque::new(),
+            active: BTreeMap::new(),
+            drr: VecDeque::new(),
+            journal,
+            unflushed: 0,
+            completed: Vec::new(),
+            charged_total: BTreeMap::new(),
+            offered: BTreeMap::new(),
+            shed_count: BTreeMap::new(),
+            admitted_count: BTreeMap::new(),
+            dead_letters: 0,
+            queue_depth_max: 0,
+            chaos: None,
+            crashed: false,
+            replay: None,
+        })
+    }
+
+    /// Arms a deterministic kill point.
+    pub fn with_chaos(mut self, kill: ServeKill) -> Self {
+        self.chaos = Some(kill);
+        self
+    }
+
+    /// The current logical clock.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The seed the service was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The service journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// True once a chaos kill fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// A tenant's worst-case reservation for `spec` under this config.
+    fn reservation(&self, spec: &JobSpec) -> u64 {
+        let worst = spec.worst_cost(self.config.fallback_votes, self.config.retry.max_retries);
+        worst.saturating_mul(self.config.reserve_factor_percent) / 100
+    }
+
+    /// Submits a job at the current tick.
+    ///
+    /// Shed submissions leave **no residue**: no journal bytes, no bucket
+    /// movement, no active state — only the [`Event::JobShed`] event and
+    /// shed counter, so a retried submission replays identically.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] / [`ServeError::EmptyCatalog`] on
+    /// malformed submissions, [`ServeError::Crashed`] after a chaos kill.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<Admission, ServeError> {
+        if self.crashed {
+            return Err(ServeError::Crashed);
+        }
+        if spec.values.is_empty() {
+            return Err(ServeError::EmptyCatalog);
+        }
+        if !self.buckets.contains_key(&spec.tenant) {
+            return Err(ServeError::UnknownTenant(spec.tenant));
+        }
+        let job = JobId(self.next_job);
+        self.next_job += 1;
+        let tenant = spec.tenant;
+        *self.offered.entry(tenant).or_insert(0) += 1;
+        let reserved = self.reservation(&spec);
+        let tick = self.tick;
+        let bucket = self.buckets.get_mut(&tenant).expect("tenant checked");
+
+        if reserved > bucket.policy().capacity {
+            return Ok(self.shed(job, tenant, u64::MAX));
+        }
+        if self.queue.is_empty() && bucket.try_reserve(reserved, tick) {
+            self.admit(job, spec, tick, reserved, 0);
+            return Ok(Admission::Admitted(job));
+        }
+        if self.queue.len() < self.config.queue_cap {
+            self.queue.push_back((job, spec, tick));
+            self.queue_depth_max = self.queue_depth_max.max(self.queue.len());
+            gauge_set(names::SERVE_QUEUE_DEPTH_MAX, &[], self.queue.len() as i64);
+            return Ok(Admission::Queued(job));
+        }
+        let retry_after = bucket.ticks_until(reserved, tick).max(1);
+        Ok(self.shed(job, tenant, retry_after))
+    }
+
+    fn shed(&mut self, job: JobId, tenant: TenantId, retry_after: u64) -> Admission {
+        *self.shed_count.entry(tenant).or_insert(0) += 1;
+        emit(Event::JobShed {
+            tenant: tenant.0,
+            job: job.0,
+            retry_after,
+        });
+        counter_add(
+            names::SERVE_SHED_TOTAL,
+            &[("tenant", &tenant.to_string())],
+            1,
+        );
+        Admission::Rejected { job, retry_after }
+    }
+
+    fn admit(&mut self, job: JobId, spec: JobSpec, submitted: u64, reserved: u64, waited: u64) {
+        let tenant = spec.tenant;
+        *self.admitted_count.entry(tenant).or_insert(0) += 1;
+        emit(Event::JobAdmitted {
+            tenant: tenant.0,
+            job: job.0,
+            waited_ticks: waited,
+        });
+        let active = ActiveJob::new(
+            job,
+            spec,
+            submitted,
+            self.tick,
+            reserved,
+            self.config.finalists,
+            self.config.fallback_votes,
+        );
+        self.active.insert(job, active);
+        self.drr.push_back(job);
+    }
+
+    /// Advances the service one tick.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Crashed`] when a chaos kill fires (now or earlier).
+    pub fn step(&mut self) -> Result<(), ServeError> {
+        if self.crashed {
+            return Err(ServeError::Crashed);
+        }
+        let tick = self.tick;
+        if self.chaos == Some(ServeKill::BeforeTick(tick)) {
+            self.crashed = true;
+            return Err(ServeError::Crashed);
+        }
+
+        // 1. Deadline sweep. Jobs force-finish between rounds only: a
+        // pair dispatched in an earlier tick has already resolved (ticks
+        // execute synchronously), so no outcome can land after Done.
+        for job in self.active.values_mut() {
+            if !job.is_done() && tick >= job.deadline {
+                job.force_finish(DegradedReason::DeadlineLapsed);
+            }
+        }
+
+        // 2. Head-of-line admission: drain the queue while buckets allow.
+        while let Some((job, spec, submitted)) = self.queue.front().cloned() {
+            let reserved = self.reservation(&spec);
+            let bucket = self
+                .buckets
+                .get_mut(&spec.tenant)
+                .expect("tenant checked at submit");
+            if !bucket.try_reserve(reserved, tick) {
+                break;
+            }
+            self.queue.pop_front();
+            self.admit(job, spec, submitted, reserved, tick - submitted);
+        }
+
+        // 3. Dispatch.
+        for shard in &mut self.shards {
+            shard.begin_tick();
+        }
+        let dispatches = self.dispatch_tick();
+
+        // 4. WAL: the dispatch list is durable before any worker is asked.
+        if !dispatches.is_empty() {
+            let record = ServeRecord::TickScheduled {
+                tick,
+                dispatches: dispatches.clone(),
+            };
+            self.journal
+                .append_json(&serde_json::to_string(&record).expect("record serializes"));
+            self.journal.flush();
+            self.unflushed = 0;
+            if self.chaos == Some(ServeKill::MidTick(tick)) {
+                self.crashed = true;
+                return Err(ServeError::Crashed);
+            }
+        }
+
+        // 5. Execute, in dispatch order.
+        let mut tick_answers = 0u64;
+        for d in &dispatches {
+            let job = self
+                .active
+                .get_mut(&JobId(d.job))
+                .expect("dispatched job is active");
+            let (vk, vj) = (job.values[d.k as usize], job.values[d.j as usize]);
+            let tenant = job.tenant;
+            let shard = &mut self.shards[d.shard as usize];
+            let out = shard.execute_pair(
+                tick,
+                ElementId(d.k),
+                vk,
+                ElementId(d.j),
+                vj,
+                d.votes,
+                self.config.retry.max_retries,
+                &self.config.breaker,
+            );
+            job.charged += u64::from(out.answers);
+            tick_answers += u64::from(out.answers);
+            *self.charged_total.entry(tenant).or_insert(0) += u64::from(out.answers);
+            counter_add(
+                names::SERVE_COMPARISONS_TOTAL,
+                &[("tenant", &tenant.to_string())],
+                u64::from(out.answers),
+            );
+            if let Some(reason) = out.dead {
+                self.dead_letters += 1;
+                let class = self.shards[d.shard as usize].class();
+                emit(Event::DeadLettered {
+                    class,
+                    attempts: out.attempts,
+                    reason,
+                });
+                counter_add(
+                    names::DEAD_LETTERS_TOTAL,
+                    &[
+                        ("class", crowd_obs::class_label(class)),
+                        ("reason", crowd_obs::reason_label(reason)),
+                    ],
+                    1,
+                );
+            }
+            self.active
+                .get_mut(&JobId(d.job))
+                .expect("dispatched job is active")
+                .feed((ElementId(d.k), ElementId(d.j)), out.winner);
+        }
+
+        // 6. Completion: budget stalls finish degraded, done jobs leave.
+        let mut completions = Vec::new();
+        let done: Vec<JobId> = self
+            .active
+            .iter_mut()
+            .filter_map(|(id, job)| {
+                if job.budget_stalled && !job.is_done() {
+                    job.force_finish(DegradedReason::BudgetExhausted);
+                }
+                job.is_done().then_some(*id)
+            })
+            .collect();
+        for id in done {
+            let job = self.active.remove(&id).expect("listed as done");
+            self.drr.retain(|j| *j != id);
+            let refund = job.reserved.saturating_sub(job.charged);
+            self.buckets
+                .get_mut(&job.tenant)
+                .expect("tenant checked at submit")
+                .refund(refund, tick);
+            let winner = job.winner.expect("done jobs carry a winner");
+            let record = CompletedJob {
+                job: id,
+                tenant: job.tenant,
+                winner,
+                degraded: job.degraded,
+                comparisons: job.charged,
+                submitted: job.submitted,
+                completed: tick,
+            };
+            emit(Event::JobCompleted {
+                tenant: job.tenant.0,
+                job: id.0,
+                latency_ticks: record.latency_ticks(),
+                comparisons: job.charged,
+                degraded: job.degraded,
+            });
+            let outcome = if job.degraded.is_some() {
+                "degraded"
+            } else {
+                "ok"
+            };
+            counter_add(
+                names::SERVE_JOBS_TOTAL,
+                &[("tenant", &job.tenant.to_string()), ("outcome", outcome)],
+                1,
+            );
+            observe(
+                names::SERVE_JOB_LATENCY_TICKS,
+                &[("tenant", &job.tenant.to_string())],
+                record.latency_ticks(),
+            );
+            self.completed.push(record.clone());
+            completions.push(record);
+        }
+
+        // 7. Journal the tick outcome at the checkpoint cadence.
+        if !dispatches.is_empty() || !completions.is_empty() {
+            let record = ServeRecord::TickCompleted {
+                tick,
+                shard_seqs: self.shards.iter().map(|s| s.seq()).collect(),
+                answers: tick_answers,
+                charged: self.charged_total.iter().map(|(t, c)| (t.0, *c)).collect(),
+                completed: completions,
+            };
+            let json = serde_json::to_string(&record).expect("record serializes");
+            if let Some(audit) = &mut self.replay {
+                if let Some(expected) = audit.expected.get(&tick) {
+                    if *expected != json {
+                        return Err(ServeError::Resume(ResumeError::Diverged { tick }));
+                    }
+                    audit.replayed_ticks += 1;
+                    audit.replayed_comparisons += tick_answers;
+                    counter_add(names::REPLAYED_COMPARISONS, &[], tick_answers);
+                }
+            }
+            self.journal.append_json(&json);
+            if self.chaos == Some(ServeKill::TornCompleted(tick)) {
+                let torn = self.journal.pending_len() / 2;
+                self.journal.flush_torn(torn);
+                self.crashed = true;
+                return Err(ServeError::Crashed);
+            }
+            self.unflushed += 1;
+            if self.unflushed >= self.config.checkpoint.every_batches {
+                let bytes = self.journal.flush();
+                emit(Event::CheckpointWritten {
+                    batches: tick + 1,
+                    bytes,
+                });
+                counter_add(names::JOURNAL_BYTES, &[], bytes);
+                self.unflushed = 0;
+            }
+        }
+
+        self.tick += 1;
+        Ok(())
+    }
+
+    /// One deficit-round-robin pass over the active jobs.
+    fn dispatch_tick(&mut self) -> Vec<DispatchRecord> {
+        let tick = self.tick;
+        let quantum = self.config.drr_quantum.max(1);
+        let max_retries = self.config.retry.max_retries;
+        let mut out = Vec::new();
+        for _ in 0..self.drr.len() {
+            let Some(id) = self.drr.pop_front() else {
+                break;
+            };
+            let Some(job) = self.active.get_mut(&id) else {
+                continue; // completed earlier; dropped from rotation
+            };
+            self.drr.push_back(id);
+            if job.is_done() || job.budget_stalled {
+                continue;
+            }
+            // Cap banked deficit so an idle job cannot burst unboundedly.
+            job.deficit = (job.deficit + quantum).min(quantum.saturating_mul(4));
+            loop {
+                if job.is_done() || !job.has_ready_pair() {
+                    break;
+                }
+                let (class, votes) = job.class_and_votes();
+                if job.deficit < u64::from(votes) {
+                    break;
+                }
+                let pair_worst = u64::from(votes) * u64::from(1 + max_retries);
+                if job.reserved.saturating_sub(job.committed) < pair_worst {
+                    // The reservation cannot fund another worst-case
+                    // pair: stop dispatching, finish degraded at the end
+                    // of the tick. This gate is what keeps per-tenant
+                    // charges provably within the bucket's dispensed
+                    // tokens — charges follow dispatches, never lead.
+                    job.budget_stalled = true;
+                    break;
+                }
+                match Self::pick_shard(&self.shards, class, votes, tick) {
+                    ShardPick::Ready(sidx) => {
+                        let (k, j) = job.next_pair().expect("ready pair checked");
+                        self.shards[sidx].reserve_window(votes);
+                        job.committed += pair_worst;
+                        job.deficit -= u64::from(votes);
+                        out.push(DispatchRecord {
+                            job: id.0,
+                            shard: sidx as u32,
+                            k: k.0,
+                            j: j.0,
+                            votes,
+                        });
+                    }
+                    ShardPick::NoHealthy => {
+                        if class == WorkerClass::Expert {
+                            // Graceful degradation: the expert pool is
+                            // quarantined/dropped out, so finish the job
+                            // on the crowd with boosted votes instead of
+                            // hanging until the deadline.
+                            job.mark_degraded(DegradedReason::ExpertExhausted);
+                            emit(Event::FaultObserved {
+                                class,
+                                kind: FaultKind::ExpertFallback,
+                            });
+                            counter_add(
+                                names::FAULTS_TOTAL,
+                                &[
+                                    ("class", crowd_obs::class_label(class)),
+                                    ("kind", crowd_obs::kind_label(FaultKind::ExpertFallback)),
+                                ],
+                                1,
+                            );
+                            continue;
+                        }
+                        // Crowd quarantine storm: the pair waits for a
+                        // half-open probe to reopen capacity (or the
+                        // deadline to lapse). Explicit, bounded waiting.
+                        break;
+                    }
+                    ShardPick::NoCapacity => break, // backpressure: next tick
+                }
+            }
+        }
+        out
+    }
+
+    /// Routes a pair to the least-loaded shard of `class` with healthy
+    /// workers and window room (ties: lowest shard id).
+    fn pick_shard(shards: &[WorkerShard], class: WorkerClass, votes: u32, tick: u64) -> ShardPick {
+        let mut any_healthy = false;
+        let mut best: Option<(u32, usize)> = None;
+        for (i, shard) in shards.iter().enumerate() {
+            if shard.class() != class || shard.healthy_workers(tick) == 0 {
+                continue;
+            }
+            any_healthy = true;
+            let window = shard.remaining_window();
+            if window < votes {
+                continue;
+            }
+            if best.is_none_or(|(w, _)| window > w) {
+                best = Some((window, i));
+            }
+        }
+        match best {
+            Some((_, i)) => ShardPick::Ready(i),
+            None if any_healthy => ShardPick::NoCapacity,
+            None => ShardPick::NoHealthy,
+        }
+    }
+
+    /// Drives the service over an arrival plan until the offered load is
+    /// fully resolved, or `max_ticks` is reached (any stragglers then
+    /// force-finish degraded and the remaining queue is shed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError::Crashed`] from chaos kills and submission
+    /// errors from malformed arrival plans.
+    pub fn run(&mut self, plan: &ArrivalPlan, max_ticks: u64) -> Result<ServeReport, ServeError> {
+        loop {
+            let t = self.tick;
+            for spec in plan.arrivals_at(t) {
+                self.submit(spec)?;
+            }
+            self.step()?;
+            if plan.exhausted(t) && self.active.is_empty() && self.queue.is_empty() {
+                break;
+            }
+            if self.tick >= max_ticks {
+                // Safety drain: never hang. Stragglers complete degraded,
+                // queued jobs shed.
+                for job in self.active.values_mut() {
+                    if !job.is_done() {
+                        job.force_finish(DegradedReason::DeadlineLapsed);
+                    }
+                }
+                while let Some((job, spec, _)) = self.queue.pop_front() {
+                    self.shed(job, spec.tenant, u64::MAX);
+                }
+                self.step()?;
+                break;
+            }
+        }
+        let bytes = self.journal.flush();
+        if bytes > 0 {
+            emit(Event::CheckpointWritten {
+                batches: self.tick,
+                bytes,
+            });
+            counter_add(names::JOURNAL_BYTES, &[], bytes);
+        }
+        Ok(self.report())
+    }
+
+    /// The report over everything completed so far.
+    pub fn report(&self) -> ServeReport {
+        let mut tenants = Vec::new();
+        for (tenant, bucket) in &self.buckets {
+            let jobs: Vec<&CompletedJob> = self
+                .completed
+                .iter()
+                .filter(|j| j.tenant == *tenant)
+                .collect();
+            let mut latencies: Vec<u64> = jobs.iter().map(|j| j.latency_ticks()).collect();
+            latencies.sort_unstable();
+            let p99 = if latencies.is_empty() {
+                0
+            } else {
+                latencies[(latencies.len() - 1) * 99 / 100]
+            };
+            let count_degraded = |reason: DegradedReason| {
+                jobs.iter().filter(|j| j.degraded == Some(reason)).count() as u64
+            };
+            tenants.push(TenantReport {
+                tenant: *tenant,
+                offered: self.offered.get(tenant).copied().unwrap_or(0),
+                admitted: self.admitted_count.get(tenant).copied().unwrap_or(0),
+                shed: self.shed_count.get(tenant).copied().unwrap_or(0),
+                completed_ok: jobs.iter().filter(|j| j.degraded.is_none()).count() as u64,
+                degraded: jobs.iter().filter(|j| j.degraded.is_some()).count() as u64,
+                degraded_deadline: count_degraded(DegradedReason::DeadlineLapsed),
+                degraded_expert: count_degraded(DegradedReason::ExpertExhausted),
+                degraded_budget: count_degraded(DegradedReason::BudgetExhausted),
+                degraded_dead_letters: count_degraded(DegradedReason::DeadLetters),
+                comparisons: self.charged_total.get(tenant).copied().unwrap_or(0),
+                tokens_granted: bucket.granted(),
+                tokens_refunded: bucket.refunded(),
+                p99_latency_ticks: p99,
+                max_latency_ticks: latencies.last().copied().unwrap_or(0),
+            });
+        }
+        ServeReport {
+            ticks: self.tick,
+            tenants,
+            jobs: self.completed.clone(),
+            breaker_trips: self.shards.iter().map(|s| s.trips()).sum(),
+            dead_letters: self.dead_letters,
+            shed: self.shed_count.values().sum(),
+            comparisons: self.charged_total.values().sum(),
+        }
+    }
+
+    /// Resumes a crashed run from its durable journal bytes: validates
+    /// the header, then re-runs the whole plan from tick 0 — every
+    /// decision is deterministic, so the replayed prefix reproduces the
+    /// journaled outcomes exactly (audited tick by tick, erroring with
+    /// [`ResumeError::Diverged`] on any mismatch) and the final journal
+    /// is byte-identical to an uninterrupted run's.
+    ///
+    /// Returns the report plus the finished service, whose journal's
+    /// durable bytes callers can compare against an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Resume`] on validation or audit failure; the same
+    /// errors as [`CrowdServe::run`] afterwards.
+    pub fn resume(
+        config: ServeConfig,
+        seed: u64,
+        plan: &ArrivalPlan,
+        bytes: &[u8],
+        max_ticks: u64,
+    ) -> Result<(ServeReport, CrowdServe), ServeError> {
+        let decoded = Journal::decode_json(bytes);
+        let mut torn_tail = decoded.torn_tail;
+        let mut records: Vec<(ServeRecord, String)> = Vec::new();
+        for (json, _) in decoded.frames {
+            match serde_json::from_str::<ServeRecord>(&json) {
+                Ok(record) => records.push((record, json)),
+                Err(_) => {
+                    torn_tail = true;
+                    break;
+                }
+            }
+        }
+        let Some((
+            ServeRecord::Started {
+                version,
+                seed: jseed,
+                config_digest,
+            },
+            _,
+        )) = records.first()
+        else {
+            return Err(ServeError::Resume(ResumeError::MissingHeader));
+        };
+        if *version != JOURNAL_VERSION {
+            return Err(ServeError::Resume(ResumeError::VersionMismatch {
+                journal: *version,
+                code: JOURNAL_VERSION,
+            }));
+        }
+        if *jseed != seed {
+            return Err(ServeError::Resume(ResumeError::SeedMismatch {
+                journal: *jseed,
+                code: seed,
+            }));
+        }
+        if *config_digest != config.digest() {
+            return Err(ServeError::Resume(ResumeError::ConfigMismatch));
+        }
+        let expected: BTreeMap<u64, String> = records
+            .iter()
+            .filter_map(|(record, json)| match record {
+                ServeRecord::TickCompleted { tick, .. } => Some((*tick, json.clone())),
+                _ => None,
+            })
+            .collect();
+        emit(Event::RecoveryStarted {
+            batches: expected.len() as u64,
+            torn_tail,
+        });
+        let mut service = CrowdServe::new(config, seed)?;
+        service.replay = Some(ReplayAudit {
+            expected,
+            replayed_ticks: 0,
+            replayed_comparisons: 0,
+        });
+        let report = service.run(plan, max_ticks)?;
+        let audit = service.replay.as_ref().expect("audit installed above");
+        emit(Event::RecoveryCompleted {
+            replayed_batches: audit.replayed_ticks,
+            replayed_comparisons: audit.replayed_comparisons,
+        });
+        Ok((report, service))
+    }
+}
