@@ -61,23 +61,35 @@ fn main() -> ExitCode {
     }
 }
 
-/// One line per scenario: admission split, tail latency, throughput.
+/// One line per scenario: admission split, cache reuse, tail latency,
+/// throughput. Undefined ratios (`None`) print as `-` instead of a fake
+/// zero.
 fn print_summary(report: &ServeLoadReport) {
+    let pct = |bps: Option<u64>| match bps {
+        Some(bps) => format!("{:>5.2}%", bps as f64 / 100.0),
+        None => format!("{:>6}", "-"),
+    };
+    let ticks = |t: Option<u64>| match t {
+        Some(t) => format!("{t:>3}"),
+        None => format!("{:>3}", "-"),
+    };
     println!("seed {}", report.meta.seed);
     for (meta, timing) in report.meta.scenarios.iter().zip(&report.timings) {
         println!(
-            "{:<5} {:>4} offered  {:>4} admitted  {:>4} shed ({:>5.2}%)  \
-             {:>4} ok  {:>4} degraded  {:>3} trips  p99 {:>3} ticks  \
-             {:>8.0} jobs/s  {:>10.0} cmp/s",
+            "{:<5} {:>4} offered  {:>4} admitted  {:>4} shed ({})  \
+             {:>4} ok  {:>4} degraded  cache {:>4} hits ({})  {:>3} trips  \
+             p99 {} ticks  {:>8.0} jobs/s  {:>10.0} cmp/s",
             meta.label,
             meta.offered,
             meta.admitted,
             meta.shed,
-            meta.shed_bps as f64 / 100.0,
+            pct(meta.shed_bps),
             meta.completed_ok,
             meta.degraded,
+            meta.cache_hits,
+            pct(meta.cache_hit_rate_bps),
             meta.breaker_trips,
-            meta.p99_latency_ticks,
+            ticks(meta.p99_latency_ticks),
             timing.jobs_per_sec,
             timing.comparisons_per_sec,
         );

@@ -22,8 +22,11 @@ use std::time::Instant;
 /// Default seed, shared with the committed `SERVE_results.json`.
 pub const DEFAULT_SEED: u64 = 45223;
 
-/// Report schema version.
-pub const SCHEMA: u32 = 1;
+/// Report schema version. v2: rounded `shed_bps` that is omitted (not
+/// zero) when no load was offered, latency columns omitted when no job
+/// completed, a `4x` scenario, catalog overlap, and judgment-cache
+/// columns.
+pub const SCHEMA: u32 = 2;
 
 /// Ticks generous enough that every scenario drains naturally.
 const MAX_TICKS: u64 = 2_000;
@@ -40,11 +43,19 @@ pub struct ScenarioSpec {
     pub rate_den: u64,
     /// Jobs offered over the run.
     pub total_jobs: u64,
+    /// Catalog overlap percentage fed to the arrival plan (see
+    /// [`ArrivalPlan::with_overlap`]).
+    pub overlap_percent: u32,
 }
+
+/// Shared-universe size used by every scenario's arrival plan.
+const OVERLAP_UNIVERSE: u32 = 12;
 
 /// The standard scenario set: arrival-rate multipliers of the nominal
 /// one-job-per-tick load. `0.5x` is comfortably inside the admission
-/// envelope; `2x` is far outside it and must shed.
+/// envelope; `2x` and `4x` are far outside it and must shed. Every
+/// scenario runs at 50% catalog overlap so the judgment-cache columns
+/// measure real cross-job reuse at each load tier.
 pub fn scenarios() -> Vec<ScenarioSpec> {
     vec![
         ScenarioSpec {
@@ -52,6 +63,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             rate_num: 1,
             rate_den: 2,
             total_jobs: 240,
+            overlap_percent: 50,
         },
         ScenarioSpec {
             // At one job per tick the token buckets' reservation envelope
@@ -61,12 +73,24 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             rate_num: 1,
             rate_den: 1,
             total_jobs: 240,
+            overlap_percent: 50,
         },
         ScenarioSpec {
             label: "2x".into(),
             rate_num: 3,
             rate_den: 1,
             total_jobs: 240,
+            overlap_percent: 50,
+        },
+        ScenarioSpec {
+            // Deep overload: most of the offered load must shed, and the
+            // latency columns exercise their no-completions edge case in
+            // tests at this tier.
+            label: "4x".into(),
+            rate_num: 6,
+            rate_den: 1,
+            total_jobs: 240,
+            overlap_percent: 50,
         },
     ]
 }
@@ -107,24 +131,45 @@ pub struct ScenarioMeta {
     pub admitted: u64,
     /// Jobs shed by admission control.
     pub shed: u64,
-    /// Shed rate in basis points of offered load (deterministic integer).
-    pub shed_bps: u64,
+    /// Shed rate in basis points of offered load, rounded to the nearest
+    /// basis point. `None` when the scenario offered no load at all —
+    /// "nothing offered" is not the same fact as "nothing shed".
+    pub shed_bps: Option<u64>,
     /// Jobs that completed with no degradation label.
     pub completed_ok: u64,
     /// Jobs that completed with an explicit degradation label.
     pub degraded: u64,
     /// Comparisons charged across tenants.
     pub comparisons: u64,
+    /// Pair verdicts served from the cross-job judgment cache.
+    pub cache_hits: u64,
+    /// Comparisons (votes) those hits would otherwise have bought.
+    pub cache_saved_comparisons: u64,
+    /// Cache hit rate in basis points of lookups, rounded. `None` when
+    /// the run performed no lookups.
+    pub cache_hit_rate_bps: Option<u64>,
     /// Circuit-breaker trips.
     pub breaker_trips: u64,
     /// Pairs dead-lettered mid-tournament.
     pub dead_letters: u64,
-    /// Worst per-tenant p99 job latency, in ticks.
-    pub p99_latency_ticks: u64,
-    /// Worst per-tenant max job latency, in ticks.
-    pub max_latency_ticks: u64,
+    /// Worst p99 job latency over tenants that completed at least one
+    /// job, in ticks. `None` when no tenant completed anything — folding
+    /// a default 0 here would report "instant" for "no data".
+    pub p99_latency_ticks: Option<u64>,
+    /// Worst max job latency over tenants that completed at least one
+    /// job, in ticks; `None` under the same no-completions rule.
+    pub max_latency_ticks: Option<u64>,
     /// Durable write-ahead journal bytes the run produced.
     pub journal_bytes: u64,
+}
+
+/// `numer · 10000 / denom`, rounded to the nearest basis point; `None`
+/// when `denom` is zero (the ratio is undefined, not zero).
+fn ratio_bps(numer: u64, denom: u64) -> Option<u64> {
+    if denom == 0 {
+        return None;
+    }
+    Some((numer.saturating_mul(10_000) + denom / 2) / denom)
 }
 
 /// Wall-clock measurements of one scenario — informational only.
@@ -193,7 +238,8 @@ pub fn run_serve_load(seed: u64) -> ServeLoadReport {
             2,
         )
         .with_catalog(4, 9)
-        .with_deadline(40);
+        .with_deadline(40)
+        .with_overlap(spec.overlap_percent, OVERLAP_UNIVERSE);
         // A scoped recorder keeps obs traffic off the global sink; the
         // deterministic numbers come from the service report itself.
         let _guard = install_recorder(Arc::new(Recorder::new()));
@@ -209,30 +255,33 @@ pub fn run_serve_load(seed: u64) -> ServeLoadReport {
         let completed_ok: u64 = report.tenants.iter().map(|t| t.completed_ok).sum();
         let degraded: u64 = report.tenants.iter().map(|t| t.degraded).sum();
         let completed = report.jobs.len() as u64;
+        let cache = service.cache_stats();
+        // Latency aggregation only over tenants that completed a job;
+        // a tenant with nothing completed has no latency distribution,
+        // and folding its default 0 would corrupt the worst-case view.
+        let finished = || {
+            report
+                .tenants
+                .iter()
+                .filter(|t| t.completed_ok + t.degraded > 0)
+        };
         metas.push(ScenarioMeta {
             label: spec.label.clone(),
             ticks: report.ticks,
             offered,
             admitted,
             shed: report.shed,
-            shed_bps: (report.shed * 10_000).checked_div(offered).unwrap_or(0),
+            shed_bps: ratio_bps(report.shed, offered),
             completed_ok,
             degraded,
             comparisons: report.comparisons,
+            cache_hits: cache.hits,
+            cache_saved_comparisons: cache.saved_comparisons,
+            cache_hit_rate_bps: ratio_bps(cache.hits, cache.lookups),
             breaker_trips: report.breaker_trips,
             dead_letters: report.dead_letters,
-            p99_latency_ticks: report
-                .tenants
-                .iter()
-                .map(|t| t.p99_latency_ticks)
-                .max()
-                .unwrap_or(0),
-            max_latency_ticks: report
-                .tenants
-                .iter()
-                .map(|t| t.max_latency_ticks)
-                .max()
-                .unwrap_or(0),
+            p99_latency_ticks: finished().map(|t| t.p99_latency_ticks).max(),
+            max_latency_ticks: finished().map(|t| t.max_latency_ticks).max(),
             journal_bytes: service.journal().durable().len() as u64,
         });
         timings.push(ScenarioTiming {
@@ -273,14 +322,78 @@ mod tests {
     #[test]
     fn scenarios_cover_under_and_overload() {
         let report = run_serve_load(DEFAULT_SEED);
-        assert_eq!(report.meta.scenarios.len(), 3);
+        assert_eq!(report.meta.scenarios.len(), 4);
         let under = &report.meta.scenarios[0];
         let over = &report.meta.scenarios[2];
         assert_eq!(under.shed, 0, "half load must not shed: {under:?}");
+        assert_eq!(
+            under.shed_bps,
+            Some(0),
+            "offered load with zero shed is a real 0"
+        );
         assert!(over.shed > 0, "double load must shed: {over:?}");
         for s in &report.meta.scenarios {
             assert_eq!(s.offered, s.admitted + s.shed, "{s:?}");
             assert_eq!(s.admitted, s.completed_ok + s.degraded, "{s:?}");
+            assert!(
+                s.cache_hits > 0,
+                "50% overlap must produce cache hits: {s:?}"
+            );
+            assert!(s.cache_saved_comparisons >= s.cache_hits, "{s:?}");
         }
+    }
+
+    #[test]
+    fn shed_bps_rounds_to_nearest_and_distinguishes_no_offered_load() {
+        // 1/3 shed = 3333.33… bps: truncation said 3333, and so does
+        // rounding; 2/3 = 6666.67 bps must round *up* to 6667.
+        assert_eq!(ratio_bps(1, 3), Some(3333));
+        assert_eq!(ratio_bps(2, 3), Some(6667));
+        assert_eq!(ratio_bps(1, 2), Some(5000));
+        assert_eq!(ratio_bps(0, 7), Some(0));
+        // Zero offered load is "no data", not "0 bps shed".
+        assert_eq!(ratio_bps(0, 0), None);
+        assert_eq!(ratio_bps(5, 0), None);
+    }
+
+    #[test]
+    fn latency_columns_skip_tenants_with_no_completions_at_4x() {
+        // The 4x overload tier, but with budgets so tight that no job
+        // is ever admitted: every tenant finishes the run with zero
+        // completions, and the worst-per-tenant latency columns must
+        // say "no data", not fold a default 0.
+        let spec = scenarios().pop().expect("4x scenario exists");
+        assert_eq!(spec.label, "4x");
+        let plan = ArrivalPlan::new(
+            DEFAULT_SEED,
+            spec.rate_num,
+            spec.rate_den,
+            spec.total_jobs,
+            2,
+        )
+        .with_catalog(4, 9)
+        .with_deadline(40);
+        let config = bench_config().with_tenants(vec![
+            TenantPolicy::new(TenantId(0), 1, 0),
+            TenantPolicy::new(TenantId(1), 1, 0),
+        ]);
+        let mut service = CrowdServe::new(config, DEFAULT_SEED).expect("config is valid");
+        let report = service.run(&plan, MAX_TICKS).expect("no chaos plan");
+        assert!(report.jobs.is_empty(), "budgets admit nothing");
+        let finished: Vec<_> = report
+            .tenants
+            .iter()
+            .filter(|t| t.completed_ok + t.degraded > 0)
+            .collect();
+        assert!(finished.is_empty());
+        let p99: Option<u64> = finished.iter().map(|t| t.p99_latency_ticks).max();
+        let max: Option<u64> = finished.iter().map(|t| t.max_latency_ticks).max();
+        assert_eq!(p99, None, "no completions anywhere must surface as None");
+        assert_eq!(max, None);
+        // And the shed column still reports a real rate for the load
+        // that *was* offered and entirely shed.
+        let offered: u64 = report.tenants.iter().map(|t| t.offered).sum();
+        assert!(offered > 0);
+        assert_eq!(ratio_bps(report.shed, offered), Some(10_000));
     }
 }

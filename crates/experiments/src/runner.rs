@@ -71,7 +71,10 @@ pub fn run_experiment(name: &str, scale: &Scale) -> io::Result<Vec<Table>> {
         "ranking_quality" => vec![crate::ranking_quality::run(scale)],
         "fault_sweep" => vec![crate::fault_sweep::run(scale)],
         "chaos_sweep" => vec![crate::chaos_sweep::run(scale)],
-        "serve_sweep" => vec![crate::serve_sweep::run(scale)],
+        "serve_sweep" => vec![
+            crate::serve_sweep::run(scale),
+            crate::serve_sweep::run_overlap(scale),
+        ],
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,

@@ -29,8 +29,8 @@ use crowd_core::model::WorkerClass;
 use crowd_obs::{install_recorder, Event, Recorder};
 use crowd_platform::fault::{FaultConfig, LatencyModel};
 use crowd_platform::serve::{
-    ArrivalPlan, BreakerPolicy, CrowdServe, ServeConfig, ServeKill, ServeReport, ShardSpec,
-    TenantId, TenantPolicy,
+    ArrivalPlan, BreakerPolicy, CachePolicy, CrowdServe, ServeConfig, ServeKill, ServeReport,
+    ShardSpec, TenantId, TenantPolicy,
 };
 use std::sync::Arc;
 
@@ -335,6 +335,304 @@ pub fn run(scale: &Scale) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------
+// Overlap axis: the judgment cache against shared catalogs.
+// ---------------------------------------------------------------------
+
+/// Catalog-overlap percentages swept by [`run_overlap`], in sweep order.
+pub const OVERLAPS: [u32; 3] = [0, 50, 100];
+
+/// Shared-universe size for the overlap sweep. Small enough that a 48-job
+/// trial at 50% overlap re-draws each universe item many times — the
+/// regime where cross-job reuse pays.
+const OVERLAP_UNIVERSE: u32 = 5;
+
+/// The overlap-swept config: fault-free honest shards (so the true
+/// winner is judged in every cell and recall comparisons are exact) and
+/// budgets generous enough that nothing sheds — both cache legs then
+/// admit the identical job set and winners compare one-to-one.
+fn overlap_config(cache: CachePolicy) -> ServeConfig {
+    ServeConfig::basic()
+        .with_tenants(vec![
+            TenantPolicy::new(TenantId(0), 100_000, 200),
+            TenantPolicy::new(TenantId(1), 100_000, 200),
+        ])
+        .with_shards(vec![
+            ShardSpec::honest(WorkerClass::Naive, 12, 36),
+            ShardSpec::honest(WorkerClass::Naive, 12, 36),
+            ShardSpec::honest(WorkerClass::Expert, 4, 12),
+        ])
+        .with_queue_cap(16)
+        .with_cache(cache)
+}
+
+/// What one overlap trial established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapTrialOutcome {
+    /// Jobs completed (identical in both legs by construction).
+    pub jobs: u64,
+    /// Comparisons charged with the cache disabled.
+    pub comparisons_off: u64,
+    /// Comparisons charged with the cache enabled.
+    pub comparisons_on: u64,
+    /// Cache hits in the enabled leg.
+    pub cache_hits: u64,
+    /// Jobs whose winner matched between the two legs.
+    pub winners_identical: u64,
+    /// Jobs (summed over both legs) whose winner is the catalog's true
+    /// maximum — recall, which the cache must not change.
+    pub recall_ok: u64,
+    /// At zero overlap only: the cache-on report equals the cache-off
+    /// report *and* the journals are byte-identical after the config
+    /// header. Vacuously true at nonzero overlap.
+    pub off_on_identical: bool,
+    /// The cache-on run killed mid-tick and resumed from the journal —
+    /// through a rebuilt, warm cache — matched the uninterrupted run.
+    pub resume_identical: bool,
+}
+
+/// Runs one overlap trial: a cache-off leg, a cache-on leg, the
+/// equivalence checks between them, and a kill+resume of the cache-on
+/// leg.
+pub fn run_overlap_trial(overlap: usize, base_seed: u64, t: u64) -> OverlapTrialOutcome {
+    let percent = OVERLAPS[overlap];
+    let seed = base_seed ^ t.wrapping_mul(0x9E37_79B9);
+    let plan = ArrivalPlan::new(seed ^ 0xC3, 1, 2, 48, 2)
+        .with_catalog(4, 9)
+        .with_deadline(64)
+        .with_overlap(percent, OVERLAP_UNIVERSE);
+
+    let run_leg = |config: ServeConfig| {
+        let rec = Arc::new(Recorder::new());
+        let _guard = install_recorder(rec.clone());
+        let mut service = CrowdServe::new(config, seed).expect("config is valid");
+        let report = service
+            .run(&plan, MAX_TICKS)
+            .expect("no chaos: cannot crash");
+        let cache = service.cache_stats();
+        let journal = service.journal().durable().to_vec();
+        (report, cache, journal, rec.events())
+    };
+    let (off_report, _, off_journal, off_events) = run_leg(overlap_config(CachePolicy::disabled()));
+    let (on_report, on_cache, on_journal, on_events) =
+        run_leg(overlap_config(CachePolicy::default_on()));
+
+    // Winner equivalence, job by job. Nothing sheds at this load, so
+    // both legs complete the same job ids in some order.
+    let winners = |r: &ServeReport| {
+        let mut w: Vec<(u64, u32)> = r.jobs.iter().map(|j| (j.job.0, j.winner.0)).collect();
+        w.sort_unstable();
+        w
+    };
+    let (off_w, on_w) = (winners(&off_report), winners(&on_report));
+    let winners_identical = off_w.iter().zip(&on_w).filter(|(a, b)| a == b).count() as u64;
+
+    // Recall: honest fault-free shards judge every distinguishable pair
+    // correctly, so each leg's winner must be the catalog's true max.
+    let recall = |r: &ServeReport| {
+        r.jobs
+            .iter()
+            .filter(|j| {
+                let spec = plan.spec(j.job.0);
+                let best = (0..spec.values.len() as u32)
+                    .max_by(|a, b| {
+                        spec.values[*a as usize]
+                            .partial_cmp(&spec.values[*b as usize])
+                            .expect("catalog values are finite")
+                    })
+                    .expect("catalogs are non-empty");
+                j.winner.0 == best
+            })
+            .count() as u64
+    };
+    let recall_ok = recall(&off_report) + recall(&on_report);
+
+    // Zero overlap: turning the cache on must be invisible — same
+    // report, and byte-identical journals after the `Started` header
+    // (its config digest covers the cache policy, so the header frame
+    // legitimately differs).
+    let body = |journal: &[u8]| -> Vec<u8> {
+        let header_end = journal.iter().position(|b| *b == b'\n').expect("framed") + 1;
+        journal[header_end..].to_vec()
+    };
+    let off_on_identical = percent != 0
+        || (off_report == on_report
+            && body(&off_journal) == body(&on_journal)
+            && off_events == on_events);
+
+    // Kill the cache-on leg mid-tick and resume: the rebuilt (warm)
+    // cache must reproduce every hit, so the resumed run matches the
+    // uninterrupted one on report, journal bytes, and events.
+    let durable = {
+        let _guard = install_recorder(Arc::new(Recorder::new()));
+        let mut doomed = CrowdServe::new(overlap_config(CachePolicy::default_on()), seed)
+            .expect("config is valid")
+            .with_chaos(ServeKill::MidTick(2 + t % 5));
+        let _ = doomed.run(&plan, MAX_TICKS);
+        doomed.journal().durable().to_vec()
+    };
+    let resumed_rec = Arc::new(Recorder::new());
+    let resume_identical = {
+        let _guard = install_recorder(resumed_rec.clone());
+        match CrowdServe::resume(
+            overlap_config(CachePolicy::default_on()),
+            seed,
+            &plan,
+            &durable,
+            MAX_TICKS,
+        ) {
+            Ok((report, resumed)) => {
+                let events: Vec<Event> = resumed_rec
+                    .events()
+                    .into_iter()
+                    .filter(|e| !is_recovery_event(e))
+                    .collect();
+                report == on_report
+                    && resumed.journal().durable() == &on_journal[..]
+                    && events == on_events
+            }
+            Err(_) => false,
+        }
+    };
+
+    OverlapTrialOutcome {
+        jobs: off_report.jobs.len() as u64,
+        comparisons_off: off_report.comparisons,
+        comparisons_on: on_report.comparisons,
+        cache_hits: on_cache.hits,
+        winners_identical,
+        recall_ok,
+        off_on_identical,
+        resume_identical,
+    }
+}
+
+/// One aggregated overlap row, summed over trials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapRow {
+    /// Index into [`OVERLAPS`].
+    pub overlap: usize,
+    /// Trials run in this cell.
+    pub trials: u64,
+    /// Jobs completed per leg across trials.
+    pub jobs: u64,
+    /// Comparisons charged, cache off.
+    pub comparisons_off: u64,
+    /// Comparisons charged, cache on.
+    pub comparisons_on: u64,
+    /// Cache hits across trials.
+    pub cache_hits: u64,
+    /// Jobs whose winner matched between legs (must equal `jobs`).
+    pub winners_identical: u64,
+    /// Winner-is-true-max checks passed, both legs (must be `2·jobs`).
+    pub recall_ok: u64,
+    /// Trials passing the zero-overlap invisibility check (vacuous at
+    /// nonzero overlap; must equal `trials`).
+    pub off_on_identical: u64,
+    /// Trials whose warm-cache kill+resume matched (must equal `trials`).
+    pub resume_identical: u64,
+}
+
+/// Sweeps [`OVERLAPS`], `trials` trials per cell, cache-on vs cache-off.
+pub fn overlap_sweep(trials: u64, base_seed: u64) -> Vec<OverlapRow> {
+    let items: Vec<(usize, u64)> = (0..OVERLAPS.len())
+        .flat_map(|o| (0..trials).map(move |t| (o, t)))
+        .collect();
+    let outcomes = engine::parallel_map(items, |(o, t)| run_overlap_trial(o, base_seed, t));
+    let per_cell = trials as usize;
+    (0..OVERLAPS.len())
+        .map(|o| {
+            let slice = &outcomes[o * per_cell..(o + 1) * per_cell];
+            let mut row = OverlapRow {
+                overlap: o,
+                trials,
+                jobs: 0,
+                comparisons_off: 0,
+                comparisons_on: 0,
+                cache_hits: 0,
+                winners_identical: 0,
+                recall_ok: 0,
+                off_on_identical: 0,
+                resume_identical: 0,
+            };
+            for o in slice {
+                row.jobs += o.jobs;
+                row.comparisons_off += o.comparisons_off;
+                row.comparisons_on += o.comparisons_on;
+                row.cache_hits += o.cache_hits;
+                row.winners_identical += o.winners_identical;
+                row.recall_ok += o.recall_ok;
+                row.off_on_identical += u64::from(o.off_on_identical);
+                row.resume_identical += u64::from(o.resume_identical);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Runs the overlap sweep at experiment scale.
+pub fn run_overlap(scale: &Scale) -> Table {
+    let trials = scale.trials.clamp(2, 6);
+    let rows = overlap_sweep(trials, scale.seed ^ 0xCA);
+
+    let mut t = Table::new(
+        "serve_overlap",
+        &format!(
+            "crowd-serve judgment-cache sweep: catalog overlap × cache \
+             on/off, {trials} trials per cell (48 jobs/trial, 2 tenants, \
+             fault-free shards, shared universe of {OVERLAP_UNIVERSE} items)"
+        ),
+        &[
+            "overlap %",
+            "trials",
+            "jobs",
+            "comparisons off",
+            "comparisons on",
+            "saved bps",
+            "cache hits",
+            "winners identical",
+            "recall ok",
+            "off/on identical",
+            "resume identical",
+        ],
+    )
+    .with_notes(
+        "Cost falls monotonically with overlap while recall is unchanged: \
+         `comparisons on` never exceeds `comparisons off`, shrinks as the \
+         overlap percentage grows, and every job's winner is the \
+         catalog's true maximum in both legs (`recall ok = 2 × jobs`, \
+         `winners identical = jobs`). At 0% overlap the cache is \
+         invisible — the cache-on run's report, journal body, and event \
+         stream are byte-identical to the cache-off run's (`off/on \
+         identical = trials`; the column is vacuously true elsewhere). \
+         `resume identical` kills the cache-on run mid-tick and resumes \
+         it from the write-ahead journal through a rebuilt, warm cache — \
+         it must equal `trials` in every row.",
+    );
+    for row in &rows {
+        let saved_bps = if row.comparisons_off == 0 {
+            "-".to_string()
+        } else {
+            let saved = row.comparisons_off - row.comparisons_on.min(row.comparisons_off);
+            ((saved * 10_000 + row.comparisons_off / 2) / row.comparisons_off).to_string()
+        };
+        t.push_row(vec![
+            OVERLAPS[row.overlap].to_string(),
+            row.trials.to_string(),
+            row.jobs.to_string(),
+            row.comparisons_off.to_string(),
+            row.comparisons_on.to_string(),
+            saved_bps,
+            row.cache_hits.to_string(),
+            row.winners_identical.to_string(),
+            row.recall_ok.to_string(),
+            row.off_on_identical.to_string(),
+            row.resume_identical.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +663,60 @@ mod tests {
             o.completed_ok + d0 + d1 + d2 + d3,
             "every admitted job completes clean or labelled: {o:?}"
         );
+    }
+
+    #[test]
+    fn zero_overlap_makes_the_cache_invisible() {
+        let o = run_overlap_trial(0, 51, 0);
+        assert!(o.off_on_identical, "{o:?}");
+        assert_eq!(o.cache_hits, 0, "{o:?}");
+        assert_eq!(o.comparisons_on, o.comparisons_off, "{o:?}");
+        assert_eq!(o.winners_identical, o.jobs, "{o:?}");
+        assert_eq!(o.recall_ok, 2 * o.jobs, "{o:?}");
+        assert!(o.resume_identical, "{o:?}");
+    }
+
+    #[test]
+    fn high_overlap_cuts_cost_without_touching_recall() {
+        let o = run_overlap_trial(1, 51, 0); // 50% overlap
+        assert!(o.cache_hits > 0, "{o:?}");
+        assert!(
+            o.comparisons_on * 4 <= o.comparisons_off * 3,
+            "50% overlap must save at least a quarter of the comparisons: {o:?}"
+        );
+        assert_eq!(o.winners_identical, o.jobs, "{o:?}");
+        assert_eq!(o.recall_ok, 2 * o.jobs, "{o:?}");
+        assert!(o.resume_identical, "warm-cache resume must match: {o:?}");
+    }
+
+    #[test]
+    fn cost_falls_monotonically_with_overlap() {
+        let rows = overlap_sweep(2, 53);
+        assert_eq!(rows.len(), OVERLAPS.len());
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].comparisons_on <= pair[0].comparisons_on,
+                "more overlap must not cost more: {pair:?}"
+            );
+        }
+        for row in &rows {
+            assert_eq!(row.winners_identical, row.jobs, "{row:?}");
+            assert_eq!(row.recall_ok, 2 * row.jobs, "{row:?}");
+            assert_eq!(row.off_on_identical, row.trials, "{row:?}");
+            assert_eq!(row.resume_identical, row.trials, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_table_shape() {
+        let t = run_overlap(&Scale::quick());
+        assert_eq!(t.rows.len(), OVERLAPS.len());
+        for row in &t.rows {
+            assert_eq!(row[10], row[1], "resume must be identical: {row:?}");
+            assert_eq!(row[9], row[1], "off/on gate must pass: {row:?}");
+        }
+        let md = t.to_markdown();
+        assert!(md.contains("cache hits"), "{md}");
     }
 
     #[test]

@@ -99,6 +99,15 @@ pub mod names {
     /// Gauge (high watermark), no labels: deepest admission-queue depth
     /// the service has seen.
     pub const SERVE_QUEUE_DEPTH_MAX: &str = "crowd_serve_queue_depth_max";
+    /// Counter, no labels: pair comparisons answered from the cross-job
+    /// judgment cache instead of a worker shard.
+    pub const SERVE_CACHE_HITS_TOTAL: &str = "crowd_serve_cache_hits_total";
+    /// Counter, no labels: judgment-cache lookups that had to fall
+    /// through to shard dispatch (absent, stale, or low-confidence).
+    pub const SERVE_CACHE_MISSES_TOTAL: &str = "crowd_serve_cache_misses_total";
+    /// Counter, no labels: cached verdicts evicted to respect the
+    /// configured cache capacity.
+    pub const SERVE_CACHE_EVICTIONS_TOTAL: &str = "crowd_serve_cache_evictions_total";
 }
 
 /// The label value used for a worker class (`"naive"` / `"expert"`).

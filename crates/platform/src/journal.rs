@@ -42,7 +42,7 @@ use serde::{Deserialize, Serialize};
 /// Version stamped into every [`JournalRecord::Started`] header. Bump on
 /// any change to the record vocabulary or frame format; recovery refuses
 /// journals written by a different version rather than misread them.
-pub const JOURNAL_VERSION: u32 = 1;
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit — the frame checksum. Not cryptographic; it only has to
 /// catch torn tails and bit rot, and it does that in four lines with no

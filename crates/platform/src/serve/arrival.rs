@@ -42,6 +42,12 @@ pub struct ArrivalPlan {
     pub expert_votes: u32,
     /// Per-job deadline, in ticks after admission.
     pub deadline_ticks: u64,
+    /// Percentage (0–100) of each catalog drawn from the shared item
+    /// universe instead of fresh per-job values. Zero leaves every spec
+    /// bit-identical to a plan without overlap.
+    pub overlap_percent: u32,
+    /// Size of the shared item universe overlapping catalogs draw from.
+    pub shared_universe: u32,
 }
 
 impl ArrivalPlan {
@@ -59,7 +65,20 @@ impl ArrivalPlan {
             votes: 3,
             expert_votes: 3,
             deadline_ticks: 64,
+            overlap_percent: 0,
+            shared_universe: 16,
         }
+    }
+
+    /// Dials how much of each catalog is drawn from a shared item
+    /// universe of `universe` distinct values (`percent` clamped to
+    /// 0–100, `universe` to ≥ 1). Jobs sharing universe items give a
+    /// cross-job judgment cache something to reuse; `percent = 0` is
+    /// exactly the no-overlap plan.
+    pub fn with_overlap(mut self, percent: u32, universe: u32) -> Self {
+        self.overlap_percent = percent.min(100);
+        self.shared_universe = universe.max(1);
+        self
     }
 
     /// Sets the catalog-size range (clamped to `min ≥ 1`, `max ≥ min`).
@@ -108,7 +127,21 @@ impl ArrivalPlan {
         let n = self.catalog_min + (mix(self.seed ^ idx.rotate_left(23) ^ 0xCA) % span) as u32;
         let mut rng =
             StdRng::seed_from_u64(mix(self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-        let values = (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        let mut values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        // Overlap: replace a prefix with consecutive items from the
+        // shared universe. The prefix length is capped at the universe
+        // size so one catalog never repeats an item (bit-equal values
+        // are an id tie-break, not a reusable judgment). The fresh
+        // values are drawn first, above, so `overlap_percent = 0`
+        // leaves the spec bit-identical to a plan without overlap.
+        let shared = (n.saturating_mul(self.overlap_percent) / 100).min(self.shared_universe);
+        if shared > 0 {
+            let universe = u64::from(self.shared_universe);
+            let start = mix(self.seed ^ idx.rotate_left(11) ^ 0xB5) % universe;
+            for (slot, value) in values.iter_mut().take(shared as usize).enumerate() {
+                *value = self.universe_value((start + slot as u64) % universe);
+            }
+        }
         JobSpec {
             tenant,
             values,
@@ -116,6 +149,16 @@ impl ArrivalPlan {
             expert_votes: self.expert_votes,
             deadline_ticks: self.deadline_ticks,
         }
+    }
+
+    /// The bit-exact value of shared-universe item `u`: distinct per
+    /// item (10.0 spacing dominates the sub-1.0 seeded jitter), and a
+    /// pure function of `(seed, u)` so every job that draws item `u`
+    /// carries the identical f64 bits — the property the judgment
+    /// cache's content keying relies on.
+    fn universe_value(&self, u: u64) -> f64 {
+        (u as f64) * 10.0
+            + ((mix(self.seed ^ u.wrapping_mul(0xA24B_AED4_963E_E407)) % 1000) as f64) / 1000.0
     }
 }
 
@@ -153,6 +196,52 @@ mod tests {
         let tenants: std::collections::BTreeSet<u32> =
             (0..50).map(|i| plan.spec(i).tenant.0).collect();
         assert_eq!(tenants.len(), 3, "all tenants receive load");
+    }
+
+    #[test]
+    fn zero_overlap_is_bit_identical_to_a_plan_without_overlap() {
+        let base = ArrivalPlan::new(7, 1, 1, 40, 2);
+        let zero = base.with_overlap(0, 8);
+        for idx in 0..40 {
+            let (a, b) = (base.spec(idx), zero.spec(idx));
+            assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits(), "job {idx}: value bits must match");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_jobs_share_bit_identical_universe_values() {
+        let plan = ArrivalPlan::new(7, 1, 1, 60, 2)
+            .with_catalog(4, 6)
+            .with_overlap(100, 6);
+        // With a 6-item universe and 100% overlap, every catalog value is
+        // a universe item; collect the distinct bit patterns seen.
+        let mut bits = std::collections::BTreeSet::new();
+        for idx in 0..60 {
+            for v in plan.spec(idx).values {
+                bits.insert(v.to_bits());
+            }
+        }
+        assert_eq!(bits.len(), 6, "all values drawn from the 6-item universe");
+    }
+
+    #[test]
+    fn overlap_prefix_never_repeats_an_item_within_a_job() {
+        let plan = ArrivalPlan::new(3, 1, 1, 30, 2)
+            .with_catalog(4, 12)
+            .with_overlap(100, 5);
+        for idx in 0..30 {
+            let spec = plan.spec(idx);
+            let distinct: std::collections::BTreeSet<u64> =
+                spec.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                distinct.len(),
+                spec.values.len(),
+                "job {idx}: catalog values must be pairwise distinct"
+            );
+        }
     }
 
     #[test]

@@ -195,6 +195,16 @@ impl ActiveJob {
         self.pending.len() >= 2
     }
 
+    /// The comparison [`next_pair`](Self::next_pair) would return,
+    /// without committing it — what the dispatcher shows the judgment
+    /// cache before deciding whether the pair needs a shard at all.
+    pub fn peek_pair(&self) -> Option<(ElementId, ElementId)> {
+        if self.pending.len() < 2 {
+            return None;
+        }
+        Some((self.pending[0], self.pending[1]))
+    }
+
     /// Pops the next comparison of the current round, marking it in
     /// flight. Returns `None` when the round is exhausted (in-flight
     /// outcomes must land before the next round forms).

@@ -24,6 +24,12 @@
 //!   with an explicit [`DegradedReason`](crowd_core::trace::DegradedReason)
 //!   (deadline lapsed, expert pool exhausted, budget exhausted, dead
 //!   letters). The service never panics and never hangs.
+//! * **Cross-job judgment reuse** ([`cache`]) — a deterministic,
+//!   content-keyed verdict store consulted *before* shard dispatch, so
+//!   overlapping catalogs stop re-buying identical judgments. A
+//!   confidence/staleness policy decides when a cached verdict may
+//!   substitute for fresh votes; hits are journaled, never charged, and
+//!   never consume in-flight window slots.
 //! * **Crash recovery** ([`service`]) — a write-ahead journal (framed
 //!   through [`crate::journal::Journal`], sharing its torn-tail
 //!   detection) makes every tick's dispatch durable before execution;
@@ -37,6 +43,7 @@
 
 pub mod arrival;
 pub mod breaker;
+pub mod cache;
 pub mod job;
 pub mod service;
 pub mod shard;
@@ -44,10 +51,11 @@ pub mod tenant;
 
 pub use arrival::ArrivalPlan;
 pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker, FailureVerdict};
+pub use cache::{CachePolicy, CacheStats, JudgmentCache};
 pub use job::{ActiveJob, JobId, JobPhase, JobSpec};
 pub use service::{
-    Admission, CompletedJob, CrowdServe, DispatchRecord, ResumeError, ServeConfig, ServeError,
-    ServeKill, ServeReport, TenantReport,
+    Admission, CacheHitRecord, CompletedJob, CrowdServe, DispatchRecord, ResumeError, ServeConfig,
+    ServeError, ServeKill, ServeReport, TenantReport,
 };
-pub use shard::{PairOutcome, ShardSpec, WorkerShard};
+pub use shard::{PairOutcome, ShardSpec, WorkerShard, SHARD_TIE_POLICY};
 pub use tenant::{TenantId, TenantPolicy, TokenBucket};

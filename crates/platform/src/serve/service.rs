@@ -29,8 +29,9 @@ use crate::journal::{fnv1a64, CheckpointPolicy, Journal, JOURNAL_VERSION};
 use crate::retry::RetryPolicy;
 use crate::serve::arrival::ArrivalPlan;
 use crate::serve::breaker::BreakerPolicy;
+use crate::serve::cache::{CachePolicy, CacheStats, JudgmentCache};
 use crate::serve::job::{ActiveJob, JobId, JobSpec};
-use crate::serve::shard::{ShardSpec, WorkerShard};
+use crate::serve::shard::{ShardSpec, WorkerShard, SHARD_TIE_POLICY};
 use crate::serve::tenant::{TenantId, TenantPolicy, TokenBucket};
 use crowd_core::element::ElementId;
 use crowd_core::model::WorkerClass;
@@ -67,6 +68,9 @@ pub struct ServeConfig {
     /// below 100 admits optimistically and jobs that outrun their
     /// reservation force-complete with [`DegradedReason::BudgetExhausted`].
     pub reserve_factor_percent: u64,
+    /// The cross-job judgment cache posture: when a cached verdict may
+    /// substitute for fresh judgments, and how much the store retains.
+    pub cache: CachePolicy,
 }
 
 impl ServeConfig {
@@ -87,6 +91,7 @@ impl ServeConfig {
             finalists: 2,
             fallback_votes: 5,
             reserve_factor_percent: 100,
+            cache: CachePolicy::default_on(),
         }
     }
 
@@ -117,6 +122,12 @@ impl ServeConfig {
     /// Sets the admission reservation factor (clamped to ≥ 1).
     pub fn with_reserve_factor_percent(mut self, percent: u64) -> Self {
         self.reserve_factor_percent = percent.max(1);
+        self
+    }
+
+    /// Sets the judgment-cache posture.
+    pub fn with_cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -221,6 +232,23 @@ pub struct DispatchRecord {
     pub votes: u32,
 }
 
+/// One pair served from the judgment cache instead of a shard, as
+/// journaled in the tick's `TickCached` audit record. Cached pairs
+/// consume no window slot and charge no tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheHitRecord {
+    /// The job the pair belongs to.
+    pub job: u64,
+    /// First element.
+    pub k: u32,
+    /// Second element.
+    pub j: u32,
+    /// Votes the cached verdict substituted for (the saving).
+    pub votes: u32,
+    /// The element the cached verdict advanced.
+    pub winner: u32,
+}
+
 /// A finished job, as reported and journaled.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompletedJob {
@@ -261,6 +289,14 @@ enum ServeRecord {
     TickScheduled {
         tick: u64,
         dispatches: Vec<DispatchRecord>,
+    },
+    /// Pairs this tick resolved from the judgment cache — an audit
+    /// record (cache state is recomputed on replay, never read back),
+    /// written only on ticks with at least one hit so cache-off and
+    /// zero-overlap runs journal identical bytes.
+    TickCached {
+        tick: u64,
+        hits: Vec<CacheHitRecord>,
     },
     /// The tick's outcome: shard stream positions, answers purchased,
     /// cumulative per-tenant charges, and completed jobs.
@@ -338,6 +374,15 @@ pub struct ServeReport {
     pub shed: u64,
     /// Comparisons charged across all tenants.
     pub comparisons: u64,
+    /// Pairs served from the judgment cache instead of a shard.
+    ///
+    /// Only *hit-side* cache fields live in the report: zero at zero
+    /// catalog overlap, so a cache-on zero-overlap report compares equal
+    /// to a cache-off one (misses and evictions stay in
+    /// [`CrowdServe::cache_stats`] and the obs counters).
+    pub cache_hits: u64,
+    /// Comparisons (votes) those hits avoided buying.
+    pub cache_saved_comparisons: u64,
 }
 
 /// Replay-audit state carried by a resumed service.
@@ -364,6 +409,7 @@ pub struct CrowdServe {
     tick: u64,
     next_job: u64,
     shards: Vec<WorkerShard>,
+    cache: JudgmentCache,
     buckets: BTreeMap<TenantId, TokenBucket>,
     queue: VecDeque<(JobId, JobSpec, u64)>,
     active: BTreeMap<JobId, ActiveJob>,
@@ -416,12 +462,14 @@ impl CrowdServe {
         };
         journal.append_json(&serde_json::to_string(&header).expect("record serializes"));
         journal.flush();
+        let cache = JudgmentCache::new(config.cache);
         Ok(CrowdServe {
             config,
             seed,
             tick: 0,
             next_job: 0,
             shards,
+            cache,
             buckets,
             queue: VecDeque::new(),
             active: BTreeMap::new(),
@@ -465,6 +513,12 @@ impl CrowdServe {
     /// True once a chaos kill fired.
     pub fn crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// The judgment cache's full counter set — including the miss and
+    /// eviction counters deliberately kept out of [`ServeReport`].
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// A tenant's worst-case reservation for `spec` under this config.
@@ -592,13 +646,29 @@ impl CrowdServe {
             self.admit(job, spec, submitted, reserved, tick - submitted);
         }
 
-        // 3. Dispatch.
+        // 3. Dispatch. Cache lookups happen inside the dispatch pass,
+        // before any shard is picked: a hit resolves its pair on the spot
+        // and never consumes a window slot or a token.
         for shard in &mut self.shards {
             shard.begin_tick();
         }
-        let dispatches = self.dispatch_tick();
+        let cache_before = self.cache.stats();
+        let (dispatches, cache_hits) = self.dispatch_tick();
 
-        // 4. WAL: the dispatch list is durable before any worker is asked.
+        // 4. WAL: the dispatch list is durable before any worker is
+        // asked. Cache hits are journaled alongside it (audit only: a
+        // replay recomputes them; it never reads them back) — but only on
+        // ticks that had one, so a run that never hits journals exactly
+        // the bytes a cache-off run does.
+        let wal_appended = !cache_hits.is_empty() || !dispatches.is_empty();
+        if !cache_hits.is_empty() {
+            let record = ServeRecord::TickCached {
+                tick,
+                hits: cache_hits.clone(),
+            };
+            self.journal
+                .append_json(&serde_json::to_string(&record).expect("record serializes"));
+        }
         if !dispatches.is_empty() {
             let record = ServeRecord::TickScheduled {
                 tick,
@@ -606,6 +676,8 @@ impl CrowdServe {
             };
             self.journal
                 .append_json(&serde_json::to_string(&record).expect("record serializes"));
+        }
+        if wal_appended {
             self.journal.flush();
             self.unflushed = 0;
             if self.chaos == Some(ServeKill::MidTick(tick)) {
@@ -634,6 +706,25 @@ impl CrowdServe {
                 self.config.retry.max_retries,
                 &self.config.breaker,
             );
+            // A clean, fully-voted verdict becomes a cache asset for
+            // every later job that compares the same two values.
+            if out.dead.is_none() && out.answers >= d.votes {
+                if let Some(w) = out.winner {
+                    self.cache.insert(
+                        vk,
+                        vj,
+                        self.shards[d.shard as usize].class(),
+                        SHARD_TIE_POLICY,
+                        w == ElementId(d.k),
+                        d.votes,
+                        tick,
+                    );
+                }
+            }
+            let job = self
+                .active
+                .get_mut(&JobId(d.job))
+                .expect("dispatched job is active");
             job.charged += u64::from(out.answers);
             tick_answers += u64::from(out.answers);
             *self.charged_total.entry(tenant).or_insert(0) += u64::from(out.answers);
@@ -663,6 +754,30 @@ impl CrowdServe {
                 .get_mut(&JobId(d.job))
                 .expect("dispatched job is active")
                 .feed((ElementId(d.k), ElementId(d.j)), out.winner);
+        }
+
+        // Cache observability: one delta per tick keeps counter traffic
+        // bounded, and guarding on nonzero deltas keeps a cache that
+        // never moves invisible in the metrics exposition.
+        let cache_after = self.cache.stats();
+        let deltas = [
+            (
+                names::SERVE_CACHE_HITS_TOTAL,
+                cache_after.hits - cache_before.hits,
+            ),
+            (
+                names::SERVE_CACHE_MISSES_TOTAL,
+                cache_after.misses - cache_before.misses,
+            ),
+            (
+                names::SERVE_CACHE_EVICTIONS_TOTAL,
+                cache_after.evictions - cache_before.evictions,
+            ),
+        ];
+        for (name, delta) in deltas {
+            if delta > 0 {
+                counter_add(name, &[], delta);
+            }
         }
 
         // 6. Completion: budget stalls finish degraded, done jobs leave.
@@ -764,12 +879,15 @@ impl CrowdServe {
         Ok(())
     }
 
-    /// One deficit-round-robin pass over the active jobs.
-    fn dispatch_tick(&mut self) -> Vec<DispatchRecord> {
+    /// One deficit-round-robin pass over the active jobs. Returns the
+    /// pairs handed to shards and the pairs the judgment cache resolved
+    /// without one.
+    fn dispatch_tick(&mut self) -> (Vec<DispatchRecord>, Vec<CacheHitRecord>) {
         let tick = self.tick;
         let quantum = self.config.drr_quantum.max(1);
         let max_retries = self.config.retry.max_retries;
         let mut out = Vec::new();
+        let mut hits = Vec::new();
         for _ in 0..self.drr.len() {
             let Some(id) = self.drr.pop_front() else {
                 break;
@@ -788,6 +906,29 @@ impl CrowdServe {
                     break;
                 }
                 let (class, votes) = job.class_and_votes();
+                // Cache first: a hit resolves the pair right here —
+                // before the deficit, reservation, and window gates,
+                // because a cached verdict consumes none of the three.
+                // Nothing is charged, committed, or reserved for it.
+                if let Some((pk, pj)) = job.peek_pair() {
+                    let (vk, vj) = (job.values[pk.0 as usize], job.values[pj.0 as usize]);
+                    if let Some(k_wins) =
+                        self.cache
+                            .lookup(vk, vj, class, SHARD_TIE_POLICY, votes, tick)
+                    {
+                        let (k, j) = job.next_pair().expect("peeked pair is ready");
+                        let winner = if k_wins { k } else { j };
+                        hits.push(CacheHitRecord {
+                            job: id.0,
+                            k: k.0,
+                            j: j.0,
+                            votes,
+                            winner: winner.0,
+                        });
+                        job.feed((k, j), Some(winner));
+                        continue;
+                    }
+                }
                 if job.deficit < u64::from(votes) {
                     break;
                 }
@@ -845,7 +986,7 @@ impl CrowdServe {
                 }
             }
         }
-        out
+        (out, hits)
     }
 
     /// Routes a pair to the least-loaded shard of `class` with healthy
@@ -962,6 +1103,8 @@ impl CrowdServe {
             dead_letters: self.dead_letters,
             shed: self.shed_count.values().sum(),
             comparisons: self.charged_total.values().sum(),
+            cache_hits: self.cache.stats().hits,
+            cache_saved_comparisons: self.cache.stats().saved_comparisons,
         }
     }
 

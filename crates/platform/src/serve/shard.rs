@@ -25,6 +25,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+/// The tie policy every shard worker judges under. The judgment cache
+/// keys verdicts on it: if shards ever gain per-spec tie policies, the
+/// cache key must pick up the spec's policy instead of this constant.
+pub const SHARD_TIE_POLICY: TiePolicy = TiePolicy::UniformRandom;
+
 /// Static description of one shard, part of the service config digest.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ShardSpec {
@@ -115,7 +120,7 @@ impl WorkerShard {
                     behavior: Behavior::Threshold {
                         delta: spec.delta,
                         epsilon: spec.epsilon,
-                        tie: TiePolicy::UniformRandom,
+                        tie: SHARD_TIE_POLICY,
                     },
                 })
             })

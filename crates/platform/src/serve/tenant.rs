@@ -100,6 +100,12 @@ impl TokenBucket {
         self.refunded
     }
 
+    /// Lazily refills up to `tick`. Strictly monotone: a `tick` at or
+    /// before `last_tick` is a no-op — it must not mint refill tokens
+    /// or move the clock backwards. WAL resume replays the plan from
+    /// tick 0, so a bucket restored mid-run will see ticks it has
+    /// already credited; double-minting there would break the
+    /// granted-bounds-charges ledger invariant.
     fn advance(&mut self, tick: u64) {
         if tick > self.last_tick {
             let elapsed = tick - self.last_tick;
@@ -215,5 +221,43 @@ mod tests {
         }
         assert_eq!(b.granted(), granted_expected);
         assert!(b.granted() <= 50 + 5 * 19);
+    }
+
+    #[test]
+    fn replayed_and_non_monotone_ticks_never_mint_tokens() {
+        // WAL resume replays the plan from tick 0 against buckets that
+        // may already sit at a later tick, so `advance` must treat any
+        // tick ≤ last_tick as a no-op: no refill minted, no clock
+        // rewind, ledger untouched.
+        let mut b = bucket(100, 10, 20);
+        assert!(b.try_reserve(15, 4)); // clock now at tick 4
+        let snapshot = b.clone();
+        // Replay a journaled-looking tick sequence that runs backwards
+        // through ticks the bucket has already credited.
+        for &tick in &[4, 3, 2, 0, 4, 1] {
+            assert_eq!(
+                b.available(tick),
+                snapshot.tokens,
+                "tick {tick} minted refill"
+            );
+            assert!(!b.try_reserve(u64::MAX, tick));
+            b.refund(0, tick);
+        }
+        assert_eq!(
+            b, snapshot,
+            "replayed ticks must leave the bucket bit-identical"
+        );
+
+        // And the ledger after a stale-tick reserve/refund pair matches
+        // the same operations performed at the current tick.
+        let mut replayed = snapshot.clone();
+        let mut fresh = snapshot.clone();
+        assert!(replayed.try_reserve(5, 1)); // stale tick: same funds as tick 4
+        replayed.refund(5, 2);
+        assert!(fresh.try_reserve(5, 4));
+        fresh.refund(5, 4);
+        assert_eq!(replayed.granted(), fresh.granted());
+        assert_eq!(replayed.refunded(), fresh.refunded());
+        assert_eq!(replayed.available(4), fresh.available(4));
     }
 }

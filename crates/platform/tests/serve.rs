@@ -7,8 +7,8 @@ use crowd_core::model::WorkerClass;
 use crowd_obs::{install_recorder, Event, Recorder, RecorderGuard};
 use crowd_platform::fault::{FaultConfig, LatencyModel};
 use crowd_platform::serve::{
-    Admission, ArrivalPlan, BreakerPolicy, CrowdServe, JobSpec, ServeConfig, ServeError, ServeKill,
-    ServeReport, ShardSpec, TenantId, TenantPolicy,
+    Admission, ArrivalPlan, BreakerPolicy, CachePolicy, CrowdServe, JobSpec, ServeConfig,
+    ServeError, ServeKill, ServeReport, ShardSpec, TenantId, TenantPolicy,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -394,8 +394,173 @@ fn submission_errors_are_typed() {
     ));
 }
 
+/// Fault-free honest config with a generous single-tenant budget: every
+/// submission admits, every distinguishable pair is judged correctly.
+fn cache_test_config(cache: CachePolicy) -> ServeConfig {
+    ServeConfig::basic()
+        .with_tenants(vec![TenantPolicy::new(TenantId(0), 100_000, 200)])
+        .with_shards(vec![
+            ShardSpec::honest(WorkerClass::Naive, 12, 36),
+            ShardSpec::honest(WorkerClass::Expert, 4, 12),
+        ])
+        .with_queue_cap(16)
+        .with_cache(cache)
+}
+
+/// Submits `specs` (each `gap` ticks after the previous) and steps the
+/// service until everything completes; returns the final report plus
+/// the cache hit count.
+fn run_specs(specs: &[JobSpec], gap: u64, cache: CachePolicy, seed: u64) -> (ServeReport, u64) {
+    let (_rec, _g) = record();
+    let mut service = CrowdServe::new(cache_test_config(cache), seed).expect("config is valid");
+    let mut pending = specs.iter().cloned();
+    let mut next_submit = 0u64;
+    let mut queued = pending.next();
+    for _ in 0..2_000u64 {
+        while queued.is_some() && service.tick() >= next_submit {
+            let spec = queued.take().expect("checked is_some");
+            if let Admission::Rejected { .. } =
+                service.submit(spec).expect("submission is well-formed")
+            {
+                panic!("generous budget must admit");
+            }
+            next_submit = service.tick() + gap;
+            queued = pending.next();
+        }
+        service.step().expect("no chaos: cannot crash");
+        if queued.is_none() && service.report().jobs.len() == specs.len() {
+            break;
+        }
+    }
+    let report = service.report();
+    assert_eq!(report.jobs.len(), specs.len(), "all jobs must complete");
+    let hits = report.cache_hits;
+    (report, hits)
+}
+
+/// Disjoint catalogs leave the cache without a single hit, and the run's
+/// report is identical to a cache-off run's — the cache is invisible
+/// until catalogs actually overlap.
+#[test]
+fn cache_is_invisible_without_overlap() {
+    let a = JobSpec {
+        tenant: TenantId(0),
+        values: vec![10.0, 30.0, 20.0, 5.0],
+        votes: 3,
+        expert_votes: 3,
+        deadline_ticks: 64,
+    };
+    let mut b = a.clone();
+    b.values = vec![11.0, 31.0, 21.0, 6.0];
+    let specs = [a, b];
+    let (on, hits) = run_specs(&specs, 1, CachePolicy::default_on(), 77);
+    let (off, _) = run_specs(&specs, 1, CachePolicy::disabled(), 77);
+    assert_eq!(hits, 0, "disjoint catalogs cannot hit");
+    assert_eq!(on, off, "the cache must be invisible without overlap");
+}
+
+/// Two identical catalogs: the second job's naive tournament is answered
+/// entirely from the cache, hits are accounted, and nothing is charged
+/// for them.
+#[test]
+fn identical_catalogs_reuse_judgments_and_are_never_charged_for_hits() {
+    let spec = JobSpec {
+        tenant: TenantId(0),
+        values: vec![10.0, 40.0, 20.0, 30.0, 5.0],
+        votes: 3,
+        expert_votes: 3,
+        deadline_ticks: 64,
+    };
+    let solo = [spec.clone()];
+    let twice = [spec.clone(), spec];
+    let (solo_report, _) = run_specs(&solo, 1, CachePolicy::default_on(), 91);
+    let (pair_report, hits) = run_specs(&twice, 1, CachePolicy::default_on(), 91);
+    assert!(hits > 0, "an identical catalog must hit: {pair_report:?}");
+    assert!(
+        pair_report.comparisons < 2 * solo_report.comparisons,
+        "reuse must cost less than two isolated runs: {} vs 2×{}",
+        pair_report.comparisons,
+        solo_report.comparisons
+    );
+    assert_eq!(
+        pair_report.cache_saved_comparisons,
+        2 * solo_report.comparisons - pair_report.comparisons,
+        "every comparison not charged is accounted as saved"
+    );
+    for job in &pair_report.jobs {
+        assert_eq!(job.winner, ElementId(1), "winner is the true max");
+        assert_eq!(job.degraded, None);
+    }
+    // Ledger invariant holds with hits in play: hits are never charged,
+    // so charged + refunded still never exceeds granted.
+    for tenant in &pair_report.tenants {
+        assert!(tenant.comparisons + tenant.tokens_refunded <= tenant.tokens_granted);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cross-job reuse never costs extra and never changes an answer:
+    /// for any interleaving of two jobs over overlapping catalogs, the
+    /// combined run's total comparisons stay at or below the sum of two
+    /// isolated runs, and each job's winner is unchanged.
+    #[test]
+    fn overlapping_jobs_cost_at_most_the_sum_of_isolated_runs(
+        seed in 0u64..500,
+        a_len in 2usize..8,
+        b_len in 2usize..8,
+        b_start in 0usize..8,
+        gap in 0u64..6,
+        b_first in 0usize..2,
+    ) {
+        let b_first = b_first == 1;
+        // Distinct universe values, bit-identical wherever both
+        // catalogs draw the same item — that is what "overlapping
+        // catalogs" means to a content-keyed cache.
+        let universe: Vec<f64> = (0..16)
+            .map(|i| (i as f64) * 9.0 + ((seed % 7) as f64) / 8.0)
+            .collect();
+        let mk = |start: usize, len: usize| JobSpec {
+            tenant: TenantId(0),
+            values: universe[start..start + len].to_vec(),
+            votes: 3,
+            expert_votes: 3,
+            deadline_ticks: 64,
+        };
+        let a = mk(0, a_len);
+        let b = mk(b_start, b_len);
+        let combined = if b_first {
+            [b.clone(), a.clone()]
+        } else {
+            [a.clone(), b.clone()]
+        };
+
+        let (a_iso, _) = run_specs(std::slice::from_ref(&a), 0, CachePolicy::default_on(), seed);
+        let (b_iso, _) = run_specs(std::slice::from_ref(&b), 0, CachePolicy::default_on(), seed);
+        let (both, _) = run_specs(&combined, gap, CachePolicy::default_on(), seed);
+
+        prop_assert!(
+            both.comparisons <= a_iso.comparisons + b_iso.comparisons,
+            "interleaved total {} > isolated sum {} + {}",
+            both.comparisons, a_iso.comparisons, b_iso.comparisons
+        );
+        // Winners unchanged: each job still returns its catalog's true
+        // maximum, exactly as the isolated runs did.
+        prop_assert_eq!(a_iso.jobs[0].winner, true_argmax(&a));
+        prop_assert_eq!(b_iso.jobs[0].winner, true_argmax(&b));
+        // Job ids are assigned in submission order, so the smaller id
+        // belongs to the spec submitted first.
+        let first_id = both.jobs.iter().map(|j| j.job.0).min().expect("two jobs completed");
+        for job in &both.jobs {
+            let spec = if job.job.0 == first_id { &combined[0] } else { &combined[1] };
+            prop_assert_eq!(
+                job.winner,
+                true_argmax(spec),
+                "job {:?} winner changed under interleaving", job.job
+            );
+        }
+    }
 
     /// Admission accounting: for every tenant, comparisons charged never
     /// exceed the tokens its bucket dispensed, and the bucket can never
