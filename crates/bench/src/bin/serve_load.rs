@@ -78,7 +78,8 @@ fn print_summary(report: &ServeLoadReport) {
         println!(
             "{:<5} {:>4} offered  {:>4} admitted  {:>4} shed ({})  \
              {:>4} ok  {:>4} degraded  cache {:>4} hits ({})  {:>3} trips  \
-             p99 {} ticks  {:>8.0} jobs/s  {:>10.0} cmp/s",
+             p99 {} ticks  slo {:>2} breaches (burn {})  \
+             {:>8.0} jobs/s  {:>10.0} cmp/s",
             meta.label,
             meta.offered,
             meta.admitted,
@@ -90,6 +91,8 @@ fn print_summary(report: &ServeLoadReport) {
             pct(meta.cache_hit_rate_bps),
             meta.breaker_trips,
             ticks(meta.p99_latency_ticks),
+            meta.slo_breaches,
+            pct(Some(u64::from(meta.slo_burn_max_bps))),
             timing.jobs_per_sec,
             timing.comparisons_per_sec,
         );

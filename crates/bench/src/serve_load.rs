@@ -13,7 +13,7 @@ use crowd_core::model::WorkerClass;
 use crowd_obs::{install_recorder, Recorder};
 use crowd_platform::fault::{FaultConfig, LatencyModel};
 use crowd_platform::serve::{
-    ArrivalPlan, CrowdServe, ServeConfig, ShardSpec, TenantId, TenantPolicy,
+    ArrivalPlan, CrowdServe, ServeConfig, ShardSpec, SloPolicy, TenantId, TenantPolicy,
 };
 use serde::Serialize;
 use std::sync::Arc;
@@ -25,8 +25,9 @@ pub const DEFAULT_SEED: u64 = 45223;
 /// Report schema version. v2: rounded `shed_bps` that is omitted (not
 /// zero) when no load was offered, latency columns omitted when no job
 /// completed, a `4x` scenario, catalog overlap, and judgment-cache
-/// columns.
-pub const SCHEMA: u32 = 2;
+/// columns. v3: per-scenario SLO columns (`slo_breaches`,
+/// `slo_burn_max_bps`) from the per-tenant sliding-window monitors.
+pub const SCHEMA: u32 = 3;
 
 /// Ticks generous enough that every scenario drains naturally.
 const MAX_TICKS: u64 = 2_000;
@@ -116,6 +117,15 @@ pub fn bench_config() -> ServeConfig {
             ShardSpec::honest(WorkerClass::Expert, 4, 12),
         ])
         .with_queue_cap(4)
+        // Tighter than the serve sweep's posture: this config's generous
+        // buckets and warm cache keep p99 under 10 ticks at every load,
+        // so the objective sits at 5 ticks to make queue pressure visible
+        // in the SLO columns.
+        .with_slo(
+            SloPolicy::default_on()
+                .with_latency_objective(5)
+                .with_bad_budget_bps(2_000),
+        )
 }
 
 /// Deterministic statistics of one scenario — part of the CI baseline.
@@ -152,6 +162,10 @@ pub struct ScenarioMeta {
     pub breaker_trips: u64,
     /// Pairs dead-lettered mid-tournament.
     pub dead_letters: u64,
+    /// SLO breach transitions, summed over tenants.
+    pub slo_breaches: u64,
+    /// Worst per-tenant error-budget burn over the run, in basis points.
+    pub slo_burn_max_bps: u32,
     /// Worst p99 job latency over tenants that completed at least one
     /// job, in ticks. `None` when no tenant completed anything — folding
     /// a default 0 here would report "instant" for "no data".
@@ -280,6 +294,13 @@ pub fn run_serve_load(seed: u64) -> ServeLoadReport {
             cache_hit_rate_bps: ratio_bps(cache.hits, cache.lookups),
             breaker_trips: report.breaker_trips,
             dead_letters: report.dead_letters,
+            slo_breaches: report.tenants.iter().map(|t| t.slo_breaches).sum(),
+            slo_burn_max_bps: report
+                .tenants
+                .iter()
+                .map(|t| t.slo_burn_max_bps)
+                .max()
+                .unwrap_or(0),
             p99_latency_ticks: finished().map(|t| t.p99_latency_ticks).max(),
             max_latency_ticks: finished().map(|t| t.max_latency_ticks).max(),
             journal_bytes: service.journal().durable().len() as u64,
@@ -340,6 +361,31 @@ mod tests {
                 "50% overlap must produce cache hits: {s:?}"
             );
             assert!(s.cache_saved_comparisons >= s.cache_hits, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn slo_burn_tracks_the_load_gradient() {
+        let report = run_serve_load(DEFAULT_SEED);
+        let s = &report.meta.scenarios;
+        assert_eq!(
+            (s[0].slo_breaches, s[0].slo_burn_max_bps),
+            (0, 0),
+            "half load stays inside the objective: {:?}",
+            s[0]
+        );
+        assert_eq!(
+            s[1].slo_breaches, 0,
+            "1x burns budget without breaching: {:?}",
+            s[1]
+        );
+        assert!(s[1].slo_burn_max_bps > 0, "{:?}", s[1]);
+        for over in &s[2..] {
+            assert!(
+                over.slo_breaches > 0,
+                "overload tiers must breach the objective: {over:?}"
+            );
+            assert!(over.slo_burn_max_bps > 2_000, "{over:?}");
         }
     }
 

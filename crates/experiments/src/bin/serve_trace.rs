@@ -1,0 +1,179 @@
+//! Span-log analyzer and trace-twin generator — the tracing CI entry point.
+//!
+//! ```text
+//! serve_trace <spans.jsonl> [--waterfalls N]     # analyze a span log
+//! serve_trace --run --out DIR [--seeds N]        # generate CI twin trees
+//! ```
+//!
+//! **Analyze mode** parses a `spans.jsonl` (as written by `repro` next to
+//! `events.jsonl`), enforces the accounting invariant — every job's stage
+//! ticks must sum to its submission-to-completion latency — and prints
+//! the per-tenant latency-attribution table plus ASCII waterfalls for the
+//! slowest jobs. Unbalanced books exit nonzero with one message per
+//! broken job.
+//!
+//! **Run mode** drives the canonical serve scenario through an
+//! uninterrupted run and a killed-then-resumed run per seed, writing
+//! `<out>/uninterrupted/spans-<seed>.jsonl` and
+//! `<out>/resumed/spans-<seed>.jsonl` (one file per seed — seeds reuse
+//! job ids, so merged logs would not reconcile), plus `trace.md`, the
+//! analyzed seed-0 baseline. The two trees must be **byte-identical** —
+//! `diff -r` proves it in CI — and the binary additionally asserts
+//! in-process that every seed's logs matched and reconciled, exiting
+//! nonzero otherwise.
+
+use crowd_experiments::serve_trace::{analyze, demo_twin_logs};
+use crowd_obs::SpanLog;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Seeds in the default twin matrix.
+const DEFAULT_SEEDS: u64 = 4;
+
+fn analyze_file(path: &str, waterfalls: usize) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let log = match SpanLog::from_jsonl(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{path} is not a span log: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match analyze(&log) {
+        Ok(analysis) => {
+            println!("{}", analysis.render_report(waterfalls));
+            eprintln!(
+                "{}: {} spans, {} jobs, books balance",
+                path,
+                log.len(),
+                analysis.jobs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("{path}: {v}");
+            }
+            eprintln!("{path}: {} jobs with unbalanced books", violations.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_twins(out_dir: &Path, seeds: u64) -> ExitCode {
+    // One span log per seed per side: seeds reuse job ids, so merging
+    // them would break per-file reconciliation.
+    let write = |side: &str, seed: u64, log: &SpanLog| -> std::io::Result<()> {
+        let dir = out_dir.join(side);
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join(format!("spans-{seed}.jsonl")), log.to_jsonl())
+    };
+    let mut failures = 0u64;
+    let mut trace = String::new();
+    for seed in 0..seeds {
+        let (base, twin) = demo_twin_logs(seed);
+        let identical = base.to_jsonl() == twin.to_jsonl();
+        let reconciles = base.reconcile().is_ok();
+        eprintln!(
+            "seed {seed:>3}: spans={} identical={identical} reconciles={reconciles}",
+            base.len()
+        );
+        if !(identical && reconciles && !base.is_empty()) {
+            failures += 1;
+        }
+        if seed == 0 {
+            trace = analyze(&base)
+                .map(|a| a.render_report(5))
+                .unwrap_or_else(|v| format!("UNBALANCED BOOKS\n{}\n", v.join("\n")));
+        }
+        if let Err(e) =
+            write("uninterrupted", seed, &base).and_then(|()| write("resumed", seed, &twin))
+        {
+            eprintln!("failed to write artifacts: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(out_dir.join("trace.md"), trace) {
+        eprintln!("failed to write artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if failures > 0 {
+        eprintln!("{failures}/{seeds} seeds failed span-twin equivalence");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "all {seeds} seeds traced identically; artifacts in {} (diff the two trees)",
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut run = false;
+    let mut out_dir = PathBuf::from("trace-results");
+    let mut seeds = DEFAULT_SEEDS;
+    let mut waterfalls = 5usize;
+    let mut input: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--run" => run = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seeds" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v >= 1 => seeds = v,
+                _ => {
+                    eprintln!("--seeds requires a count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--waterfalls" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => waterfalls = v,
+                None => {
+                    eprintln!("--waterfalls requires a count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve_trace <spans.jsonl> [--waterfalls N]\n\
+                     \x20      serve_trace --run [--out DIR] [--seeds N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match (run, input) {
+        (true, None) => run_twins(&out_dir, seeds),
+        (false, Some(path)) => analyze_file(&path, waterfalls),
+        (true, Some(_)) => {
+            eprintln!("--run does not take a span-log argument");
+            ExitCode::FAILURE
+        }
+        (false, None) => {
+            eprintln!("pass a spans.jsonl to analyze, or --run to generate twins (see --help)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -57,6 +57,7 @@ pub mod runner;
 pub mod scale;
 pub mod search_eval;
 pub mod serve_sweep;
+pub mod serve_trace;
 pub mod table1;
 pub mod table2;
 

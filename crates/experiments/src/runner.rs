@@ -332,13 +332,15 @@ fn write_manifest(manifest: &RunManifest, out_dir: &Path) -> io::Result<()> {
 }
 
 /// Writes the run's observability artifacts next to the manifest:
-/// `events.jsonl` (the structured event log), `metrics.prom` (Prometheus
-/// text exposition), and `metrics.json` (its JSON twin). All three are
-/// wall-clock-free and byte-identical at any `--jobs` count.
+/// `events.jsonl` (the structured event log), `spans.jsonl` (the causal
+/// span log — analyze it with the `serve_trace` binary), `metrics.prom`
+/// (Prometheus text exposition), and `metrics.json` (its JSON twin). All
+/// four are wall-clock-free and byte-identical at any `--jobs` count.
 fn write_observability(recorder: &Recorder, out_dir: &Path) -> io::Result<()> {
     let snapshot = recorder.metrics().snapshot();
     std::fs::create_dir_all(out_dir)?;
     std::fs::write(out_dir.join("events.jsonl"), recorder.log().to_jsonl())?;
+    std::fs::write(out_dir.join("spans.jsonl"), recorder.span_log().to_jsonl())?;
     std::fs::write(
         out_dir.join("metrics.prom"),
         crowd_obs::render_prometheus(&snapshot),
@@ -424,6 +426,11 @@ mod tests {
             std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
         assert!(events.contains("RunStarted"), "{events}");
         assert!(events.contains("RunFinished"), "{events}");
+        assert!(
+            dir.join("spans.jsonl").exists(),
+            "the span log lands next to the event log (empty here: table1 \
+             completes no serve jobs)"
+        );
         let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom written");
         assert!(
             prom.contains(metric_names::COMPARISONS_TOTAL),

@@ -30,7 +30,7 @@ use crowd_obs::{install_recorder, Event, Recorder};
 use crowd_platform::fault::{FaultConfig, LatencyModel};
 use crowd_platform::serve::{
     ArrivalPlan, BreakerPolicy, CachePolicy, CrowdServe, ServeConfig, ServeKill, ServeReport,
-    ShardSpec, TenantId, TenantPolicy,
+    ShardSpec, SloPolicy, TenantId, TenantPolicy,
 };
 use std::sync::Arc;
 
@@ -42,7 +42,7 @@ pub const LOADS: [&str; 2] = ["0.5x", "2x"];
 pub const BREAKERS: [&str; 2] = ["on", "off"];
 
 /// Arrival rate (jobs per tick, as `num/den`) for a load index.
-fn rate_for(load: usize) -> (u64, u64) {
+pub(crate) fn rate_for(load: usize) -> (u64, u64) {
     match load {
         0 => (1, 2), // one job every other tick: well under capacity
         _ => (3, 1), // three jobs per tick: roughly double capacity
@@ -51,7 +51,7 @@ fn rate_for(load: usize) -> (u64, u64) {
 
 /// The swept service config: two tenants with tight budgets, two naive
 /// shards (one mildly faulty) and a small expert shard.
-fn config_for(breakers: usize) -> ServeConfig {
+pub(crate) fn config_for(breakers: usize) -> ServeConfig {
     let policy = if breakers == 0 {
         BreakerPolicy::default_on()
     } else {
@@ -75,6 +75,14 @@ fn config_for(breakers: usize) -> ServeConfig {
         ])
         .with_queue_cap(4)
         .with_breaker(policy)
+        // Tight enough that queue-driven latency shows up as SLO burn:
+        // a completion slower than 10 ticks is bad, 20% of a 64-tick
+        // window may be bad before the tenant's objective breaches.
+        .with_slo(
+            SloPolicy::default_on()
+                .with_latency_objective(10)
+                .with_bad_budget_bps(2_000),
+        )
 }
 
 /// What one sweep trial established.
@@ -89,8 +97,13 @@ pub struct ServeTrialOutcome {
     pub degraded: (u64, u64, u64, u64),
     /// Worst per-tenant p99 job latency, in ticks.
     pub p99_latency_ticks: u64,
+    /// SLO breach transitions, summed over tenants.
+    pub slo_breaches: u64,
+    /// Worst per-tenant error-budget burn, in basis points.
+    pub slo_burn_max_bps: u32,
     /// The killed-and-resumed run matched the uninterrupted one on the
-    /// report, the final journal bytes, and the event stream.
+    /// report, the final journal bytes, the event stream, and the span
+    /// log.
     pub resume_identical: bool,
 }
 
@@ -149,6 +162,7 @@ pub fn run_trial(load: usize, breakers: usize, base_seed: u64, t: u64) -> ServeT
                 report == base_report
                     && resumed.journal().durable() == &base_journal[..]
                     && events == base_rec.events()
+                    && resumed_rec.span_log() == base_rec.span_log()
             }
             Err(_) => false,
         }
@@ -169,11 +183,20 @@ pub fn run_trial(load: usize, breakers: usize, base_seed: u64, t: u64) -> ServeT
         .map(|t| t.p99_latency_ticks)
         .max()
         .unwrap_or(0);
+    let slo_breaches = base_report.tenants.iter().map(|t| t.slo_breaches).sum();
+    let slo_burn_max_bps = base_report
+        .tenants
+        .iter()
+        .map(|t| t.slo_burn_max_bps)
+        .max()
+        .unwrap_or(0);
     ServeTrialOutcome {
         report: base_report,
         completed_ok,
         degraded,
         p99_latency_ticks,
+        slo_breaches,
+        slo_burn_max_bps,
         resume_identical,
     }
 }
@@ -208,6 +231,10 @@ pub struct ServeSweepRow {
     pub trips: u64,
     /// Worst per-tenant p99 job latency seen in any trial, in ticks.
     pub p99_latency_ticks: u64,
+    /// SLO breach transitions across trials and tenants.
+    pub slo_breaches: u64,
+    /// Worst per-tenant error-budget burn seen in any trial, in bps.
+    pub slo_burn_max_bps: u32,
     /// Comparisons charged across tenants.
     pub comparisons: u64,
     /// Trials whose killed-and-resumed run matched the uninterrupted one
@@ -244,6 +271,8 @@ pub fn sweep(trials: u64, base_seed: u64) -> Vec<ServeSweepRow> {
                 deg_dead_letters: 0,
                 trips: 0,
                 p99_latency_ticks: 0,
+                slo_breaches: 0,
+                slo_burn_max_bps: 0,
                 comparisons: 0,
                 resume_identical: 0,
             };
@@ -260,6 +289,8 @@ pub fn sweep(trials: u64, base_seed: u64) -> Vec<ServeSweepRow> {
                 row.deg_dead_letters += o.degraded.3;
                 row.trips += o.report.breaker_trips;
                 row.p99_latency_ticks = row.p99_latency_ticks.max(o.p99_latency_ticks);
+                row.slo_breaches += o.slo_breaches;
+                row.slo_burn_max_bps = row.slo_burn_max_bps.max(o.slo_burn_max_bps);
                 row.comparisons += o.report.comparisons;
                 row.resume_identical += u64::from(o.resume_identical);
             }
@@ -296,6 +327,8 @@ pub fn run(scale: &Scale) -> Table {
             "deg dead-letter",
             "breaker trips",
             "p99 ticks",
+            "slo breaches",
+            "slo burn bps",
             "comparisons",
             "resume identical",
         ],
@@ -308,10 +341,15 @@ pub fn run(scale: &Scale) -> Table {
          half-load rows shed little or nothing. `resume identical` counts trials whose \
          mid-tick-killed run, resumed from the write-ahead journal, \
          matched the uninterrupted run on the report, the final journal \
-         bytes, and the event stream — it must equal `trials` everywhere. \
+         bytes, the event stream, and the causal span log — it must equal \
+         `trials` everywhere. \
          Breaker trips appear only in the `on` rows (the faulty shard \
          produces failure streaks); with breakers off the same faults are \
-         retried blindly instead of quarantined.",
+         retried blindly instead of quarantined. `slo breaches` counts \
+         per-tenant SLO breach transitions (sliding-window bad-completion \
+         rate over the error budget) and `slo burn bps` the worst window \
+         burn observed; overload shows up here before it shows up in \
+         averages.",
     );
     for row in &rows {
         t.push_row(vec![
@@ -328,6 +366,8 @@ pub fn run(scale: &Scale) -> Table {
             row.deg_dead_letters.to_string(),
             row.trips.to_string(),
             row.p99_latency_ticks.to_string(),
+            row.slo_breaches.to_string(),
+            row.slo_burn_max_bps.to_string(),
             row.comparisons.to_string(),
             row.resume_identical.to_string(),
         ]);
@@ -720,12 +760,39 @@ mod tests {
     }
 
     #[test]
+    fn slo_monitoring_fires_deterministically_in_the_sweep() {
+        let rows = sweep(3, Scale::quick().seed ^ 0x5E);
+        for row in &rows {
+            assert!(
+                row.slo_breaches > 0,
+                "every cell queues enough to breach the 10-tick objective: {row:?}"
+            );
+            assert!(
+                row.slo_burn_max_bps > 2_000,
+                "a breach implies burn above the error budget: {row:?}"
+            );
+        }
+        // Double load burns at least as hot as half load (shedding keeps
+        // admitted-job latency bounded, but the survivors run closer to
+        // the edge), and the whole table is reproducible.
+        let burn = |load: usize| {
+            rows.iter()
+                .filter(|r| r.load == load)
+                .map(|r| r.slo_burn_max_bps)
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(burn(1) >= burn(0), "{rows:?}");
+        assert_eq!(rows, sweep(3, Scale::quick().seed ^ 0x5E));
+    }
+
+    #[test]
     fn table_shape() {
         let t = run(&Scale::quick());
         assert_eq!(t.rows.len(), LOADS.len() * BREAKERS.len());
         for row in &t.rows {
             // resume identical == trials in every cell.
-            assert_eq!(row[14], row[2], "resume must be identical: {row:?}");
+            assert_eq!(row[16], row[2], "resume must be identical: {row:?}");
             // offered == admitted + shed.
             let offered: u64 = row[3].parse().unwrap();
             let admitted: u64 = row[4].parse().unwrap();

@@ -155,6 +155,31 @@ pub enum Event {
         /// when it failed and the quarantine re-opened.
         recovered: bool,
     },
+    /// A tenant's sliding-window SLO went from healthy to breached.
+    SloBreached {
+        /// The tenant whose objective is violated.
+        tenant: u32,
+        /// The tick the monitor detected the breach.
+        tick: u64,
+        /// Completions inside the sliding window at detection.
+        window_jobs: u64,
+        /// Window completions that violated the objective (degraded, or
+        /// over the latency target).
+        bad_jobs: u64,
+        /// Bad-completion rate over the window, in basis points.
+        bad_bps: u32,
+    },
+    /// A previously breached tenant SLO returned inside its objective.
+    SloRecovered {
+        /// The tenant whose objective recovered.
+        tenant: u32,
+        /// The tick the monitor detected the recovery.
+        tick: u64,
+        /// Completions inside the sliding window at detection.
+        window_jobs: u64,
+        /// Bad-completion rate over the window, in basis points.
+        bad_bps: u32,
+    },
     /// The matching [`Event::RunStarted`] unit of work finished.
     RunFinished {
         /// The run's name.
@@ -314,6 +339,19 @@ mod tests {
                 shard: 0,
                 worker: 5,
                 recovered: true,
+            },
+            Event::SloBreached {
+                tenant: 1,
+                tick: 30,
+                window_jobs: 12,
+                bad_jobs: 4,
+                bad_bps: 3333,
+            },
+            Event::SloRecovered {
+                tenant: 1,
+                tick: 58,
+                window_jobs: 10,
+                bad_bps: 500,
             },
             Event::BudgetExhausted {
                 cap: 10.0,

@@ -19,23 +19,35 @@ use std::fmt::Write as _;
 /// crowd_round_survivors_count 4
 /// ```
 ///
-/// One `# TYPE` line per metric name (samples arrive sorted by name, so
-/// label sets of the same metric group under one header). Label values are
-/// escaped per the format: backslash, double quote and newline.
+/// One `# HELP` line (for names with a registered description — see
+/// [`crate::metric_help`]) and one `# TYPE` line per metric name (samples
+/// arrive sorted by name, so label sets of the same metric group under one
+/// header). Label values are escaped per the format: backslash, double
+/// quote and newline.
+///
+/// The label block renders into a single reusable buffer across all
+/// samples — one histogram sample alone needs the block a dozen times, so
+/// a fresh allocation per line showed up in the serve-load profiles.
 pub fn render_prometheus(samples: &[MetricSample]) -> String {
     let mut out = String::new();
+    let mut labels = String::new();
     let mut last_name: Option<&str> = None;
     for sample in samples {
         if last_name != Some(sample.name.as_str()) {
+            if let Some(help) = crate::metric_help(&sample.name) {
+                let _ = writeln!(out, "# HELP {} {help}", sample.name);
+            }
             let _ = writeln!(out, "# TYPE {} {}", sample.name, sample.type_name());
             last_name = Some(sample.name.as_str());
         }
         match &sample.value {
             SampleValue::Counter { value } => {
-                let _ = writeln!(out, "{}{} {value}", sample.name, label_block(sample, &[]));
+                write_label_block(&mut labels, sample, &[]);
+                let _ = writeln!(out, "{}{labels} {value}", sample.name);
             }
             SampleValue::Gauge { value } => {
-                let _ = writeln!(out, "{}{} {value}", sample.name, label_block(sample, &[]));
+                write_label_block(&mut labels, sample, &[]);
+                let _ = writeln!(out, "{}{labels} {value}", sample.name);
             }
             SampleValue::Histogram {
                 buckets,
@@ -43,21 +55,12 @@ pub fn render_prometheus(samples: &[MetricSample]) -> String {
                 count,
             } => {
                 for bucket in buckets {
-                    let _ = writeln!(
-                        out,
-                        "{}_bucket{} {}",
-                        sample.name,
-                        label_block(sample, &[("le", &bucket.le)]),
-                        bucket.count
-                    );
+                    write_label_block(&mut labels, sample, &[("le", &bucket.le)]);
+                    let _ = writeln!(out, "{}_bucket{labels} {}", sample.name, bucket.count);
                 }
-                let _ = writeln!(out, "{}_sum{} {sum}", sample.name, label_block(sample, &[]));
-                let _ = writeln!(
-                    out,
-                    "{}_count{} {count}",
-                    sample.name,
-                    label_block(sample, &[])
-                );
+                write_label_block(&mut labels, sample, &[]);
+                let _ = writeln!(out, "{}_sum{labels} {sum}", sample.name);
+                let _ = writeln!(out, "{}_count{labels} {count}", sample.name);
             }
         }
     }
@@ -74,29 +77,32 @@ pub fn render_json(samples: &[MetricSample]) -> String {
     out
 }
 
-/// Formats `{a="1",b="2"}` from the sample's labels plus any extra pairs
-/// (the histogram `le`), or the empty string when there are none.
-fn label_block(sample: &MetricSample, extra: &[(&str, &str)]) -> String {
-    let mut pairs: Vec<(&str, &str)> = sample
+/// Renders `{a="1",b="2"}` from the sample's labels plus any extra pairs
+/// (the histogram `le`) into `buf` — cleared first, left empty when there
+/// are no labels. Reusing one buffer keeps the render allocation-free per
+/// line.
+fn write_label_block(buf: &mut String, sample: &MetricSample, extra: &[(&str, &str)]) {
+    buf.clear();
+    let pairs = sample
         .labels
         .iter()
         .map(|l| (l.name.as_str(), l.value.as_str()))
-        .collect();
-    pairs.extend_from_slice(extra);
-    if pairs.is_empty() {
-        return String::new();
+        .chain(extra.iter().copied());
+    for (i, (k, v)) in pairs.enumerate() {
+        buf.push(if i == 0 { '{' } else { ',' });
+        buf.push_str(k);
+        buf.push_str("=\"");
+        escape_label_value_into(buf, v);
+        buf.push('"');
     }
-    let body: Vec<String> = pairs
-        .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
-        .collect();
-    format!("{{{}}}", body.join(","))
+    if !buf.is_empty() {
+        buf.push('}');
+    }
 }
 
-/// Escapes a label value per the exposition format: `\` → `\\`,
+/// Escapes a label value per the exposition format into `out`: `\` → `\\`,
 /// `"` → `\"`, newline → `\n`.
-fn escape_label_value(v: &str) -> String {
-    let mut out = String::with_capacity(v.len());
+fn escape_label_value_into(out: &mut String, v: &str) {
     for c in v.chars() {
         match c {
             '\\' => out.push_str("\\\\"),
@@ -105,7 +111,6 @@ fn escape_label_value(v: &str) -> String {
             other => out.push(other),
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -145,6 +150,23 @@ mod tests {
         assert!(text.contains("crowd_round_survivors_bucket{le=\"+Inf\"} 1\n"));
         assert!(text.contains("crowd_round_survivors_sum 33\n"));
         assert!(text.contains("crowd_round_survivors_count 1\n"));
+    }
+
+    #[test]
+    fn known_names_get_a_help_line_before_their_type_line() {
+        let r = MetricsRegistry::new();
+        r.counter_add(crate::names::COMPARISONS_TOTAL, &[("class", "naive")], 1);
+        r.counter_add("made_up_metric_total", &[], 1);
+        let text = render_prometheus(&r.snapshot());
+        let help_pos = text
+            .find("# HELP crowd_comparisons_total ")
+            .expect("registered names carry a HELP line");
+        let type_pos = text.find("# TYPE crowd_comparisons_total ").unwrap();
+        assert!(help_pos < type_pos, "HELP precedes TYPE: {text}");
+        assert!(
+            !text.contains("# HELP made_up_metric_total"),
+            "unregistered names stay HELP-less: {text}"
+        );
     }
 
     #[test]

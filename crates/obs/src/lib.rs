@@ -14,6 +14,11 @@
 //!   recovery events, `RunFinished`) serialized as JSONL. Records carry a
 //!   **logical-clock sequence number** instead of wall time, so a run's
 //!   log is byte-identical at any `--jobs` count.
+//! * [`Span`] / [`SpanLog`] — deterministic causal spans on the logical
+//!   clock: every completed serve job's latency is partitioned across the
+//!   pipeline stages ([`Stage`]) that consumed it, serialized as sorted
+//!   JSONL next to the event log and reconciled exactly against
+//!   `latency_ticks()` by [`SpanLog::reconcile`].
 //! * [`Recorder`] — the thread-local collection point, mirroring
 //!   `crowd_core::trace`'s `TallySink` stack: [`install_recorder`] scopes
 //!   a recorder to the current thread, [`emit`]/[`counter_add`]/
@@ -37,6 +42,7 @@ mod event;
 mod expo;
 mod metrics;
 mod recorder;
+mod span;
 
 pub use bridge::ObservedOracle;
 pub use event::{Event, EventLog, LogRecord};
@@ -45,9 +51,10 @@ pub use metrics::{
     BucketCount, Histogram, LabelPair, MetricSample, MetricsRegistry, SampleValue, DEFAULT_BUCKETS,
 };
 pub use recorder::{
-    counter_add, current_recorders, emit, gauge_set, install_recorder, install_recorders, observe,
-    record_segment, replay, Recorder, RecorderGuard, Segment,
+    counter_add, current_recorders, emit, emit_span, gauge_set, install_recorder,
+    install_recorders, observe, record_segment, replay, Recorder, RecorderGuard, Segment,
 };
+pub use span::{stage_label, Span, SpanLog, Stage, StageAccum};
 
 use crowd_core::model::WorkerClass;
 use crowd_core::trace::{DeadLetterReason, DegradedReason, FaultKind};
@@ -108,6 +115,59 @@ pub mod names {
     /// Counter, no labels: cached verdicts evicted to respect the
     /// configured cache capacity.
     pub const SERVE_CACHE_EVICTIONS_TOTAL: &str = "crowd_serve_cache_evictions_total";
+    /// Histogram, labels `{tenant, stage}`: per-completed-job ticks
+    /// attributed to each pipeline stage by the causal span layer.
+    pub const SERVE_STAGE_TICKS: &str = "crowd_serve_stage_ticks";
+    /// Gauge (high watermark), labels `{tenant}`: p99 completed-job
+    /// latency in ticks, from the service report.
+    pub const SERVE_P99_LATENCY_TICKS: &str = "crowd_serve_p99_latency_ticks";
+    /// Gauge (high watermark), labels `{tenant}`: maximum completed-job
+    /// latency in ticks, from the service report.
+    pub const SERVE_MAX_LATENCY_TICKS: &str = "crowd_serve_max_latency_ticks";
+    /// Gauge (high watermark), labels `{tenant}`: worst bad-completion
+    /// rate (basis points) the tenant's SLO window has seen.
+    pub const SERVE_SLO_BURN_BPS: &str = "crowd_serve_slo_burn_bps";
+    /// Counter, labels `{tenant}`: healthy→breached transitions of the
+    /// tenant's SLO monitor.
+    pub const SERVE_SLO_BREACHES_TOTAL: &str = "crowd_serve_slo_breaches_total";
+}
+
+/// A stable one-line description for a metric name, or `None` for names
+/// outside the workspace vocabulary. [`render_prometheus`] turns these
+/// into `# HELP` lines; keeping them in one table keeps the exposition
+/// byte-diffable across call sites.
+pub fn metric_help(name: &str) -> Option<&'static str> {
+    Some(match name {
+        names::COMPARISONS_TOTAL => "Comparisons performed, by worker class.",
+        names::FAULTS_TOTAL => "Faults recorded by the platform, by class and kind.",
+        names::LATENCY_STEPS => "Judgment latency in physical steps (usable answers only).",
+        names::RETRY_DEPTH => "Attempts consumed per completed unit (1 = first try).",
+        names::DEAD_LETTERS_TOTAL => "Units dead-lettered after exhausting retries.",
+        names::ROUND_SURVIVORS => "Survivor-set size after each filter round.",
+        names::ROUND_COMPARISONS => "Comparisons consumed per filter round, by class.",
+        names::RETRY_DEPTH_MAX => "Deepest retry attempt seen.",
+        names::JOURNAL_BYTES => "Journal bytes made durable by checkpoints.",
+        names::REPLAYED_COMPARISONS => "Comparisons restored from a journal during recovery.",
+        names::SERVE_JOBS_TOTAL => "Service jobs finished sorting, by tenant and outcome.",
+        names::SERVE_SHED_TOTAL => "Jobs shed by admission control, by tenant.",
+        names::SERVE_COMPARISONS_TOTAL => "Comparisons charged to tenant token buckets.",
+        names::SERVE_JOB_LATENCY_TICKS => {
+            "Completed-job latency in service ticks, submission to completion."
+        }
+        names::SERVE_BREAKER_TRIPS_TOTAL => "Circuit-breaker trips quarantining a worker.",
+        names::SERVE_QUEUE_DEPTH_MAX => "Deepest admission-queue depth the service has seen.",
+        names::SERVE_CACHE_HITS_TOTAL => "Pair comparisons answered from the judgment cache.",
+        names::SERVE_CACHE_MISSES_TOTAL => "Judgment-cache lookups that fell through to shards.",
+        names::SERVE_CACHE_EVICTIONS_TOTAL => "Cached verdicts evicted to respect capacity.",
+        names::SERVE_STAGE_TICKS => {
+            "Per-completed-job ticks attributed to each pipeline stage, by tenant."
+        }
+        names::SERVE_P99_LATENCY_TICKS => "p99 completed-job latency in ticks, by tenant.",
+        names::SERVE_MAX_LATENCY_TICKS => "Maximum completed-job latency in ticks, by tenant.",
+        names::SERVE_SLO_BURN_BPS => "Worst SLO window bad-completion rate seen, in basis points.",
+        names::SERVE_SLO_BREACHES_TOTAL => "Healthy-to-breached transitions of a tenant's SLO.",
+        _ => return None,
+    })
 }
 
 /// The label value used for a worker class (`"naive"` / `"expert"`).
@@ -165,6 +225,41 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len(), "kind labels must be distinct");
+    }
+
+    #[test]
+    fn every_canonical_metric_name_has_help_text() {
+        let all = [
+            names::COMPARISONS_TOTAL,
+            names::FAULTS_TOTAL,
+            names::LATENCY_STEPS,
+            names::RETRY_DEPTH,
+            names::DEAD_LETTERS_TOTAL,
+            names::ROUND_SURVIVORS,
+            names::ROUND_COMPARISONS,
+            names::RETRY_DEPTH_MAX,
+            names::JOURNAL_BYTES,
+            names::REPLAYED_COMPARISONS,
+            names::SERVE_JOBS_TOTAL,
+            names::SERVE_SHED_TOTAL,
+            names::SERVE_COMPARISONS_TOTAL,
+            names::SERVE_JOB_LATENCY_TICKS,
+            names::SERVE_BREAKER_TRIPS_TOTAL,
+            names::SERVE_QUEUE_DEPTH_MAX,
+            names::SERVE_CACHE_HITS_TOTAL,
+            names::SERVE_CACHE_MISSES_TOTAL,
+            names::SERVE_CACHE_EVICTIONS_TOTAL,
+            names::SERVE_STAGE_TICKS,
+            names::SERVE_P99_LATENCY_TICKS,
+            names::SERVE_MAX_LATENCY_TICKS,
+            names::SERVE_SLO_BURN_BPS,
+            names::SERVE_SLO_BREACHES_TOTAL,
+        ];
+        for name in all {
+            let help = metric_help(name).unwrap_or_else(|| panic!("no help text for {name}"));
+            assert!(!help.is_empty() && !help.contains('\n'), "{name}: {help:?}");
+        }
+        assert_eq!(metric_help("not_a_workspace_metric"), None);
     }
 
     #[test]

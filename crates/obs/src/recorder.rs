@@ -17,15 +17,17 @@
 
 use crate::event::{Event, EventLog};
 use crate::metrics::{MetricsRegistry, DEFAULT_BUCKETS};
+use crate::span::{Span, SpanLog};
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
 
-/// A collection point for events and metrics, scoped to a thread via
-/// [`install_recorder`].
+/// A collection point for events, spans, and metrics, scoped to a thread
+/// via [`install_recorder`].
 #[derive(Debug, Default)]
 pub struct Recorder {
     events: Mutex<Vec<Event>>,
+    spans: Mutex<Vec<Span>>,
     metrics: MetricsRegistry,
 }
 
@@ -57,6 +59,28 @@ impl Recorder {
         EventLog::from_events(self.events())
     }
 
+    /// Appends one causal span.
+    pub fn push_span(&self, span: Span) {
+        self.spans
+            .lock()
+            .expect("recorder span buffer poisoned")
+            .push(span);
+    }
+
+    /// The spans recorded so far, in emission order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans
+            .lock()
+            .expect("recorder span buffer poisoned")
+            .clone()
+    }
+
+    /// The recorded spans as a canonically sorted [`SpanLog`] — sorting
+    /// happens here, so the serialized log is order-insensitive.
+    pub fn span_log(&self) -> SpanLog {
+        SpanLog::from_spans(self.spans())
+    }
+
     /// The recorder's metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
@@ -66,24 +90,31 @@ impl Recorder {
     fn take_segment(&self) -> Segment {
         let events =
             std::mem::take(&mut *self.events.lock().expect("recorder event buffer poisoned"));
+        let spans = std::mem::take(&mut *self.spans.lock().expect("recorder span buffer poisoned"));
         let metrics = self.metrics.clone();
-        Segment { events, metrics }
+        Segment {
+            events,
+            spans,
+            metrics,
+        }
     }
 }
 
 /// One work item's buffered observability output: the events it emitted,
-/// in order, plus its metric updates. Produced by [`record_segment`] on a
-/// worker thread, spliced back with [`replay`] on the caller's.
+/// in order, plus its spans and metric updates. Produced by
+/// [`record_segment`] on a worker thread, spliced back with [`replay`] on
+/// the caller's.
 #[derive(Debug, Default)]
 pub struct Segment {
     events: Vec<Event>,
+    spans: Vec<Span>,
     metrics: MetricsRegistry,
 }
 
 impl Segment {
     /// True when the segment recorded nothing.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.metrics.is_empty()
+        self.events.is_empty() && self.spans.is_empty() && self.metrics.is_empty()
     }
 }
 
@@ -145,6 +176,18 @@ pub fn emit(event: Event) {
     RECORDERS.with(|r| {
         for rec in r.borrow().iter() {
             rec.push_event(event.clone());
+        }
+    });
+}
+
+/// Appends `span` to every installed recorder. Spans need no emission
+/// ordering — [`SpanLog`] sorts canonically — but they ride the same
+/// segment capture/replay machinery so parallel fan-out stays
+/// byte-identical.
+pub fn emit_span(span: Span) {
+    RECORDERS.with(|r| {
+        for rec in r.borrow().iter() {
+            rec.push_span(span);
         }
     });
 }
@@ -221,6 +264,9 @@ pub fn replay(segment: Segment) {
             for event in &segment.events {
                 rec.push_event(event.clone());
             }
+            for span in &segment.spans {
+                rec.push_span(*span);
+            }
             rec.metrics.merge_from(&segment.metrics);
         }
     });
@@ -230,10 +276,22 @@ pub fn replay(segment: Segment) {
 mod tests {
     use super::*;
     use crate::metrics::SampleValue;
+    use crate::span::Stage;
 
     fn ev(name: &str) -> Event {
         Event::RunStarted {
             name: name.to_string(),
+        }
+    }
+
+    fn sp(job: u64) -> Span {
+        Span {
+            tenant: 0,
+            job,
+            stage: Stage::ShardExec,
+            start: job,
+            end: job + 1,
+            ticks: 1,
         }
     }
 
@@ -280,15 +338,18 @@ mod tests {
         let _g = install_recorder(outer.clone());
         let ((), seg) = record_segment(|| {
             emit(ev("inside"));
+            emit_span(sp(7));
             counter_add("k", &[], 1);
         });
         // Nothing leaked while the segment was recording.
         assert!(outer.events().is_empty());
+        assert!(outer.spans().is_empty());
         assert!(outer.metrics().is_empty());
         // The mask is gone: direct emission works again.
         emit(ev("direct"));
         replay(seg);
         assert_eq!(outer.events(), vec![ev("direct"), ev("inside")]);
+        assert_eq!(outer.spans(), vec![sp(7)]);
         assert_eq!(
             outer.metrics().snapshot()[0].value,
             SampleValue::Counter { value: 1 }
@@ -312,6 +373,7 @@ mod tests {
         let items: Vec<usize> = (0..8).collect();
         let work = |i: usize| {
             emit(ev(&format!("item-{i}")));
+            emit_span(sp(i as u64));
             counter_add("items_total", &[], 1);
             observe("item_value", &[], i as u64);
             i * 2
@@ -349,6 +411,7 @@ mod tests {
         }
 
         assert_eq!(serial.log().to_jsonl(), parallel.log().to_jsonl());
+        assert_eq!(serial.span_log().to_jsonl(), parallel.span_log().to_jsonl());
         assert_eq!(
             serde_json::to_string(&serial.metrics().snapshot()).unwrap(),
             serde_json::to_string(&parallel.metrics().snapshot()).unwrap()

@@ -5,8 +5,12 @@
 //! be associative and commutative (counters and histogram buckets sum,
 //! gauges take the max), or the aggregate would vary with scheduling.
 
-use crowd_obs::MetricsRegistry;
+use crowd_obs::{
+    emit, emit_span, install_recorder, record_segment, replay, Event, MetricsRegistry, Recorder,
+    Segment, Span, Stage,
+};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const LABELS: [&str; 3] = ["naive", "expert", "gold"];
 
@@ -81,5 +85,90 @@ proptest! {
             apply(&direct, code);
         }
         prop_assert_eq!(split.snapshot(), direct.snapshot());
+    }
+}
+
+/// One work item's observable behavior in the segment-capture property
+/// test: a couple of events, one span, one counter bump.
+fn item_work(item: u64) {
+    emit(Event::RunStarted {
+        name: format!("item-{item}"),
+    });
+    emit_span(Span {
+        tenant: (item % 3) as u32,
+        job: item,
+        stage: Stage::ShardExec,
+        start: item,
+        end: item + 1,
+        ticks: 1,
+    });
+    crowd_obs::counter_add("items_total", &[], 1);
+    emit(Event::RunFinished {
+        name: format!("item-{item}"),
+        comparisons_by_class: Default::default(),
+        faults: 0,
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `engine::parallel_map` capture contract: workers buffer each
+    /// item into a private segment and may *finish in any order*, but the
+    /// caller replays segments in input order — so the spliced log always
+    /// equals the serial reference, its `seq` numbers stay strictly
+    /// monotone from 0, and the span log sorts identically.
+    #[test]
+    fn segment_replay_is_completion_order_independent(
+        items in prop::collection::vec(0u64..1000, 1..24),
+        completion_seed in any::<u64>(),
+    ) {
+        // Serial reference: run every item inline.
+        let serial = Arc::new(Recorder::new());
+        {
+            let _g = install_recorder(serial.clone());
+            for &item in &items {
+                item_work(item);
+            }
+        }
+
+        // "Parallel": capture each item's segment, but in a completion
+        // order shuffled by the seed (a worker pool finishes items in
+        // whatever order scheduling dictates).
+        let mut capture_order: Vec<usize> = (0..items.len()).collect();
+        let mut state = completion_seed | 1;
+        for i in (1..capture_order.len()).rev() {
+            // xorshift64* — deterministic shuffle, no rand dependency.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            capture_order.swap(i, (state as usize) % (i + 1));
+        }
+        let mut slots: Vec<Option<Segment>> = items.iter().map(|_| None).collect();
+        let spliced = Arc::new(Recorder::new());
+        {
+            let _g = install_recorder(spliced.clone());
+            for &slot in &capture_order {
+                let ((), seg) = record_segment(|| item_work(items[slot]));
+                slots[slot] = Some(seg);
+            }
+            // Nothing reached the installed recorder while masked.
+            prop_assert!(spliced.events().is_empty());
+            // Replay in INPUT order, regardless of completion order.
+            for seg in &mut slots {
+                replay(seg.take().expect("every slot captured"));
+            }
+        }
+
+        let (a, b) = (serial.log(), spliced.log());
+        prop_assert_eq!(a.to_jsonl(), b.to_jsonl());
+        for (i, record) in b.records.iter().enumerate() {
+            prop_assert_eq!(record.seq, i as u64, "seq must be strictly monotone from 0");
+        }
+        prop_assert_eq!(serial.span_log().to_jsonl(), spliced.span_log().to_jsonl());
+        prop_assert_eq!(
+            serde_json::to_string(&serial.metrics().snapshot()).unwrap(),
+            serde_json::to_string(&spliced.metrics().snapshot()).unwrap()
+        );
     }
 }

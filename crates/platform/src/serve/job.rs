@@ -13,6 +13,7 @@ use crate::serve::tenant::TenantId;
 use crowd_core::element::ElementId;
 use crowd_core::model::WorkerClass;
 use crowd_core::trace::DegradedReason;
+use crowd_obs::StageAccum;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -106,6 +107,10 @@ pub struct ActiveJob {
     pub degraded: Option<DegradedReason>,
     /// The winner, once [`JobPhase::Done`].
     pub winner: Option<ElementId>,
+    /// Per-stage tick attribution: the service records exactly one stage
+    /// per tick the job stays alive, so the accumulated ticks partition
+    /// the job's post-admission latency.
+    pub stages: StageAccum,
     phase: JobPhase,
     finalists: usize,
     pending: VecDeque<ElementId>,
@@ -143,6 +148,7 @@ impl ActiveJob {
             budget_stalled: false,
             degraded: None,
             winner: None,
+            stages: StageAccum::new(),
             phase: JobPhase::Filter,
             finalists: finalists.max(2),
             pending: (0..n as u32).map(ElementId).collect(),

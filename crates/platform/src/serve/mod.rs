@@ -30,6 +30,13 @@
 //!   confidence/staleness policy decides when a cached verdict may
 //!   substitute for fresh votes; hits are journaled, never charged, and
 //!   never consume in-flight window slots.
+//! * **Causal tracing & SLOs** ([`slo`]) — every tick an admitted job
+//!   stays alive is attributed to exactly one pipeline stage
+//!   (dispatch wait, cache lookup, shard execution, retry, breaker
+//!   quarantine), emitted as deterministic `crowd_obs` spans whose tick
+//!   sums reconcile exactly with the job's latency; per-tenant sliding-
+//!   window SLO monitors emit breach/recovery events and error-budget
+//!   burn rates into the run report.
 //! * **Crash recovery** ([`service`]) — a write-ahead journal (framed
 //!   through [`crate::journal::Journal`], sharing its torn-tail
 //!   detection) makes every tick's dispatch durable before execution;
@@ -47,6 +54,7 @@ pub mod cache;
 pub mod job;
 pub mod service;
 pub mod shard;
+pub mod slo;
 pub mod tenant;
 
 pub use arrival::ArrivalPlan;
@@ -58,4 +66,5 @@ pub use service::{
     ServeError, ServeKill, ServeReport, TenantReport,
 };
 pub use shard::{PairOutcome, ShardSpec, WorkerShard, SHARD_TIE_POLICY};
+pub use slo::{SloMonitor, SloPolicy, SloTransition};
 pub use tenant::{TenantId, TenantPolicy, TokenBucket};

@@ -32,13 +32,16 @@ use crate::serve::breaker::BreakerPolicy;
 use crate::serve::cache::{CachePolicy, CacheStats, JudgmentCache};
 use crate::serve::job::{ActiveJob, JobId, JobSpec};
 use crate::serve::shard::{ShardSpec, WorkerShard, SHARD_TIE_POLICY};
+use crate::serve::slo::{SloMonitor, SloPolicy, SloTransition};
 use crate::serve::tenant::{TenantId, TenantPolicy, TokenBucket};
 use crowd_core::element::ElementId;
 use crowd_core::model::WorkerClass;
 use crowd_core::trace::{DegradedReason, FaultKind};
-use crowd_obs::{counter_add, emit, gauge_set, names, observe, Event};
+use crowd_obs::{
+    counter_add, emit, emit_span, gauge_set, names, observe, stage_label, Event, Stage,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Full configuration of a [`CrowdServe`] instance. Serialized into the
@@ -71,6 +74,8 @@ pub struct ServeConfig {
     /// The cross-job judgment cache posture: when a cached verdict may
     /// substitute for fresh judgments, and how much the store retains.
     pub cache: CachePolicy,
+    /// Per-tenant SLO: sliding window, latency objective, error budget.
+    pub slo: SloPolicy,
 }
 
 impl ServeConfig {
@@ -92,6 +97,7 @@ impl ServeConfig {
             fallback_votes: 5,
             reserve_factor_percent: 100,
             cache: CachePolicy::default_on(),
+            slo: SloPolicy::default_on(),
         }
     }
 
@@ -128,6 +134,12 @@ impl ServeConfig {
     /// Sets the judgment-cache posture.
     pub fn with_cache(mut self, cache: CachePolicy) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Sets the per-tenant SLO posture.
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = slo;
         self
     }
 
@@ -355,6 +367,16 @@ pub struct TenantReport {
     pub p99_latency_ticks: u64,
     /// Worst completed-job latency, in ticks.
     pub max_latency_ticks: u64,
+    /// Healthy→breached SLO transitions over the run.
+    pub slo_breaches: u64,
+    /// Completions that violated the SLO (degraded, or over the latency
+    /// objective), cumulative.
+    pub slo_bad_jobs: u64,
+    /// Worst sliding-window bad-completion rate seen, in basis points —
+    /// the tenant's error-budget burn high watermark.
+    pub slo_burn_max_bps: u32,
+    /// True when the run ended with the SLO still breached.
+    pub slo_breached_at_end: bool,
 }
 
 /// The final run report.
@@ -411,6 +433,7 @@ pub struct CrowdServe {
     shards: Vec<WorkerShard>,
     cache: JudgmentCache,
     buckets: BTreeMap<TenantId, TokenBucket>,
+    slo: BTreeMap<TenantId, SloMonitor>,
     queue: VecDeque<(JobId, JobSpec, u64)>,
     active: BTreeMap<JobId, ActiveJob>,
     drr: VecDeque<JobId>,
@@ -440,6 +463,7 @@ impl CrowdServe {
             return Err(ServeError::NoShards);
         }
         let mut buckets = BTreeMap::new();
+        let mut slo = BTreeMap::new();
         for policy in &config.tenants {
             if buckets
                 .insert(policy.tenant, TokenBucket::new(*policy))
@@ -447,6 +471,7 @@ impl CrowdServe {
             {
                 return Err(ServeError::DuplicateTenant(policy.tenant));
             }
+            slo.insert(policy.tenant, SloMonitor::new());
         }
         let shards = config
             .shards
@@ -471,6 +496,7 @@ impl CrowdServe {
             shards,
             cache,
             buckets,
+            slo,
             queue: VecDeque::new(),
             active: BTreeMap::new(),
             drr: VecDeque::new(),
@@ -653,7 +679,7 @@ impl CrowdServe {
             shard.begin_tick();
         }
         let cache_before = self.cache.stats();
-        let (dispatches, cache_hits) = self.dispatch_tick();
+        let (dispatches, cache_hits, quarantined) = self.dispatch_tick();
 
         // 4. WAL: the dispatch list is durable before any worker is
         // asked. Cache hits are journaled alongside it (audit only: a
@@ -686,8 +712,11 @@ impl CrowdServe {
             }
         }
 
-        // 5. Execute, in dispatch order.
+        // 5. Execute, in dispatch order. `executed` tracks, per job, how
+        // many pairs ran and whether any needed the retry layer — the
+        // facts span attribution classifies the tick by.
         let mut tick_answers = 0u64;
+        let mut executed: BTreeMap<JobId, bool> = BTreeMap::new();
         for d in &dispatches {
             let job = self
                 .active
@@ -727,6 +756,8 @@ impl CrowdServe {
                 .expect("dispatched job is active");
             job.charged += u64::from(out.answers);
             tick_answers += u64::from(out.answers);
+            let retried = executed.entry(JobId(d.job)).or_insert(false);
+            *retried |= out.dead.is_some() || out.attempts > d.votes;
             *self.charged_total.entry(tenant).or_insert(0) += u64::from(out.answers);
             counter_add(
                 names::SERVE_COMPARISONS_TOTAL,
@@ -832,8 +863,96 @@ impl CrowdServe {
                 &[("tenant", &job.tenant.to_string())],
                 record.latency_ticks(),
             );
+            // Close the job's span tree. The accumulator recorded exactly
+            // one stage per tick the job survived, so the spans partition
+            // the latency — the accounting invariant `serve_trace` audits.
+            let spans = job
+                .stages
+                .job_spans(job.tenant.0, id.0, job.submitted, job.admitted, tick);
+            debug_assert_eq!(
+                spans.iter().map(|s| s.ticks).sum::<u64>(),
+                record.latency_ticks(),
+                "stage spans must partition job {id} latency"
+            );
+            for span in &spans {
+                emit_span(*span);
+                if span.ticks > 0 {
+                    observe(
+                        names::SERVE_STAGE_TICKS,
+                        &[
+                            ("tenant", &job.tenant.to_string()),
+                            ("stage", stage_label(span.stage)),
+                        ],
+                        span.ticks,
+                    );
+                }
+            }
+            if self.config.slo.enabled {
+                let bad = record.degraded.is_some()
+                    || record.latency_ticks() > self.config.slo.latency_objective_ticks;
+                if let Some(monitor) = self.slo.get_mut(&job.tenant) {
+                    monitor.record(tick, bad);
+                }
+            }
             self.completed.push(record.clone());
             completions.push(record);
+        }
+
+        // Span attribution: each surviving job charges this tick to
+        // exactly one active stage. Jobs that completed above are gone —
+        // their completion tick is, by definition, not part of their
+        // latency. Priority: execution facts beat cache hits beat
+        // quarantine stalls; a tick with none of those is dispatch wait
+        // (deficit, window backpressure, or reservation gates).
+        let cache_hit_jobs: BTreeSet<JobId> = cache_hits.iter().map(|h| JobId(h.job)).collect();
+        for (id, job) in self.active.iter_mut() {
+            let stage = match executed.get(id) {
+                Some(true) => Stage::Retry,
+                Some(false) => Stage::ShardExec,
+                None if cache_hit_jobs.contains(id) => Stage::CacheLookup,
+                None if quarantined.contains(id) => Stage::BreakerQuarantine,
+                None => Stage::DispatchWait,
+            };
+            job.stages.record(stage, tick);
+        }
+
+        // SLO evaluation runs every tick — recovery can arrive on a
+        // quiet tick purely by bad completions aging out of the window.
+        if self.config.slo.enabled {
+            for (tenant, monitor) in &mut self.slo {
+                match monitor.evaluate(tick, &self.config.slo) {
+                    Some(SloTransition::Breached {
+                        window_jobs,
+                        bad_jobs,
+                        bad_bps,
+                    }) => {
+                        emit(Event::SloBreached {
+                            tenant: tenant.0,
+                            tick,
+                            window_jobs,
+                            bad_jobs,
+                            bad_bps,
+                        });
+                        counter_add(
+                            names::SERVE_SLO_BREACHES_TOTAL,
+                            &[("tenant", &tenant.to_string())],
+                            1,
+                        );
+                    }
+                    Some(SloTransition::Recovered {
+                        window_jobs,
+                        bad_bps,
+                    }) => {
+                        emit(Event::SloRecovered {
+                            tenant: tenant.0,
+                            tick,
+                            window_jobs,
+                            bad_bps,
+                        });
+                    }
+                    None => {}
+                }
+            }
         }
 
         // 7. Journal the tick outcome at the checkpoint cadence.
@@ -880,14 +999,17 @@ impl CrowdServe {
     }
 
     /// One deficit-round-robin pass over the active jobs. Returns the
-    /// pairs handed to shards and the pairs the judgment cache resolved
-    /// without one.
-    fn dispatch_tick(&mut self) -> (Vec<DispatchRecord>, Vec<CacheHitRecord>) {
+    /// pairs handed to shards, the pairs the judgment cache resolved
+    /// without one, and the jobs whose tick stalled because every worker
+    /// of the needed class was quarantined (span attribution:
+    /// [`Stage::BreakerQuarantine`]).
+    fn dispatch_tick(&mut self) -> (Vec<DispatchRecord>, Vec<CacheHitRecord>, BTreeSet<JobId>) {
         let tick = self.tick;
         let quantum = self.config.drr_quantum.max(1);
         let max_retries = self.config.retry.max_retries;
         let mut out = Vec::new();
         let mut hits = Vec::new();
+        let mut quarantined = BTreeSet::new();
         for _ in 0..self.drr.len() {
             let Some(id) = self.drr.pop_front() else {
                 break;
@@ -980,13 +1102,14 @@ impl CrowdServe {
                         // Crowd quarantine storm: the pair waits for a
                         // half-open probe to reopen capacity (or the
                         // deadline to lapse). Explicit, bounded waiting.
+                        quarantined.insert(id);
                         break;
                     }
                     ShardPick::NoCapacity => break, // backpressure: next tick
                 }
             }
         }
-        (out, hits)
+        (out, hits, quarantined)
     }
 
     /// Routes a pair to the least-loaded shard of `class` with healthy
@@ -1055,7 +1178,34 @@ impl CrowdServe {
             });
             counter_add(names::JOURNAL_BYTES, &[], bytes);
         }
-        Ok(self.report())
+        let report = self.report();
+        // Flow the report's latency tails and SLO burn into the metrics
+        // exposition as per-tenant high watermarks — skipping tenants
+        // with no completions, matching the report's zero semantics.
+        for t in &report.tenants {
+            if t.completed_ok + t.degraded == 0 {
+                continue;
+            }
+            let tenant = t.tenant.to_string();
+            gauge_set(
+                names::SERVE_P99_LATENCY_TICKS,
+                &[("tenant", &tenant)],
+                t.p99_latency_ticks as i64,
+            );
+            gauge_set(
+                names::SERVE_MAX_LATENCY_TICKS,
+                &[("tenant", &tenant)],
+                t.max_latency_ticks as i64,
+            );
+            if self.config.slo.enabled {
+                gauge_set(
+                    names::SERVE_SLO_BURN_BPS,
+                    &[("tenant", &tenant)],
+                    i64::from(t.slo_burn_max_bps),
+                );
+            }
+        }
+        Ok(report)
     }
 
     /// The report over everything completed so far.
@@ -1093,6 +1243,10 @@ impl CrowdServe {
                 tokens_refunded: bucket.refunded(),
                 p99_latency_ticks: p99,
                 max_latency_ticks: latencies.last().copied().unwrap_or(0),
+                slo_breaches: self.slo.get(tenant).map_or(0, SloMonitor::breaches),
+                slo_bad_jobs: self.slo.get(tenant).map_or(0, SloMonitor::bad_total),
+                slo_burn_max_bps: self.slo.get(tenant).map_or(0, SloMonitor::burn_max_bps),
+                slo_breached_at_end: self.slo.get(tenant).is_some_and(SloMonitor::breached),
             });
         }
         ServeReport {

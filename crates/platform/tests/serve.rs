@@ -702,3 +702,106 @@ proptest! {
         prop_assert_eq!(run(&script), run(&script));
     }
 }
+
+/// The span-accounting invariant (the `serve_trace` contract): for every
+/// completed job — degraded, queued, and cache-hit jobs included — the
+/// stage-span ticks sum to exactly `latency_ticks()`, and the span log
+/// reconciles as a whole.
+#[test]
+fn stage_spans_partition_every_completed_jobs_latency() {
+    use crowd_obs::Stage;
+    use std::collections::BTreeMap;
+
+    let (rec, _g) = record();
+    // Overlapping catalogs force judgment-cache hits; the faulty config
+    // forces retries and queueing; the tight deadline forces degraded
+    // completions even for jobs the cache accelerates.
+    let plan = overload_plan(11).with_overlap(60, 6).with_deadline(3);
+    let mut service = CrowdServe::new(faulty_config(), 7).unwrap();
+    let report = service.run(&plan, 600).expect("run completes");
+
+    let log = rec.span_log();
+    log.reconcile().expect("span log reconciles");
+
+    // Cross-check against the report: one Admission/Completion marker
+    // pair per completed job, stage ticks summing to latency_ticks().
+    let mut sums: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut markers: BTreeMap<u64, u64> = BTreeMap::new();
+    for span in &log.spans {
+        match span.stage {
+            Stage::Admission | Stage::Completion => {
+                *markers.entry(span.job).or_insert(0) += 1;
+            }
+            _ => *sums.entry(span.job).or_insert(0) += span.ticks,
+        }
+    }
+    assert!(!report.jobs.is_empty());
+    for job in &report.jobs {
+        assert_eq!(
+            markers.get(&job.job.0),
+            Some(&2),
+            "job {} must carry both markers",
+            job.job
+        );
+        assert_eq!(
+            sums.get(&job.job.0).copied().unwrap_or(0),
+            job.latency_ticks(),
+            "job {} stage ticks must equal its latency",
+            job.job
+        );
+    }
+    assert_eq!(
+        markers.len(),
+        report.jobs.len(),
+        "spans exist exactly for completed jobs"
+    );
+
+    // The scenario really exercised the hard cases.
+    assert!(
+        report.jobs.iter().any(|j| j.degraded.is_some()),
+        "scenario must include degraded jobs"
+    );
+    assert!(report.cache_hits > 0, "scenario must include cache hits");
+    assert!(
+        log.spans.iter().any(|s| s.stage == Stage::QueueWait),
+        "scenario must include queued jobs"
+    );
+    assert!(
+        log.spans.iter().any(|s| s.stage == Stage::Retry),
+        "scenario must include retried ticks"
+    );
+}
+
+/// Spans are part of the determinism contract: kill+resume emits exactly
+/// the spans of the uninterrupted twin (no `Recovery*`-style bookkeeping
+/// exists in span space, so the logs compare byte-equal).
+#[test]
+fn kill_and_resume_emits_identical_spans() {
+    let config = faulty_config();
+    let plan = overload_plan(13);
+
+    let (rec_a, g) = record();
+    let mut baseline = CrowdServe::new(config.clone(), 9).unwrap();
+    baseline.run(&plan, 600).unwrap();
+    drop(g);
+
+    // The doomed leg records privately (its spans died with the crash);
+    // only the resume leg's spans are compared against the baseline.
+    let bytes = {
+        let (_rec, _g) = record();
+        let mut doomed = CrowdServe::new(config.clone(), 9)
+            .unwrap()
+            .with_chaos(ServeKill::MidTick(6));
+        assert_eq!(doomed.run(&plan, 600), Err(ServeError::Crashed));
+        doomed.journal().durable().to_vec()
+    };
+    let (rec_b, _g) = record();
+    let (_report, _svc) = CrowdServe::resume(config, 9, &plan, &bytes, 600).unwrap();
+
+    assert!(!rec_a.span_log().is_empty());
+    assert_eq!(
+        rec_a.span_log().to_jsonl(),
+        rec_b.span_log().to_jsonl(),
+        "resume must reproduce the uninterrupted span log byte-for-byte"
+    );
+}

@@ -1,22 +1,28 @@
 //! Replay a structured event log: read an `events.jsonl` produced by a
 //! `repro` run (or record one in-process when no path is given) and print a
 //! per-round cost/survivor table — post-hoc run analysis from the log
-//! alone, no re-execution.
+//! alone, no re-execution. Given a `spans.jsonl` too (written next to
+//! `events.jsonl`), it also prints where the serve jobs' latency ticks
+//! went, stage by stage.
 //!
 //! ```text
-//! cargo run --release --example obs_replay [-- results/events.jsonl]
+//! cargo run --release --example obs_replay [-- results/events.jsonl [results/spans.jsonl]]
 //! ```
 
 use crowd_core::algorithms::{expert_max_find, ExpertMaxConfig};
 use crowd_core::element::Instance;
 use crowd_core::oracle::{ComparisonOracle, PerfectOracle};
-use crowd_obs::{Event, EventLog, ObservedOracle, Recorder};
+use crowd_obs::{
+    stage_label, Event, EventLog, ObservedOracle, Recorder, SpanLog, Stage, StageAccum,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Records a small in-process run so the example works standalone.
-fn record_demo_log() -> String {
+/// Records a small in-process run so the example works standalone,
+/// returning the event log and span log as JSONL.
+fn record_demo_log() -> (String, String) {
     let instance = Instance::new((0..240).map(|i| (i * 83 % 997) as f64).collect());
     let rec = Arc::new(Recorder::new());
     {
@@ -43,16 +49,36 @@ fn record_demo_log() -> String {
             comparisons_by_class: counts,
             faults: 0,
         });
+        // A hand-built span tree, so the standalone demo exercises the
+        // span path too: one job that queued two ticks, executed three,
+        // and retried one.
+        let mut stages = StageAccum::new();
+        for tick in 2..5 {
+            stages.record(Stage::ShardExec, tick);
+        }
+        stages.record(Stage::Retry, 5);
+        for span in stages.job_spans(0, 0, 0, 2, 6) {
+            crowd_obs::emit_span(span);
+        }
     }
-    rec.log().to_jsonl()
+    (rec.log().to_jsonl(), rec.span_log().to_jsonl())
 }
 
 fn main() {
-    let jsonl = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(1);
-        }),
+        })
+    };
+    let (jsonl, spans_jsonl) = match std::env::args().nth(1) {
+        Some(path) => (
+            read(&path),
+            std::env::args()
+                .nth(2)
+                .map(|p| read(&p))
+                .unwrap_or_default(),
+        ),
         None => record_demo_log(),
     };
 
@@ -102,4 +128,33 @@ fn main() {
         .filter(|e| matches!(e, Event::FaultObserved { .. }))
         .count();
     println!("\n{rounds} filter rounds, {faults} fault events");
+
+    // ----- Stage-level latency attribution from the span log. -----
+    let spans = SpanLog::from_jsonl(&spans_jsonl).expect("well-formed span log");
+    if spans.is_empty() {
+        println!("no spans (the run completed no serve jobs)");
+        return;
+    }
+    match spans.reconcile() {
+        Ok(()) => println!("\n{} spans, books balance:", spans.len()),
+        Err(bad) => println!("\n{} spans, {} jobs UNBALANCED:", spans.len(), bad.len()),
+    }
+    let mut ticks_by_stage: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut jobs = 0u64;
+    for span in &spans.spans {
+        match span.stage {
+            Stage::Admission => jobs += 1,
+            Stage::Completion => {}
+            stage => *ticks_by_stage.entry(stage_label(stage)).or_insert(0) += span.ticks,
+        }
+    }
+    println!("| stage | ticks |");
+    println!("|-------|------:|");
+    for (stage, ticks) in &ticks_by_stage {
+        println!("| {stage} | {ticks} |");
+    }
+    println!(
+        "{jobs} traced jobs, {} latency ticks attributed",
+        ticks_by_stage.values().sum::<u64>()
+    );
 }
